@@ -1,0 +1,32 @@
+"""Ablation: GF table-gather backend vs Cauchy-style XOR-only backend.
+
+Same plan, same data, two execution engines: the GF backend pays one
+table gather per nonzero coefficient; the bit-matrix backend pays ~w^2/2
+plain XORs per coefficient.  Which wins depends on the gather/XOR speed
+ratio of the host — exactly the trade-off between classic RS and
+Cauchy-RS that the paper's reference [8] is about.
+"""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import BitMatrixDecoder, PPMDecoder
+
+STRIPE = 1 << 20
+
+BACKENDS = {
+    "gf_tables": lambda: PPMDecoder(parallel=False),
+    "bitmatrix_xor": lambda: BitMatrixDecoder(),
+}
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_backend(benchmark, make_decode_setup, backend):
+    workload = sd_workload(8, 8, 2, 2, z=1, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = BACKENDS[backend]()
+    decoder.plan(code, faulty)
+    if backend == "bitmatrix_xor":
+        benchmark.extra_info["xor_cost"] = decoder.xor_cost(code, faulty)
+        decoder.decode(code, blocks, faulty)  # warm the expanded-matrix cache
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

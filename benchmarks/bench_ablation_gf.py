@@ -1,0 +1,39 @@
+"""Ablation: GF(2^8) region-multiply backends (DESIGN.md §6).
+
+The production path uses the full 256x256 product table (one gather);
+the alternative is the log/exp route (two gathers plus masking).  The
+SPLIT path for w=16/32 is benched in bench_fig10_cpus.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF, RegionOps
+
+SYMBOLS = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def data():
+    field = GF(8)
+    rng = np.random.default_rng(1)
+    src = rng.integers(0, 256, size=SYMBOLS).astype(field.dtype)
+    return field, src
+
+
+def test_full_table_gather(benchmark, data):
+    field, src = data
+    ops = RegionOps(field)
+    benchmark(lambda: ops.mul_region(src, 37))
+
+
+def test_logexp_route(benchmark, data):
+    field, src = data
+    benchmark(lambda: field.mul(field.dtype.type(37), src))
+
+
+def test_xor_only(benchmark, data):
+    """The a == 1 case: the cheap end every unit coefficient hits."""
+    field, src = data
+    dst = np.zeros_like(src)
+    benchmark(lambda: np.bitwise_xor(dst, src, out=dst))

@@ -1,0 +1,32 @@
+"""Ablation: planning cost of the general log-table partition vs the SD
+fast path (Algorithm 1).  Both yield the same groups; the fast path skips
+support hashing.  Also benches full plan construction, the one-time cost
+a real array amortises over thousands of stripes."""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import partition, partition_sd, plan_decode
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return sd_workload(16, 16, 2, 2, z=1, stripe_bytes=1 << 12)
+
+
+def test_general_partition(benchmark, workload):
+    h, faulty = workload.code.H, workload.scenario.faulty_blocks
+    result = benchmark(lambda: partition(h, faulty))
+    assert result.p == workload.code.r - 1
+
+
+def test_sd_fast_path(benchmark, workload):
+    code, faulty = workload.code, workload.scenario.faulty_blocks
+    result = benchmark(lambda: partition_sd(code, faulty))
+    assert result.p == workload.code.r - 1
+
+
+def test_full_plan_construction(benchmark, workload):
+    h, faulty = workload.code.H, workload.scenario.faulty_blocks
+    plan = benchmark(lambda: plan_decode(h, faulty))
+    assert plan.costs.c4 < plan.costs.c1

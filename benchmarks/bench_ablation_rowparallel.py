@@ -1,0 +1,30 @@
+"""Ablation: PPM vs the equation-oriented parallel baseline (Section V).
+
+Measures the serial op-cost advantage of PPM (C4 < C2) against the
+row-parallel baseline that parallelises the whole-matrix matrix-first
+decode per output equation.
+"""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import PPMDecoder, RowParallelDecoder
+
+STRIPE = 1 << 21
+
+DECODERS = {
+    "ppm_serial": lambda: PPMDecoder(parallel=False),
+    "ppm_threads": lambda: PPMDecoder(threads=2),
+    "row_parallel_serial": lambda: RowParallelDecoder(threads=1),
+    "row_parallel_threads": lambda: RowParallelDecoder(threads=2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DECODERS))
+def test_decoder(benchmark, make_decode_setup, name):
+    workload = sd_workload(11, 16, 2, 2, z=1, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = DECODERS[name]()
+    plan = decoder.plan(code, faulty)
+    benchmark.extra_info["predicted_mult_xors"] = plan.predicted_cost
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

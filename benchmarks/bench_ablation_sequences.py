@@ -1,0 +1,29 @@
+"""Ablation: sequence policy choices (DESIGN.md §6).
+
+Compares always-normal (C1), always-matrix-first (C2), fixed C4, and the
+paper's chooser min(C2, C4), on scenarios where different choices win:
+large n (C4 wins) and small n (C2 wins).
+"""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import PPMDecoder, SequencePolicy, TraditionalDecoder
+
+POLICIES = {
+    "always_normal": TraditionalDecoder("normal"),
+    "always_matrix_first": TraditionalDecoder("matrix_first"),
+    "fixed_c4": PPMDecoder(policy=SequencePolicy.PPM_NORMAL_REST, parallel=False),
+    "paper_chooser": PPMDecoder(policy=SequencePolicy.PAPER, parallel=False),
+}
+
+
+@pytest.mark.parametrize("n", [6, 16], ids=["small_n", "large_n"])
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_policy(benchmark, make_decode_setup, policy, n):
+    workload = sd_workload(n, 16, 3, 3, z=1, stripe_bytes=1 << 21)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = POLICIES[policy]
+    plan = decoder.plan(code, faulty)
+    benchmark.extra_info["predicted_mult_xors"] = plan.predicted_cost
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

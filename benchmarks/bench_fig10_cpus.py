@@ -1,0 +1,26 @@
+"""Figure 10 kernel: the GF region kernel per word size.
+
+Across CPUs the paper sees similar *relative* gains; what differs is the
+absolute mult_XORs throughput.  This bench measures that throughput on
+this host for each word size — the quantity the calibrated CPU profiles
+scale from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF, RegionOps
+
+SYMBOLS = 1 << 20
+
+
+@pytest.mark.parametrize("w", [8, 16, 32])
+def test_mult_xors_throughput(benchmark, w):
+    field = GF(w)
+    ops = RegionOps(field)
+    rng = np.random.default_rng(0)
+    src = rng.integers(0, field.order + 1, size=SYMBOLS).astype(field.dtype)
+    dst = np.zeros_like(src)
+    ops.mult_xors(src, dst, 3)  # warm the per-constant tables
+    benchmark.extra_info["bytes_per_op"] = src.nbytes
+    benchmark(lambda: ops.mult_xors(src, dst, 3))

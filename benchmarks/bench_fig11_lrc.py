@@ -1,0 +1,27 @@
+"""Figure 11 kernel: LRC decode, traditional vs PPM, across storage costs."""
+
+import pytest
+
+from repro.bench import lrc_workload
+from repro.core import PPMDecoder, TraditionalDecoder
+
+COSTS = [1.1, 1.4, 1.7]
+
+
+@pytest.mark.parametrize("cost", COSTS)
+def test_lrc_traditional(benchmark, make_decode_setup, cost):
+    workload = lrc_workload(cost, fixed="stripe", stripe_bytes=1 << 21)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = TraditionalDecoder("normal")
+    decoder.plan(code, faulty)
+    benchmark(lambda: decoder.decode(code, blocks, faulty))
+
+
+@pytest.mark.parametrize("cost", COSTS)
+def test_lrc_ppm(benchmark, make_decode_setup, cost):
+    workload = lrc_workload(cost, fixed="stripe", stripe_bytes=1 << 21)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = PPMDecoder(parallel=False)
+    decoder.plan(code, faulty)
+    benchmark.extra_info["storage_cost"] = cost
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

@@ -1,0 +1,33 @@
+"""Figure 4 kernel: the four calculation sequences on one SD scenario.
+
+The paper's Figure 4 plots C2/C1, C3/C1, C4/C1; this bench measures the
+wall-clock of executing each sequence's region operations, so the ratios
+of the benchmark means reproduce the figure's ratios (modulo the cheaper
+unit-coefficient XORs — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import PPMDecoder, SequencePolicy, TraditionalDecoder
+
+STRIPE = 1 << 21  # 2 MB
+
+SEQUENCES = {
+    "C1_normal": TraditionalDecoder("normal"),
+    "C2_matrix_first": TraditionalDecoder("matrix_first"),
+    "C3_ppm_mf_rest": PPMDecoder(policy=SequencePolicy.PPM_MATRIX_FIRST_REST, parallel=False),
+    "C4_ppm_normal_rest": PPMDecoder(policy=SequencePolicy.PPM_NORMAL_REST, parallel=False),
+}
+
+
+@pytest.mark.parametrize("sequence", sorted(SEQUENCES))
+def test_sequence_cost(benchmark, make_decode_setup, sequence):
+    workload = sd_workload(11, 16, 2, 2, z=1, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = SEQUENCES[sequence]
+    decoder.plan(code, faulty)  # exclude planning from the timed region
+    benchmark.extra_info["predicted_mult_xors"] = decoder.plan(
+        code, faulty
+    ).predicted_cost
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

@@ -1,0 +1,22 @@
+"""Figure 5 kernel: PPM decode cost as the sector faults spread over z rows.
+
+C4/C1 falls as z grows: more stripe rows join H_rest, the parallel phase
+shrinks, but the traditional baseline grows faster.
+"""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import PPMDecoder
+
+STRIPE = 1 << 21
+
+
+@pytest.mark.parametrize("z", [1, 2, 3])
+def test_ppm_decode_vs_z(benchmark, make_decode_setup, z):
+    workload = sd_workload(11, 16, 2, 3, z=z, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = PPMDecoder(parallel=False)
+    decoder.plan(code, faulty)
+    benchmark.extra_info["C4_over_C1"] = workload.plan.costs.ratio("c4")
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

@@ -1,0 +1,18 @@
+"""Figure 6 kernel: PPM decode across stripe depths r (C4/C1 falls with r)."""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import PPMDecoder
+
+STRIPE = 1 << 21
+
+
+@pytest.mark.parametrize("r", [4, 12, 24])
+def test_ppm_decode_vs_r(benchmark, make_decode_setup, r):
+    workload = sd_workload(11, r, 2, 2, z=1, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = PPMDecoder(parallel=False)
+    decoder.plan(code, faulty)
+    benchmark.extra_info["C4_over_C1"] = workload.plan.costs.ratio("c4")
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

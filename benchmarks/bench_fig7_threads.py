@@ -1,0 +1,28 @@
+"""Figure 7 kernel: PPM decode under different thread counts T.
+
+On this 1-core host real threads only add overhead (the simulated
+multi-core curve lives in `python -m repro figure 7`); this bench records
+that overhead honestly, plus the T=1 serial reference.
+"""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import PPMDecoder
+from repro.parallel import E5_2603, host_profile, improvement_ratio, scaled_paper_profile, simulate_decode_time
+
+STRIPE = 1 << 21
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_ppm_decode_vs_threads(benchmark, make_decode_setup, threads):
+    workload = sd_workload(11, 16, 2, 2, z=1, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = PPMDecoder(threads=threads, parallel=threads > 1)
+    decoder.plan(code, faulty)
+    profile = scaled_paper_profile(E5_2603, host_profile())
+    trad, ppm = simulate_decode_time(
+        workload.plan, profile, threads=threads, sector_symbols=workload.sector_symbols
+    )
+    benchmark.extra_info["simulated_improvement_4core"] = improvement_ratio(trad, ppm)
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

@@ -1,0 +1,38 @@
+"""Figure 8 kernel: decode speed of SD, opt-SD (PPM) and RS(m+1).
+
+The paper's headline comparison: PPM-optimised SD with m coding disks is
+competitive with RS carrying m+1.
+"""
+
+import pytest
+
+from repro.bench import rs_workload, sd_workload
+from repro.core import PPMDecoder, TraditionalDecoder
+
+STRIPE = 1 << 21
+N, R, M, S = 11, 16, 2, 2
+
+
+def test_sd_traditional(benchmark, make_decode_setup):
+    workload = sd_workload(N, R, M, S, z=1, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = TraditionalDecoder("normal")
+    decoder.plan(code, faulty)
+    benchmark(lambda: decoder.decode(code, blocks, faulty))
+
+
+def test_sd_ppm(benchmark, make_decode_setup):
+    workload = sd_workload(N, R, M, S, z=1, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = PPMDecoder(parallel=False)
+    decoder.plan(code, faulty)
+    benchmark(lambda: decoder.decode(code, blocks, faulty))
+
+
+@pytest.mark.parametrize("w", [8, 16, 32])
+def test_rs_m_plus_1(benchmark, make_decode_setup, w):
+    workload = rs_workload(N, N - (M + 1), r=R, w=w, stripe_bytes=STRIPE)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = TraditionalDecoder("normal")
+    decoder.plan(code, faulty)
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

@@ -1,0 +1,19 @@
+"""Figure 9 kernel: PPM decode across stripe sizes (per-decode fixed costs
+amortise as stripes grow)."""
+
+import pytest
+
+from repro.bench import sd_workload
+from repro.core import PPMDecoder
+
+SIZES = [1 << 18, 1 << 20, 1 << 22]
+
+
+@pytest.mark.parametrize("stripe_bytes", SIZES, ids=lambda b: f"{b >> 10}KB")
+def test_ppm_decode_vs_stripe_size(benchmark, make_decode_setup, stripe_bytes):
+    workload = sd_workload(16, 16, 2, 2, z=1, stripe_bytes=stripe_bytes)
+    code, blocks, faulty = make_decode_setup(workload)
+    decoder = PPMDecoder(parallel=False)
+    decoder.plan(code, faulty)
+    benchmark.extra_info["stripe_bytes"] = workload.stripe_bytes
+    benchmark(lambda: decoder.decode(code, blocks, faulty))

@@ -1,0 +1,46 @@
+"""File-codec throughput: encode and (degraded) decode of a real file.
+
+End-to-end bench of the user-facing workflow: bytes -> strips and
+strips -> bytes with one disk missing, under both decoders.
+"""
+
+import os
+
+import pytest
+
+from repro.codes import SDCode
+from repro.core import PPMDecoder, TraditionalDecoder
+from repro.filecodec import decode_file, encode_file
+
+PAYLOAD = 1 << 20  # 1 MB
+
+
+@pytest.fixture(scope="module")
+def encoded(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("filecodec")
+    source = tmp / "data.bin"
+    source.write_bytes(os.urandom(PAYLOAD))
+    code = SDCode(8, 16, 2, 2)
+    out = tmp / "enc"
+    encode_file(str(source), code, str(out), sector_bytes=4096)
+    os.remove(out / "data_disk003.dat")  # degraded from here on
+    return tmp, out, code, source
+
+
+def test_encode_throughput(benchmark, encoded, tmp_path):
+    tmp, _out, code, source = encoded
+    benchmark(
+        lambda: encode_file(str(source), code, str(tmp_path / "enc"), sector_bytes=4096)
+    )
+
+
+@pytest.mark.parametrize("decoder_name", ["traditional", "ppm"])
+def test_degraded_decode_throughput(benchmark, encoded, tmp_path, decoder_name):
+    _tmp, out, _code, _source = encoded
+    decoder = (
+        TraditionalDecoder() if decoder_name == "traditional" else PPMDecoder(parallel=False)
+    )
+    target = tmp_path / "restored.bin"
+    benchmark(
+        lambda: decode_file(str(out / "data_meta.json"), str(target), decoder=decoder)
+    )

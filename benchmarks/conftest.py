@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench module exercises the decode kernel behind one paper figure.
+Sector sizes are kept moderate (64 Ki symbols ~ 64 KB at w=8) so the whole
+suite completes in a few minutes; the figure *drivers* in `repro.bench`
+regenerate the full sweeps.
+"""
+
+import pytest
+
+from repro.bench import build_stripe, erased_blocks
+
+
+@pytest.fixture(scope="session")
+def make_decode_setup():
+    """Factory: workload -> (code, survivor blocks, faulty ids), cached."""
+    cache = {}
+
+    def _make(workload, seed=0):
+        key = (id(workload.code), workload.scenario.faulty_blocks, workload.sector_symbols, seed)
+        if key not in cache:
+            stripe = build_stripe(workload, seed=seed)
+            cache[key] = (
+                workload.code,
+                erased_blocks(workload, stripe),
+                workload.scenario.faulty_blocks,
+            )
+        return cache[key]
+
+    return _make

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: encode a stripe, lose disks + sectors, PPM-decode it back.
+
+Walks the full public API surface:
+
+1. build an SD code (the paper's asymmetric-parity subject),
+2. fill a stripe with random data and encode its parity,
+3. inject the paper's worst-case failure (m whole disks + s sectors),
+4. decode with the traditional method and with PPM, comparing costs,
+5. verify the recovered sectors bit-for-bit.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.codes import SDCode
+from repro.core import PPMDecoder, TraditionalDecoder, format_log_table, build_log_table
+from repro.stripes import Stripe, StripeLayout, worst_case_sd
+
+
+def main() -> None:
+    # 1. an SD code: 8 disks x 16 rows, tolerating 2 disks + 2 sectors
+    code = SDCode(n=8, r=16, m=2, s=2, w=8)
+    print(code.describe())
+
+    # 2. a stripe of random data, parity encoded in place
+    layout = StripeLayout.of_code(code)
+    stripe = Stripe.random(layout, code.field, sector_symbols=4096, rng=42)
+    TraditionalDecoder().encode_into(code, stripe)
+    truth = stripe.copy()
+
+    # 3. the paper's worst-case failure: m disks + s sectors on one row
+    scenario = worst_case_sd(code, z=1, rng=7)
+    print(f"\nfailure: {scenario.describe(layout)}")
+    stripe.erase(scenario.faulty_blocks)
+
+    # what PPM sees: the log table over the parity-check matrix
+    print("\nlog table (first 8 rows):")
+    print(format_log_table(build_log_table(code.H, scenario.faulty_blocks)[:8]))
+
+    # 4. decode with both methods
+    results = {}
+    for name, decoder in [
+        ("traditional", TraditionalDecoder("normal")),
+        ("ppm", PPMDecoder(threads=4)),
+    ]:
+        recovered, stats = decoder.decode_with_stats(
+            code, stripe, scenario.faulty_blocks
+        )
+        results[name] = recovered
+        print(
+            f"\n{name}: {stats.mult_xors} mult_XORs over "
+            f"{stats.symbols} symbols in {stats.wall_seconds * 1e3:.2f} ms "
+            f"(mode: {stats.mode.value})"
+        )
+        if name == "ppm":
+            plan = stats.plan
+            print(
+                f"  partition: p = {plan.p} independent sub-matrices, "
+                f"{len(plan.rest.faulty_ids) if plan.rest else 0} dependent blocks"
+            )
+            print(f"  costs: {plan.costs.as_dict()}")
+            print(f"  cost reduction vs C1: {plan.costs.reduction():.1%}")
+
+    # 5. verify every recovered block
+    for name, recovered in results.items():
+        ok = all(
+            np.array_equal(recovered[b], truth.get(b))
+            for b in scenario.faulty_blocks
+        )
+        print(f"verification [{name}]: {'OK' if ok else 'FAILED'}")
+        assert ok
+
+
+if __name__ == "__main__":
+    main()

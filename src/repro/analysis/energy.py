@@ -1,0 +1,124 @@
+"""Energy model for encode/decode — the paper's deferred evaluation.
+
+Section IV: "The extra power consumption of PPM is also not high (our
+test results show that it is no more than two watts).  But power/energy
+is not our focus in this paper, so we did not do detailed evaluation."
+This module does that detailed evaluation under a simple, standard model:
+
+    E = E_op * mult_XORs * symbols            (compute energy)
+      + P_static * wall_time                  (leakage/base power)
+      + E_thread * threads_spawned            (threading overhead)
+
+PPM changes each term differently: it *reduces* compute energy by the
+C1 -> min(C2, C4) op reduction, *reduces* static energy via shorter wall
+time, and *adds* a small threading term (the paper's "< 2 W" while
+active).  :func:`decode_energy` evaluates the model for any plan on any
+CPU profile, and :func:`energy_comparison` gives the traditional-vs-PPM
+bill the paper left as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.planner import DecodePlan
+from ..parallel.simulate import CPUProfile, simulate_ppm_time, simulate_traditional_time
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy parameters (defaults: server-class magnitudes).
+
+    ``joules_per_symbol_op`` — energy of one mult_XORs on one symbol
+    (~0.5 nJ: a few pJ/byte for load+lookup+xor+store at DRAM distance);
+    ``static_watts`` — package + DRAM base power attributed to the job;
+    ``thread_joules`` — energy to spawn and retire one worker;
+    ``active_thread_watts`` — extra power per busy worker (the paper's
+    "no more than two watts" observation, per-thread share).
+    """
+
+    joules_per_symbol_op: float = 0.5e-9
+    static_watts: float = 20.0
+    thread_joules: float = 1e-4
+    active_thread_watts: float = 0.5
+
+
+@dataclass(frozen=True)
+class EnergyBill:
+    """Decomposed energy of one decode (joules)."""
+
+    compute_j: float
+    static_j: float
+    threading_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.static_j + self.threading_j
+
+
+def decode_energy(
+    plan: DecodePlan,
+    profile: CPUProfile,
+    threads: int,
+    sector_symbols: int,
+    model: EnergyModel | None = None,
+    traditional: bool = False,
+) -> EnergyBill:
+    """Energy bill for decoding one stripe under the model."""
+    model = model if model is not None else EnergyModel()
+    if traditional:
+        ops = plan.costs.c1
+        sim = simulate_traditional_time(plan, profile, sector_symbols)
+        active_threads = 1
+        spawned = 0
+    else:
+        ops = plan.predicted_cost
+        sim = simulate_ppm_time(plan, profile, threads, sector_symbols)
+        active_threads = min(threads, max(1, plan.p)) if plan.uses_partition else 1
+        spawned = active_threads if active_threads > 1 else 0
+    compute = model.joules_per_symbol_op * ops * sector_symbols
+    static = model.static_watts * sim.total_seconds
+    threading = (
+        model.thread_joules * spawned
+        + model.active_thread_watts * (active_threads - 1) * sim.phase1_seconds
+    )
+    return EnergyBill(compute_j=compute, static_j=static, threading_j=threading)
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Traditional-vs-PPM energy for one scenario."""
+
+    traditional: EnergyBill
+    ppm: EnergyBill
+
+    @property
+    def saving(self) -> float:
+        """Fraction of the traditional bill PPM saves (can be negative)."""
+        if self.traditional.total_j == 0:
+            return 0.0
+        return 1.0 - self.ppm.total_j / self.traditional.total_j
+
+    @property
+    def extra_threading_watts(self) -> float:
+        """Average extra power PPM draws while threading (the '< 2 W' check)."""
+        # threading joules over the PPM decode duration
+        duration = max(self.ppm.static_j, 1e-12)
+        # static_j = static_watts * time -> time = static_j / static_watts
+        return self.ppm.threading_j / (duration / EnergyModel().static_watts)
+
+
+def energy_comparison(
+    plan: DecodePlan,
+    profile: CPUProfile,
+    threads: int,
+    sector_symbols: int,
+    model: EnergyModel | None = None,
+) -> EnergyComparison:
+    """The paper's deferred evaluation: full energy bills for both methods."""
+    return EnergyComparison(
+        traditional=decode_energy(
+            plan, profile, threads, sector_symbols, model, traditional=True
+        ),
+        ppm=decode_energy(plan, profile, threads, sector_symbols, model),
+    )

@@ -1,0 +1,63 @@
+"""Predicted PPM improvement ratios from the cost + parallel models.
+
+Combines Section III-B's closed-form costs with Section III-C's
+parallel-saving analysis to predict the improvement the paper measures in
+Section IV, without touching sector data.  The benchmark harness reports
+these predictions next to measured / simulated values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.planner import DecodePlan
+from ..parallel.simulate import (
+    CPUProfile,
+    improvement_ratio,
+    simulate_ppm_time,
+    simulate_traditional_time,
+)
+from .costmodel import sd_costs
+
+
+@dataclass(frozen=True)
+class ImprovementBreakdown:
+    """Where a predicted improvement comes from.
+
+    ``sequential`` is the cost-reduction-only gain (C1/C4 - 1, no
+    threads); ``total`` additionally includes the parallel saving at the
+    given T; ``parallel_share`` is the fraction of the total gain the
+    parallelism contributes.
+    """
+
+    sequential: float
+    total: float
+
+    @property
+    def parallel_share(self) -> float:
+        if self.total <= 0:
+            return 0.0
+        return max(0.0, (self.total - self.sequential) / self.total)
+
+
+def cost_only_improvement(n: int, r: int, m: int, s: int, z: int = 1) -> float:
+    """Closed-form improvement with T = 1: C1 / C4 - 1."""
+    costs = sd_costs(n, r, m, s, z)
+    best = min(costs.c2, costs.c4)
+    return costs.c1 / best - 1.0
+
+
+def predicted_improvement(
+    plan: DecodePlan,
+    profile: CPUProfile,
+    threads: int,
+    sector_symbols: int,
+) -> ImprovementBreakdown:
+    """Model-predicted improvement of PPM over the traditional decoder."""
+    trad = simulate_traditional_time(plan, profile, sector_symbols)
+    ppm_serial = simulate_ppm_time(plan, profile, threads=1, sector_symbols=sector_symbols)
+    ppm_parallel = simulate_ppm_time(plan, profile, threads=threads, sector_symbols=sector_symbols)
+    return ImprovementBreakdown(
+        sequential=improvement_ratio(trad, ppm_serial),
+        total=improvement_ratio(trad, ppm_parallel),
+    )

@@ -1,0 +1,100 @@
+"""Measured (wall-clock) decode experiments on this host.
+
+Complements the calibrated model in :mod:`repro.parallel`: these helpers
+run the real decoders over real sector data and report decode speed and
+improvement ratios.  On the 1-core host the measurable PPM gain is the
+sequence-optimisation share; the harness prints it next to the simulated
+multi-core figure (DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core import PPMDecoder, SequencePolicy, TraditionalDecoder
+from .workloads import Workload, build_stripe, erased_blocks
+
+
+@dataclass(frozen=True)
+class MeasuredDecode:
+    """One measured decode: wall seconds (best of repeats) and derived speed."""
+
+    seconds: float
+    stripe_bytes: int
+    mult_xors: int
+
+    @property
+    def mb_per_s(self) -> float:
+        """Decode speed in stripe megabytes per second (paper's Figure 8 unit)."""
+        return self.stripe_bytes / self.seconds / 1e6
+
+
+def measure_decoder(
+    workload: Workload,
+    decoder,
+    repeats: int = 3,
+    seed: int = 0,
+    blocks=None,
+) -> MeasuredDecode:
+    """Best-of-N wall time for decoding the workload's scenario once.
+
+    ``blocks`` (survivor regions) may be passed in to share one encoded
+    stripe across several decoders.
+    """
+    if blocks is None:
+        stripe = build_stripe(workload, seed=seed)
+        blocks = erased_blocks(workload, stripe)
+    faulty = workload.scenario.faulty_blocks
+    decoder.plan(workload.code, faulty)  # exclude planning, as the paper's
+    # per-decode timing excludes one-time matrix setup amortised over stripes
+    best = float("inf")
+    mult_xors = 0
+    for _ in range(repeats):
+        _, stats = decoder.decode_with_stats(workload.code, blocks, faulty)
+        best = min(best, stats.wall_seconds)
+        mult_xors = stats.mult_xors
+    return MeasuredDecode(
+        seconds=best, stripe_bytes=workload.stripe_bytes, mult_xors=mult_xors
+    )
+
+
+@dataclass(frozen=True)
+class MeasuredImprovement:
+    """Traditional vs PPM measured on this host (serial execution)."""
+
+    traditional: MeasuredDecode
+    ppm: MeasuredDecode
+
+    @property
+    def ratio(self) -> float:
+        """Improvement ratio t_trad / t_ppm - 1 (the paper's metric)."""
+        return self.traditional.seconds / self.ppm.seconds - 1.0
+
+
+def measure_improvement(
+    workload: Workload,
+    repeats: int = 3,
+    seed: int = 0,
+    policy: SequencePolicy = SequencePolicy.PAPER,
+) -> MeasuredImprovement:
+    """Measured serial improvement of PPM over the traditional decoder."""
+    stripe = build_stripe(workload, seed=seed)
+    blocks = erased_blocks(workload, stripe)
+    trad = measure_decoder(
+        workload, TraditionalDecoder("normal"), repeats, seed, blocks=blocks
+    )
+    ppm = measure_decoder(
+        workload, PPMDecoder(parallel=False, policy=policy), repeats, seed, blocks=blocks
+    )
+    return MeasuredImprovement(traditional=trad, ppm=ppm)
+
+
+def measure_wall(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time of a thunk, for ad-hoc kernels."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

@@ -1,0 +1,78 @@
+"""Plain-text reporting for the figure drivers.
+
+Each figure driver returns a :class:`Report`; the CLI renders it as an
+aligned table with the paper-vs-measured context in the notes, and can
+dump CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Report:
+    """One regenerated table/figure: headers, rows and provenance notes."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        """Append a row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.headers)} headers"
+            )
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def _format_cell(self, value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    def format_table(self) -> str:
+        """Aligned monospace table with title and notes."""
+        cells = [list(self.headers)] + [
+            [self._format_cell(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated dump (no quoting needed for our numeric data)."""
+        out = [",".join(self.headers)]
+        for row in self.rows:
+            out.append(",".join(self._format_cell(v) for v in row))
+        return "\n".join(out)
+
+    def column(self, name: str) -> list:
+        """All values of one column, for programmatic shape checks."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def filtered(self, **criteria) -> list[tuple]:
+        """Rows whose named columns equal the given values."""
+        idxs = {self.headers.index(k): v for k, v in criteria.items()}
+        return [
+            row for row in self.rows if all(row[i] == v for i, v in idxs.items())
+        ]
+
+
+def format_reports(reports: Sequence[Report]) -> str:
+    return "\n\n".join(r.format_table() for r in reports)

@@ -1,0 +1,151 @@
+"""Workload construction for the evaluation harness.
+
+Builds the (code, failure scenario, plan, stripe) tuples each figure
+driver needs, translating the paper's workload descriptions (stripe
+sizes in MB, worst-case failures, storage-cost families) into concrete
+objects.  All randomness is seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codes import LRCCode, RSCode, SDCode
+from ..codes.base import ErasureCode
+from ..core import DecodePlan, SequencePolicy, TraditionalDecoder, plan_decode
+from ..stripes import FailureScenario, Stripe, StripeLayout, lrc_scenario, worst_case_sd
+
+#: Fig 11 x-axis: storage cost -> (k, l, g) with four local groups and two
+#: globals, k chosen so (k+l+g)/k approximates the cost (see DESIGN.md §5).
+LRC_COST_FAMILIES: dict[float, tuple[int, int, int]] = {
+    1.1: (60, 4, 2),
+    1.2: (30, 4, 2),
+    1.3: (20, 4, 2),
+    1.4: (15, 4, 2),
+    1.5: (12, 4, 2),
+    1.6: (10, 4, 2),
+    1.7: (9, 4, 2),
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Everything a figure driver needs for one data point."""
+
+    code: ErasureCode
+    scenario: FailureScenario
+    plan: DecodePlan
+    sector_symbols: int
+
+    @property
+    def stripe_bytes(self) -> int:
+        return self.code.num_blocks * self.sector_symbols * self.code.field.dtype.itemsize
+
+
+def sector_symbols_for(code: ErasureCode, stripe_bytes: int) -> int:
+    """Symbols per sector for a target stripe size in bytes (>= 1)."""
+    word = code.field.dtype.itemsize
+    return max(1, stripe_bytes // (code.num_blocks * word))
+
+
+def sd_workload(
+    n: int,
+    r: int,
+    m: int,
+    s: int,
+    z: int = 1,
+    w: int = 8,
+    stripe_bytes: int = 1 << 22,
+    seed: int = 2015,
+    policy: SequencePolicy = SequencePolicy.PAPER,
+) -> Workload:
+    """Worst-case SD decode workload (the paper's Figures 4-10 subject)."""
+    code = SDCode(n, r, m, s, w)
+    scenario = worst_case_sd(code, z=z, rng=seed)
+    plan = plan_decode(code, scenario.faulty_blocks, policy)
+    return Workload(
+        code=code,
+        scenario=scenario,
+        plan=plan,
+        sector_symbols=sector_symbols_for(code, stripe_bytes),
+    )
+
+
+def rs_workload(
+    n: int,
+    k: int,
+    r: int,
+    w: int = 8,
+    stripe_bytes: int = 1 << 22,
+    seed: int = 2015,
+) -> Workload:
+    """RS baseline: m = n - k whole-disk failures (Figure 8's reference)."""
+    code = RSCode(n, k, r=r, w=w)
+    rng = np.random.default_rng(seed)
+    disks = sorted(int(d) for d in rng.choice(n, size=code.m, replace=False))
+    layout = StripeLayout.of_code(code)
+    faulty = tuple(sorted(b for d in disks for b in layout.blocks_of_disk(d)))
+    scenario = FailureScenario(faulty_blocks=faulty, failed_disks=tuple(disks))
+    plan = plan_decode(code, faulty, SequencePolicy.NORMAL)
+    return Workload(
+        code=code,
+        scenario=scenario,
+        plan=plan,
+        sector_symbols=sector_symbols_for(code, stripe_bytes),
+    )
+
+
+def lrc_workload(
+    storage_cost: float,
+    fixed: str = "stripe",
+    stripe_bytes: int = 1 << 22,
+    strip_bytes: int = 1 << 23,
+    w: int = 8,
+    seed: int = 2015,
+    policy: SequencePolicy = SequencePolicy.PAPER,
+) -> Workload:
+    """LRC decode workload for Figure 11's storage-cost sweep.
+
+    ``fixed="stripe"`` holds the whole-stripe byte size constant as k
+    grows (the paper's left panel); ``fixed="strip"`` holds the per-block
+    size constant (right panel).
+    """
+    try:
+        k, l, g = LRC_COST_FAMILIES[round(storage_cost, 1)]
+    except KeyError:
+        raise ValueError(
+            f"no LRC family for storage cost {storage_cost}; "
+            f"available: {sorted(LRC_COST_FAMILIES)}"
+        ) from None
+    code = LRCCode(k, l, g, w)
+    # the paper's multi-failure pattern: a single failure in every local
+    # group (the parallel phase) plus one more forcing a global decode
+    scenario = lrc_scenario(code, local_failures=l, extra_failures=1, rng=seed)
+    plan = plan_decode(code, scenario.faulty_blocks, policy)
+    if fixed == "stripe":
+        symbols = sector_symbols_for(code, stripe_bytes)
+    elif fixed == "strip":
+        symbols = max(1, strip_bytes // code.field.dtype.itemsize)
+    else:
+        raise ValueError(f"fixed must be 'stripe' or 'strip', got {fixed!r}")
+    return Workload(code=code, scenario=scenario, plan=plan, sector_symbols=symbols)
+
+
+def build_stripe(workload: Workload, seed: int = 0) -> Stripe:
+    """A code-valid random stripe for the workload, failures not yet applied."""
+    layout = StripeLayout.of_code(workload.code)
+    stripe = Stripe.random(layout, workload.code.field, workload.sector_symbols, rng=seed)
+    TraditionalDecoder().encode_into(workload.code, stripe)
+    return stripe
+
+
+def erased_blocks(workload: Workload, stripe: Stripe) -> dict:
+    """Survivor block mapping after applying the workload's failures."""
+    faulty = set(workload.scenario.faulty_blocks)
+    return {
+        b: stripe.get(b)
+        for b in range(workload.code.num_blocks)
+        if b not in faulty
+    }

@@ -1,0 +1,408 @@
+"""Command-line interface: ``python -m repro <command>`` or ``ppm <command>``.
+
+Commands
+--------
+figure N        regenerate one of the paper's evaluation figures (4-11)
+figures         regenerate all of them
+reproduce       write every figure (table + CSV) into a results directory
+paper-example   walk through the Section II-B/III-B worked example
+calibrate       print this host's measured GF-kernel profile
+demo            encode/fail/decode a stripe and verify, with both decoders
+list-codes      show the registered erasure-code constructions
+verify-code     Monte-Carlo decodability verification of a code instance
+search          search SD coefficient sets (the SD authors' pipeline)
+io-compare      degraded-read I/O bill of LRC vs RS vs SD
+lifetime        synthetic failure-trace simulation of lifetime repair cost
+inspect         Figure-3-style dump: matrix, log table, partition, costs
+extra NAME      extra experiments (c2-share, energy, parallel-strategies,
+                rebuild-strategies, degraded-read-io, xor-scheduling,
+                paper-average)
+encode-file     split + encode a file into per-disk strip files
+decode-file     reconstruct a file from surviving strips (erasure-decoding)
+repair-files    regenerate missing strip files in place
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .bench import run_figure
+
+    report = run_figure(args.number, fast=not args.full)
+    text = report.to_csv() if args.csv else report.format_table()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .bench import FIGURES, run_figure
+
+    for number in sorted(FIGURES):
+        print(run_figure(number, fast=not args.full).format_table())
+        print()
+    return 0
+
+
+def _cmd_paper_example(_args: argparse.Namespace) -> int:
+    from .codes import SDCode
+    from .core import (
+        SequencePolicy,
+        build_log_table,
+        format_log_table,
+        partition,
+        plan_decode,
+    )
+
+    code = SDCode(4, 4, 1, 1, 8)
+    faulty = [2, 6, 10, 13, 14]
+    print(code.describe())
+    print(f"faulty sectors: {faulty}")
+    print()
+    print("Log table (paper, Figure 3):")
+    print(format_log_table(build_log_table(code.H, faulty)))
+    part = partition(code.H, faulty)
+    print()
+    print(f"partition: p = {part.p} independent sub-matrices")
+    for i, g in enumerate(part.groups):
+        print(f"  H{i}: rows {list(g.row_ids)} recover blocks {list(g.faulty_ids)}")
+    print(f"  H_rest: rows {list(part.rest_row_ids)} recover {list(part.rest_faulty_ids)}")
+    plan = plan_decode(code, faulty, SequencePolicy.PAPER)
+    print()
+    print(f"costs: {plan.costs.as_dict()}  (paper: C1=35, C2=31, C4=29)")
+    print(f"chosen mode: {plan.mode.value}")
+    print(f"reduction (C1-C4)/C1 = {plan.costs.reduction():.2%}  (paper: 17.14%)")
+    return 0
+
+
+def _cmd_calibrate(_args: argparse.Namespace) -> int:
+    from .parallel import PAPER_CPUS, host_profile, scaled_paper_profile
+
+    host = host_profile(refresh=True)
+    print(f"host: {host.cores} core(s)")
+    print(f"mult_XORs throughput: {host.base_throughput / 1e6:.1f} M symbol-ops/s")
+    print(f"thread spawn overhead: {host.spawn_overhead_s * 1e6:.1f} us/thread")
+    print()
+    print("scaled paper CPU profiles:")
+    for cpu in PAPER_CPUS:
+        scaled = scaled_paper_profile(cpu, host)
+        print(
+            f"  {scaled.name:<10} {scaled.cores} cores @ {scaled.ghz} GHz -> "
+            f"{scaled.throughput / 1e6:.1f} M symbol-ops/s/core"
+        )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .core import PPMDecoder, TraditionalDecoder
+    from .codes import get_code
+    from .stripes import Stripe, StripeLayout, worst_case_sd
+
+    code = get_code("sd", n=args.n, r=args.r, m=args.m, s=args.s)
+    print(code.describe())
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, args.symbols, rng=0)
+    TraditionalDecoder().encode_into(code, stripe)
+    scen = worst_case_sd(code, z=1, rng=args.seed)
+    print(f"failure: {scen.describe(StripeLayout.of_code(code))}")
+    truth = stripe.copy()
+    stripe.erase(scen.faulty_blocks)
+    for name, decoder in [
+        ("traditional", TraditionalDecoder("normal")),
+        ("PPM", PPMDecoder(threads=args.threads)),
+    ]:
+        recovered, stats = decoder.decode_with_stats(code, stripe, scen.faulty_blocks)
+        ok = all(np.array_equal(recovered[b], truth.get(b)) for b in scen.faulty_blocks)
+        print(
+            f"{name:>12}: {stats.mult_xors} mult_XORs, "
+            f"{stats.wall_seconds * 1e3:.2f} ms, verified={ok}"
+        )
+    return 0
+
+
+def _cmd_list_codes(_args: argparse.Namespace) -> int:
+    from .codes import available_codes
+
+    for kind in available_codes():
+        print(kind)
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    import os
+
+    from .bench import FIGURES, run_figure
+
+    os.makedirs(args.out, exist_ok=True)
+    for number in sorted(FIGURES):
+        report = run_figure(number, fast=not args.full)
+        base = os.path.join(args.out, f"figure{number}")
+        with open(base + ".txt", "w") as fh:
+            fh.write(report.format_table() + "\n")
+        with open(base + ".csv", "w") as fh:
+            fh.write(report.to_csv() + "\n")
+        print(f"figure {number}: {base}.txt / .csv")
+    if args.extras:
+        from .bench import EXTRAS, run_extra
+
+        for name in sorted(EXTRAS):
+            report = run_extra(name, fast=not args.full)
+            base = os.path.join(args.out, f"extra_{name.replace('-', '_')}")
+            with open(base + ".txt", "w") as fh:
+                fh.write(report.format_table() + "\n")
+            print(f"extra {name}: {base}.txt")
+    return 0
+
+
+def _cmd_verify_code(args: argparse.Namespace) -> int:
+    from .codes import get_code, verify_code
+
+    params = dict(pair.split("=", 1) for pair in args.param)
+    code = get_code(args.kind, **{k: int(v) for k, v in params.items()})
+    print(code.describe())
+    ok = verify_code(code, samples=args.samples, seed=args.seed)
+    print(f"verification ({args.samples} samples): {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .codes import find_sd_coefficients
+
+    coeffs = find_sd_coefficients(
+        args.n, args.r, args.m, args.s, args.w, tries=args.tries, samples=args.samples
+    )
+    label = ",".join(str(a) for a in coeffs)
+    print(f"SD^{{{args.m},{args.s}}}_{{{args.n},{args.r}}}({args.w}|{label})")
+    return 0
+
+
+def _cmd_io_compare(args: argparse.Namespace) -> int:
+    from .codes import LRCCode, RSCode, SDCode
+    from .stripes import compare_degraded_read
+
+    codes = {
+        f"RS({args.k + 4},{args.k})": RSCode(args.k + 4, args.k, r=1),
+        f"LRC({args.k},4,2)": LRCCode(args.k, 4, 2),
+        f"SD(n={args.k + 2},m=2,s=2) [row read]": SDCode(args.k + 2, 16, 2, 2),
+    }
+    print(f"degraded read of one data block (k = {args.k}):")
+    for name, io in compare_degraded_read(codes, lost_block=0).items():
+        print(
+            f"  {name:<28} reads {io.read_count:>3} blocks on "
+            f"{len(io.disks_touched):>3} disks, {io.mult_xors:>4} mult_XORs"
+        )
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from .codes import SDCode
+    from .stripes import TraceConfig, simulate_lifetime
+
+    code = SDCode(args.n, args.r, args.m, args.s)
+    config = TraceConfig(
+        years=args.years, disk_afr=args.afr, lse_rate=args.lse, seed=args.seed
+    )
+    report = simulate_lifetime(code, num_stripes=args.stripes, config=config)
+    print(code.describe())
+    print(
+        f"{args.years:.1f} years: {report.disk_failures} disk failures, "
+        f"{report.lse_events} LSEs, {report.stripes_repaired} stripe repairs, "
+        f"{report.unrecoverable_stripes} unrecoverable"
+    )
+    print(
+        f"repair compute: C1={report.mult_xors['C1']:,} "
+        f"PPM={report.mult_xors['PPM']:,} saved={report.improvement():.1%}"
+    )
+    return 0
+
+
+def _cmd_extra(args: argparse.Namespace) -> int:
+    from .bench import run_extra
+
+    report = run_extra(args.name, fast=not args.full)
+    print(report.to_csv() if args.csv else report.format_table())
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .codes import get_code
+    from .core import inspect
+    from .stripes import worst_case_sd
+
+    params = dict(pair.split("=", 1) for pair in args.param)
+    code = get_code(args.kind, **{k: int(v) for k, v in params.items()})
+    if args.faulty:
+        faulty = [int(b) for b in args.faulty.split(",")]
+    else:
+        faulty = list(worst_case_sd(code, z=1, rng=args.seed).faulty_blocks)
+    print(inspect(code, faulty, show_matrix=not args.no_matrix))
+    return 0
+
+
+def _cmd_encode_file(args: argparse.Namespace) -> int:
+    from .codes import get_code
+    from .filecodec import encode_file
+
+    params = dict(pair.split("=", 1) for pair in args.param)
+    code = get_code(args.kind, **{k: int(v) for k, v in params.items()})
+    meta = encode_file(args.file, code, args.out, sector_bytes=args.sector_bytes)
+    print(
+        f"encoded {meta.original_name} ({meta.original_size} bytes) into "
+        f"{code.n} strips x {meta.num_stripes} stripes under {args.out}"
+    )
+    return 0
+
+
+def _cmd_decode_file(args: argparse.Namespace) -> int:
+    from .core import PPMDecoder, TraditionalDecoder
+    from .filecodec import decode_file
+
+    decoder = (
+        TraditionalDecoder() if args.traditional else PPMDecoder(parallel=False)
+    )
+    meta = decode_file(args.meta, args.out, decoder=decoder)
+    print(f"reconstructed {meta.original_name} -> {args.out}")
+    return 0
+
+
+def _cmd_repair_files(args: argparse.Namespace) -> int:
+    from .filecodec import repair_files
+
+    repaired = repair_files(args.meta)
+    if repaired:
+        print(f"regenerated strip files for disks {repaired}")
+    else:
+        print("all strip files present; nothing to repair")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ppm",
+        description="PPM (ICPP 2015) reproduction: partitioned & parallel matrix decoding",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate one evaluation figure")
+    p_fig.add_argument("number", type=int, choices=range(4, 12))
+    p_fig.add_argument("--full", action="store_true", help="paper-scale sweep sizes")
+    p_fig.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    p_fig.add_argument("--out", help="write to a file instead of stdout")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_figs = sub.add_parser("figures", help="regenerate every evaluation figure")
+    p_figs.add_argument("--full", action="store_true")
+    p_figs.set_defaults(func=_cmd_figures)
+
+    p_ex = sub.add_parser("paper-example", help="the Section III-B worked example")
+    p_ex.set_defaults(func=_cmd_paper_example)
+
+    p_cal = sub.add_parser("calibrate", help="measure this host's GF kernel profile")
+    p_cal.set_defaults(func=_cmd_calibrate)
+
+    p_demo = sub.add_parser("demo", help="encode, fail and PPM-decode one stripe")
+    p_demo.add_argument("--n", type=int, default=8)
+    p_demo.add_argument("--r", type=int, default=16)
+    p_demo.add_argument("--m", type=int, default=2)
+    p_demo.add_argument("--s", type=int, default=2)
+    p_demo.add_argument("--symbols", type=int, default=4096)
+    p_demo.add_argument("--threads", type=int, default=4)
+    p_demo.add_argument("--seed", type=int, default=2015)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_list = sub.add_parser("list-codes", help="registered erasure-code kinds")
+    p_list.set_defaults(func=_cmd_list_codes)
+
+    p_rep = sub.add_parser("reproduce", help="write all figures into a directory")
+    p_rep.add_argument("--out", default="results")
+    p_rep.add_argument("--full", action="store_true")
+    p_rep.add_argument("--extras", action="store_true", help="also run the extra experiments")
+    p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_ver = sub.add_parser("verify-code", help="Monte-Carlo decodability check")
+    p_ver.add_argument("kind", help="registry name, e.g. sd")
+    p_ver.add_argument("param", nargs="+", help="constructor params, e.g. n=8 r=16 m=2 s=2")
+    p_ver.add_argument("--samples", type=int, default=200)
+    p_ver.add_argument("--seed", type=int, default=2015)
+    p_ver.set_defaults(func=_cmd_verify_code)
+
+    p_search = sub.add_parser("search", help="search SD coefficient sets")
+    p_search.add_argument("--n", type=int, required=True)
+    p_search.add_argument("--r", type=int, required=True)
+    p_search.add_argument("--m", type=int, required=True)
+    p_search.add_argument("--s", type=int, required=True)
+    p_search.add_argument("--w", type=int, default=8)
+    p_search.add_argument("--tries", type=int, default=64)
+    p_search.add_argument("--samples", type=int, default=64)
+    p_search.set_defaults(func=_cmd_search)
+
+    p_io = sub.add_parser("io-compare", help="degraded-read I/O of LRC vs RS vs SD")
+    p_io.add_argument("--k", type=int, default=12)
+    p_io.set_defaults(func=_cmd_io_compare)
+
+    p_life = sub.add_parser("lifetime", help="failure-trace lifetime simulation")
+    p_life.add_argument("--n", type=int, default=12)
+    p_life.add_argument("--r", type=int, default=16)
+    p_life.add_argument("--m", type=int, default=2)
+    p_life.add_argument("--s", type=int, default=2)
+    p_life.add_argument("--years", type=float, default=3.0)
+    p_life.add_argument("--afr", type=float, default=0.04)
+    p_life.add_argument("--lse", type=float, default=0.15)
+    p_life.add_argument("--stripes", type=int, default=64)
+    p_life.add_argument("--seed", type=int, default=2015)
+    p_life.set_defaults(func=_cmd_lifetime)
+
+    p_ins = sub.add_parser("inspect", help="render H, log table and partition")
+    p_ins.add_argument("kind", help="registry name, e.g. sd")
+    p_ins.add_argument("param", nargs="+", help="constructor params, e.g. n=4 r=4 m=1 s=1")
+    p_ins.add_argument("--faulty", help="comma-separated block ids (default: worst case)")
+    p_ins.add_argument("--no-matrix", action="store_true")
+    p_ins.add_argument("--seed", type=int, default=2015)
+    p_ins.set_defaults(func=_cmd_inspect)
+
+    from .bench.extras import EXTRAS as _extras
+
+    p_extra = sub.add_parser("extra", help="extra experiments beyond the figures")
+    p_extra.add_argument("name", choices=sorted(_extras))
+    p_extra.add_argument("--full", action="store_true")
+    p_extra.add_argument("--csv", action="store_true")
+    p_extra.set_defaults(func=_cmd_extra)
+
+    p_enc = sub.add_parser("encode-file", help="encode a file into strip files")
+    p_enc.add_argument("file")
+    p_enc.add_argument("kind", help="code kind, e.g. sd")
+    p_enc.add_argument("param", nargs="+", help="constructor params, e.g. n=6 r=4 m=2 s=2")
+    p_enc.add_argument("--out", required=True)
+    p_enc.add_argument("--sector-bytes", type=int, default=4096)
+    p_enc.set_defaults(func=_cmd_encode_file)
+
+    p_dec = sub.add_parser("decode-file", help="reconstruct a file from strips")
+    p_dec.add_argument("meta", help="path to the *_meta.json descriptor")
+    p_dec.add_argument("--out", required=True)
+    p_dec.add_argument("--traditional", action="store_true")
+    p_dec.set_defaults(func=_cmd_decode_file)
+
+    p_fix = sub.add_parser("repair-files", help="regenerate missing strip files")
+    p_fix.add_argument("meta", help="path to the *_meta.json descriptor")
+    p_fix.set_defaults(func=_cmd_repair_files)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

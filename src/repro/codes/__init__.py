@@ -1,0 +1,49 @@
+"""Erasure-code constructions.
+
+Asymmetric-parity codes (the paper's subject): :class:`SDCode`,
+:class:`PMDSCode`, :class:`LRCCode`.  Symmetric-parity baselines:
+:class:`RSCode`, :class:`EvenOddCode`, :class:`RDPCode`.  All expose a
+parity-check matrix ``H`` over GF(2^w) and slot into the shared decode
+machinery in :mod:`repro.core`.
+"""
+
+from .base import CodeConstructionError, ErasureCode
+from .evenodd import EvenOddCode
+from .lrc import LRCCode
+from .pmds import PMDSCode
+from .rdp import RDPCode
+from .registry import available_codes, get_code, register_code
+from .rs import RSCode
+from .sd import KNOWN_COEFFICIENTS, SDCode, default_coefficients
+from .star import StarCode
+from .search import (
+    find_sd_coefficients,
+    is_decodable,
+    sample_lrc_information_pattern,
+    sample_pmds_pattern,
+    sample_sd_pattern,
+    verify_code,
+)
+
+__all__ = [
+    "CodeConstructionError",
+    "ErasureCode",
+    "EvenOddCode",
+    "LRCCode",
+    "PMDSCode",
+    "RDPCode",
+    "RSCode",
+    "SDCode",
+    "StarCode",
+    "KNOWN_COEFFICIENTS",
+    "default_coefficients",
+    "available_codes",
+    "get_code",
+    "register_code",
+    "find_sd_coefficients",
+    "is_decodable",
+    "sample_lrc_information_pattern",
+    "sample_pmds_pattern",
+    "sample_sd_pattern",
+    "verify_code",
+]

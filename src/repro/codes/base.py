@@ -1,0 +1,108 @@
+"""Base abstractions shared by all erasure-code constructions.
+
+A *stripe* is the unit that encodes together: ``n`` strips (one per disk),
+each of ``r`` rows of sectors.  Block/sector ``b_{i*n+j}`` lives in row
+``i``, disk ``j`` — exactly the column numbering of the paper's
+parity-check matrices (Section II-B, Step 1: "The column i*n+j of H
+corresponds to the sector b_{i*n+j} in row i and column j").
+
+Codes are *defined by their parity-check matrix* ``H``: a stripe is valid
+iff ``H @ B == 0``.  Encoding and decoding both reduce to recovering a set
+of "faulty" columns from the rest, which is what :mod:`repro.core`
+implements (traditional and PPM variants).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import cached_property
+
+from ..gf import GF
+from ..matrix import GFMatrix
+
+
+class ErasureCode(ABC):
+    """Common interface for every code in :mod:`repro.codes`.
+
+    Subclasses fix the stripe geometry (``n`` strips x ``r`` rows), the
+    field, which block ids are parity, and the parity-check matrix.
+    """
+
+    #: short registry name, e.g. ``"sd"``; set by subclasses
+    kind: str = "abstract"
+
+    def __init__(self, n: int, r: int, field: GF):
+        if n < 2:
+            raise ValueError(f"need at least 2 strips, got n={n}")
+        if r < 1:
+            raise ValueError(f"need at least 1 row, got r={r}")
+        self.n = n
+        self.r = r
+        self.field = field
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Total sectors per stripe (== columns of H)."""
+        return self.n * self.r
+
+    def block_id(self, row: int, disk: int) -> int:
+        """Column id of the sector in ``row`` on ``disk``."""
+        if not (0 <= row < self.r and 0 <= disk < self.n):
+            raise IndexError(f"(row={row}, disk={disk}) outside {self.r}x{self.n} stripe")
+        return row * self.n + disk
+
+    def position(self, block: int) -> tuple[int, int]:
+        """(row, disk) of a block id."""
+        if not (0 <= block < self.num_blocks):
+            raise IndexError(f"block {block} outside stripe of {self.num_blocks}")
+        return divmod(block, self.n)
+
+    # -- code structure ---------------------------------------------------
+
+    @property
+    @abstractmethod
+    def parity_block_ids(self) -> tuple[int, ...]:
+        """Block ids holding redundancy (in a fixed, documented order)."""
+
+    @cached_property
+    def data_block_ids(self) -> tuple[int, ...]:
+        """Block ids holding user data, ascending."""
+        parity = set(self.parity_block_ids)
+        return tuple(b for b in range(self.num_blocks) if b not in parity)
+
+    @property
+    def num_parity_blocks(self) -> int:
+        return len(self.parity_block_ids)
+
+    @property
+    def storage_cost(self) -> float:
+        """Raw-to-usable ratio n_blocks / k_blocks (the paper's Fig 11 axis)."""
+        return self.num_blocks / len(self.data_block_ids)
+
+    @abstractmethod
+    def parity_check_matrix(self) -> GFMatrix:
+        """The code's H: every valid stripe satisfies ``H @ B == 0``."""
+
+    @cached_property
+    def H(self) -> GFMatrix:
+        """Cached parity-check matrix."""
+        return self.parity_check_matrix()
+
+    # -- conveniences -------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return (
+            f"{self.kind}: n={self.n} strips x r={self.r} rows over GF(2^{self.field.w}), "
+            f"{len(self.data_block_ids)} data + {self.num_parity_blocks} parity blocks "
+            f"(storage cost {self.storage_cost:.3f})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class CodeConstructionError(ValueError):
+    """Raised when requested code parameters cannot produce a valid code."""

@@ -1,0 +1,88 @@
+"""EVENODD (Blaum et al., 1995) — XOR-only RAID-6, a symmetric baseline.
+
+EVENODD encodes a ``(p-1) x p`` data array (``p`` prime) onto ``p + 2``
+disks: disk ``p`` holds row parity, disk ``p+1`` holds diagonal parity.
+With data cell ``a[i][j]`` (row i, disk j, 0 <= i <= p-2, 0 <= j <= p-1)
+and an imaginary all-zero row ``p-1``:
+
+- row parity:      ``a[i][p]   = XOR_j a[i][j]``
+- diagonal parity: ``a[d][p+1] = S ^ XOR a[i][j] over i + j == d (mod p)``
+  where ``S`` is the XOR of diagonal ``p - 1`` (the diagonal that crosses
+  the imaginary row and is not stored).
+
+Every constraint is a pure XOR of cells, so the parity-check matrix is
+0/1-valued; we host it over GF(2^8) so the code plugs into the same
+decode machinery (all arithmetic on {0,1} coefficients degenerates to
+XOR, and ``mult_XORs`` with a == 1 is counted as an XOR-only op).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..gf import GF
+from ..matrix import GFMatrix
+from .base import CodeConstructionError, ErasureCode
+
+
+def _is_prime(p: int) -> bool:
+    if p < 2:
+        return False
+    d = 2
+    while d * d <= p:
+        if p % d == 0:
+            return False
+        d += 1
+    return True
+
+
+class EvenOddCode(ErasureCode):
+    """EVENODD on ``p + 2`` disks x ``p - 1`` rows (``p`` prime)."""
+
+    kind = "evenodd"
+
+    def __init__(self, p: int, w: int = 8):
+        if not _is_prime(p):
+            raise CodeConstructionError(f"EVENODD requires prime p, got {p}")
+        super().__init__(n=p + 2, r=p - 1, field=GF(w))
+        self.p = p
+
+    @cached_property
+    def parity_block_ids(self) -> tuple[int, ...]:
+        return tuple(
+            sorted(
+                [self.block_id(i, self.p) for i in range(self.r)]
+                + [self.block_id(i, self.p + 1) for i in range(self.r)]
+            )
+        )
+
+    def parity_check_matrix(self) -> GFMatrix:
+        p = self.p
+        h = np.zeros((2 * self.r, self.num_blocks), dtype=self.field.dtype)
+        # S-diagonal indicator: cells (i, j) with i + j == p - 1 (mod p)
+        s_mask = np.zeros(self.num_blocks, dtype=self.field.dtype)
+        for j in range(p):
+            i = (p - 1 - j) % p
+            if i <= p - 2:
+                s_mask[self.block_id(i, j)] = 1
+        for d in range(self.r):
+            # row-parity constraint: data cells of row d plus a[d][p]
+            for j in range(p):
+                h[d, self.block_id(d, j)] = 1
+            h[d, self.block_id(d, p)] = 1
+            # diagonal-parity constraint: XOR of S, diagonal d, and a[d][p+1].
+            # XOR-ing indicator vectors makes shared cells cancel, exactly as
+            # the field arithmetic would.
+            row = s_mask.copy()
+            for j in range(p):
+                i = (d - j) % p
+                if i <= p - 2:  # imaginary row p-1 contributes nothing
+                    row[self.block_id(i, j)] ^= 1
+            row[self.block_id(d, p + 1)] ^= 1
+            h[self.r + d] = h[self.r + d] ^ row
+        return GFMatrix(self.field, h, copy=False)
+
+    def describe(self) -> str:
+        return f"EVENODD(p={self.p}) — " + super().describe()

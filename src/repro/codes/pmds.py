@@ -1,0 +1,31 @@
+"""PMDS (Partial-MDS) codes (Blaum, Hafner, Hetzler, IBM RJ10498).
+
+A PMDS(m; s) code shares the SD parity-check structure — m per-row
+constraints plus s global constraints — but satisfies a *stronger*
+failure model: it tolerates any m erasures *per row* (not necessarily
+aligned on whole disks) plus any s additional erasures anywhere.  The
+paper treats PMDS as a subset of SD ("Since PMDS code is a subset of SD
+code, the experimental results of SD code also reflect that of PMDS
+code", Section IV), and so do we: :class:`PMDSCode` reuses the SD matrix
+construction and differs only in its failure model, which the
+verification helpers in :mod:`repro.codes.search` exercise.
+"""
+
+from __future__ import annotations
+
+from .sd import SDCode
+
+
+class PMDSCode(SDCode):
+    """A PMDS(m; s) instance on an n x r stripe.
+
+    Identical parity-check structure to :class:`~repro.codes.sd.SDCode`;
+    the distinction is the failure model used when *verifying* coefficient
+    sets (any m erasures per row + s anywhere, vs m whole disks + s
+    sectors for SD).
+    """
+
+    kind = "pmds"
+
+    def describe(self) -> str:
+        return "PMDS " + super().describe()

@@ -1,0 +1,66 @@
+"""RDP — Row-Diagonal Parity (Corbett et al., FAST 2004), symmetric baseline.
+
+RDP encodes a ``(p-1) x (p-1)`` data array (``p`` prime) onto ``p + 1``
+disks: disk ``p-1`` holds row parity, disk ``p`` holds diagonal parity.
+Diagonals are indexed ``d = (i + j) mod p`` over columns ``0..p-1``
+(data *and* row-parity disks both feed the diagonal parity — RDP's
+defining trick); diagonal ``p-1`` is not stored.
+
+- row parity:       ``a[i][p-1] = XOR_{j=0..p-2} a[i][j]``
+- diagonal parity:  ``a[d][p]   = XOR over cells (i, j), j <= p-1,
+  with (i + j) mod p == d``, for d = 0..p-2.
+
+All-XOR constraints; hosted over GF(2^8) like EVENODD.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..gf import GF
+from ..matrix import GFMatrix
+from .base import CodeConstructionError, ErasureCode
+from .evenodd import _is_prime
+
+
+class RDPCode(ErasureCode):
+    """RDP on ``p + 1`` disks x ``p - 1`` rows (``p`` prime)."""
+
+    kind = "rdp"
+
+    def __init__(self, p: int, w: int = 8):
+        if not _is_prime(p):
+            raise CodeConstructionError(f"RDP requires prime p, got {p}")
+        super().__init__(n=p + 1, r=p - 1, field=GF(w))
+        self.p = p
+
+    @cached_property
+    def parity_block_ids(self) -> tuple[int, ...]:
+        return tuple(
+            sorted(
+                [self.block_id(i, self.p - 1) for i in range(self.r)]
+                + [self.block_id(i, self.p) for i in range(self.r)]
+            )
+        )
+
+    def parity_check_matrix(self) -> GFMatrix:
+        p = self.p
+        h = np.zeros((2 * self.r, self.num_blocks), dtype=self.field.dtype)
+        for i in range(self.r):
+            # row parity: data disks 0..p-2 plus the row-parity disk p-1
+            for j in range(p):
+                h[i, self.block_id(i, j)] = 1
+        for d in range(p - 1):
+            # diagonal d: all cells (i, j) with i + j == d (mod p), j <= p-1,
+            # plus the diagonal-parity cell a[d][p]
+            for j in range(p):
+                i = (d - j) % p
+                if i <= p - 2:
+                    h[self.r + d, self.block_id(i, j)] = 1
+            h[self.r + d, self.block_id(d, p)] = 1
+        return GFMatrix(self.field, h, copy=False)
+
+    def describe(self) -> str:
+        return f"RDP(p={self.p}) — " + super().describe()

@@ -1,0 +1,51 @@
+"""Registry mapping code-kind names to constructors.
+
+Lets CLI and benchmark configs name codes by string:
+``get_code("sd", n=8, r=16, m=2, s=2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import ErasureCode
+from .evenodd import EvenOddCode
+from .lrc import LRCCode
+from .pmds import PMDSCode
+from .rdp import RDPCode
+from .rs import RSCode
+from .sd import SDCode
+from .star import StarCode
+
+_REGISTRY: dict[str, Callable[..., ErasureCode]] = {
+    "sd": SDCode,
+    "pmds": PMDSCode,
+    "lrc": LRCCode,
+    "rs": RSCode,
+    "evenodd": EvenOddCode,
+    "rdp": RDPCode,
+    "star": StarCode,
+}
+
+
+def available_codes() -> tuple[str, ...]:
+    """Registered code kinds, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_code(kind: str, **params) -> ErasureCode:
+    """Construct a code by registry name with keyword parameters."""
+    try:
+        ctor = _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown code kind {kind!r}; available: {', '.join(available_codes())}"
+        ) from None
+    return ctor(**params)
+
+
+def register_code(kind: str, ctor: Callable[..., ErasureCode]) -> None:
+    """Register a custom code constructor (extension point)."""
+    if kind in _REGISTRY:
+        raise ValueError(f"code kind {kind!r} already registered")
+    _REGISTRY[kind] = ctor

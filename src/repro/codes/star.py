@@ -1,0 +1,86 @@
+"""STAR codes (Huang & Xu, FAST 2005) — triple-failure XOR baseline.
+
+STAR extends EVENODD with a third parity column of anti-diagonals:
+``p + 3`` disks x ``p - 1`` rows (``p`` prime), tolerating any three
+whole-disk failures.  With data cells ``a[i][j]`` (imaginary row ``p-1``
+all-zero):
+
+- column ``p``   — row parity;
+- column ``p+1`` — diagonal parity (cells ``i + j == d (mod p)``), with
+  the unstored diagonal ``p-1`` XOR-ed into every parity cell (the
+  EVENODD ``S`` adjuster);
+- column ``p+2`` — anti-diagonal parity (cells ``i - j == d (mod p)``),
+  with the unstored anti-diagonal ``p-1`` as its adjuster.
+
+All constraints are XORs, so ``H`` is 0/1-valued over GF(2^8), and the
+construction slots into the same decode machinery as every other code
+(the test suite verifies all three-disk failure combinations decode).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from ..gf import GF
+from ..matrix import GFMatrix
+from .base import CodeConstructionError, ErasureCode
+from .evenodd import _is_prime
+
+
+class StarCode(ErasureCode):
+    """STAR on ``p + 3`` disks x ``p - 1`` rows (``p`` prime)."""
+
+    kind = "star"
+
+    def __init__(self, p: int, w: int = 8):
+        if not _is_prime(p):
+            raise CodeConstructionError(f"STAR requires prime p, got {p}")
+        super().__init__(n=p + 3, r=p - 1, field=GF(w))
+        self.p = p
+
+    @cached_property
+    def parity_block_ids(self) -> tuple[int, ...]:
+        return tuple(
+            sorted(
+                self.block_id(i, j)
+                for i in range(self.r)
+                for j in (self.p, self.p + 1, self.p + 2)
+            )
+        )
+
+    def _diagonal_rows(self, h: np.ndarray, base_row: int, parity_col: int, slope: int) -> None:
+        """Fill diagonal-parity constraints for slope +1 or -1 diagonals."""
+        p = self.p
+        adjuster = np.zeros(self.num_blocks, dtype=self.field.dtype)
+        for j in range(p):
+            # the unstored diagonal d = p-1: i+j == p-1 (slope +1) or
+            # i-j == p-1 (slope -1)
+            i = (p - 1 - j) % p if slope > 0 else (p - 1 + j) % p
+            if i <= p - 2:
+                adjuster[self.block_id(i, j)] = 1
+        for d in range(self.r):
+            row = adjuster.copy()
+            for j in range(p):
+                i = (d - j) % p if slope > 0 else (d + j) % p
+                if i <= p - 2:
+                    row[self.block_id(i, j)] ^= 1
+            row[self.block_id(d, parity_col)] ^= 1
+            h[base_row + d] ^= row
+
+    def parity_check_matrix(self) -> GFMatrix:
+        p = self.p
+        h = np.zeros((3 * self.r, self.num_blocks), dtype=self.field.dtype)
+        for i in range(self.r):
+            for j in range(p):
+                h[i, self.block_id(i, j)] = 1
+            h[i, self.block_id(i, p)] = 1
+        # slope +1 diagonals (i + j == d): cells i = (d - j) mod p
+        self._diagonal_rows(h, self.r, p + 1, slope=+1)
+        # slope -1 anti-diagonals (i - j == d): cells i = (d + j) mod p
+        self._diagonal_rows(h, 2 * self.r, p + 2, slope=-1)
+        return GFMatrix(self.field, h, copy=False)
+
+    def describe(self) -> str:
+        return f"STAR(p={self.p}) — " + super().describe()

@@ -1,0 +1,60 @@
+"""The PPM algorithm: the paper's primary contribution.
+
+Pipeline: :func:`build_log_table` -> :func:`partition` (or the SD fast
+path :func:`partition_sd`) -> :func:`plan_decode` (costs C1..C4, sequence
+choice) -> :class:`PPMDecoder` execution (parallel groups + rest merge).
+:class:`TraditionalDecoder` is the baseline whole-matrix method.
+"""
+
+from .bitdecoder import BitMatrixDecoder
+from .decoder import DecodeStats, PPMDecoder, TraditionalDecoder
+from .executor import PhaseTiming, run_group, run_groups_parallel, run_groups_serial
+from .logtable import LogTableEntry, build_log_table, format_log_table
+from .partition import IndependentGroup, Partition, partition, partition_sd
+from .procparallel import ProcessParallelDecoder
+from .rowparallel import RowParallelDecoder, simulate_row_parallel_time
+from .segparallel import SegmentParallelDecoder
+from .visualize import inspect, render_matrix, render_partition
+from .planner import (
+    DecodePlan,
+    GroupPlan,
+    RestPlan,
+    TraditionalPlan,
+    evaluate_costs,
+    plan_decode,
+)
+from .sequences import ExecutionMode, SequenceCosts, SequencePolicy
+
+__all__ = [
+    "BitMatrixDecoder",
+    "DecodeStats",
+    "PPMDecoder",
+    "TraditionalDecoder",
+    "PhaseTiming",
+    "run_group",
+    "run_groups_parallel",
+    "run_groups_serial",
+    "LogTableEntry",
+    "build_log_table",
+    "format_log_table",
+    "IndependentGroup",
+    "Partition",
+    "partition",
+    "partition_sd",
+    "ProcessParallelDecoder",
+    "RowParallelDecoder",
+    "simulate_row_parallel_time",
+    "SegmentParallelDecoder",
+    "inspect",
+    "render_matrix",
+    "render_partition",
+    "DecodePlan",
+    "GroupPlan",
+    "RestPlan",
+    "TraditionalPlan",
+    "evaluate_costs",
+    "plan_decode",
+    "ExecutionMode",
+    "SequenceCosts",
+    "SequencePolicy",
+]

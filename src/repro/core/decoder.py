@@ -1,0 +1,245 @@
+"""The traditional and PPM decoders (paper, Sections II-B and III-D).
+
+Both decoders share the :class:`~repro.core.planner.DecodePlan` machinery
+and the counted ``mult_XORs`` region primitive, so their measured costs
+are directly comparable.  They satisfy the
+:class:`repro.stripes.array.Decoder` protocol
+(``decode(code, stripe, faulty) -> {block_id: region}``), never mutate
+survivor data, and expose cost/timing statistics for the benchmark
+harness.
+
+Encoding is the special case of decoding where the "faulty" blocks are
+the parity positions (paper, footnote 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..codes.base import ErasureCode
+from ..gf import GF, OpCounter, RegionOps
+from ..matrix import GFMatrix
+from ..stripes.store import Stripe
+from .executor import PhaseTiming, run_groups_parallel, run_groups_serial
+from .planner import DecodePlan, plan_decode
+from .sequences import ExecutionMode, SequencePolicy
+
+
+@dataclass
+class DecodeStats:
+    """What one decode call did: op counts and wall times."""
+
+    mult_xors: int
+    symbols: int
+    wall_seconds: float
+    plan: DecodePlan
+    phase1: PhaseTiming | None = None
+    rest_seconds: float = 0.0
+
+    @property
+    def mode(self) -> ExecutionMode:
+        return self.plan.mode
+
+
+class _PlanningDecoder:
+    """Shared plan construction, caching and block plumbing."""
+
+    def __init__(self, policy: SequencePolicy, counter: OpCounter | None = None):
+        self.policy = policy
+        self.counter = counter if counter is not None else OpCounter()
+        self._plan_cache: dict[tuple, DecodePlan] = {}
+        self._ops_cache: dict[int, RegionOps] = {}
+
+    def ops_for(self, field: GF) -> RegionOps:
+        key = id(field)
+        ops = self._ops_cache.get(key)
+        if ops is None:
+            ops = RegionOps(field, self.counter)
+            self._ops_cache[key] = ops
+        return ops
+
+    def plan(self, source: ErasureCode | GFMatrix, faulty: Sequence[int]) -> DecodePlan:
+        """Build (or fetch) the plan for a scenario under this policy."""
+        h = source.H if isinstance(source, ErasureCode) else source
+        key = (id(h), tuple(sorted(set(faulty))), self.policy)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = plan_decode(h, faulty, policy=self.policy)
+            self._plan_cache[key] = plan
+        return plan
+
+    @staticmethod
+    def _blocks_of(stripe: Stripe | Mapping[int, np.ndarray]) -> Mapping[int, np.ndarray]:
+        if isinstance(stripe, Stripe):
+            return {b: stripe.get(b) for b in stripe.present_ids}
+        return stripe
+
+    # -- public entry points shared by both decoders -----------------------
+
+    def decode(
+        self,
+        code: ErasureCode,
+        stripe: Stripe | Mapping[int, np.ndarray],
+        faulty: Sequence[int],
+    ) -> dict[int, np.ndarray]:
+        """Recover the faulty blocks of one stripe."""
+        return self.decode_with_stats(code, stripe, faulty)[0]
+
+    def decode_with_stats(
+        self,
+        code: ErasureCode | GFMatrix,
+        stripe: Stripe | Mapping[int, np.ndarray],
+        faulty: Sequence[int],
+    ) -> tuple[dict[int, np.ndarray], DecodeStats]:
+        """Recover faulty blocks and report op counts / timings."""
+        field = code.field  # both ErasureCode and GFMatrix carry their field
+        plan = self.plan(code, faulty)
+        blocks = self._blocks_of(stripe)
+        ops = self.ops_for(field)
+        before = ops.counter.snapshot()
+        t0 = time.perf_counter()
+        recovered, phase1, rest_seconds = self.execute(plan, blocks, ops)
+        wall = time.perf_counter() - t0
+        after = ops.counter.snapshot()
+        stats = DecodeStats(
+            mult_xors=after[0] - before[0],
+            symbols=after[2] - before[2],
+            wall_seconds=wall,
+            plan=plan,
+            phase1=phase1,
+            rest_seconds=rest_seconds,
+        )
+        return recovered, stats
+
+    def encode(
+        self, code: ErasureCode, stripe: Stripe | Mapping[int, np.ndarray]
+    ) -> dict[int, np.ndarray]:
+        """Compute all parity blocks from the data blocks.
+
+        Encoding is decoding with the parity positions treated as faulty;
+        only the data blocks of ``stripe`` are read.
+        """
+        blocks = self._blocks_of(stripe)
+        data_only = {b: blocks[b] for b in code.data_block_ids}
+        return self.decode(code, data_only, code.parity_block_ids)
+
+    def encode_into(self, code: ErasureCode, stripe: Stripe) -> None:
+        """Encode and write the parity blocks back into ``stripe``."""
+        for bid, region in self.encode(code, stripe).items():
+            stripe.put(bid, region)
+
+    # -- strategy hook ---------------------------------------------------------
+
+    def execute(
+        self,
+        plan: DecodePlan,
+        blocks: Mapping[int, np.ndarray],
+        ops: RegionOps,
+    ) -> tuple[dict[int, np.ndarray], PhaseTiming | None, float]:
+        raise NotImplementedError
+
+
+def _run_traditional(
+    plan: DecodePlan, blocks: Mapping[int, np.ndarray], ops: RegionOps
+) -> dict[int, np.ndarray]:
+    tp = plan.traditional
+    regions = [blocks[b] for b in tp.survivor_ids]
+    if plan.mode is ExecutionMode.TRADITIONAL_MATRIX_FIRST:
+        outs = ops.matrix_apply(tp.weights.array, regions)
+    else:
+        intermediate = ops.matrix_apply(tp.s.array, regions)
+        outs = ops.matrix_apply(tp.f_inv.array, intermediate)
+    return dict(zip(tp.faulty_ids, outs))
+
+
+def _run_rest(
+    plan: DecodePlan,
+    blocks: Mapping[int, np.ndarray],
+    recovered: Mapping[int, np.ndarray],
+    ops: RegionOps,
+) -> dict[int, np.ndarray]:
+    rest = plan.rest
+    if rest is None:
+        return {}
+    merged = dict(blocks)
+    merged.update(recovered)
+    regions = [merged[b] for b in rest.survivor_ids]
+    if plan.mode is ExecutionMode.PPM_REST_MATRIX_FIRST:
+        outs = ops.matrix_apply(rest.weights.array, regions)
+    else:
+        intermediate = ops.matrix_apply(rest.s.array, regions)
+        outs = ops.matrix_apply(rest.f_inv.array, intermediate)
+    return dict(zip(rest.faulty_ids, outs))
+
+
+class TraditionalDecoder(_PlanningDecoder):
+    """The baseline decoder: one big F/S split, executed serially.
+
+    ``sequence`` selects the calculation order: ``"normal"`` (the paper's
+    C1, what the open-source SD decoder does) or ``"matrix_first"`` (C2,
+    the generator-matrix method).
+    """
+
+    def __init__(self, sequence: str = "normal", counter: OpCounter | None = None):
+        policies = {
+            "normal": SequencePolicy.NORMAL,
+            "matrix_first": SequencePolicy.MATRIX_FIRST,
+        }
+        if sequence not in policies:
+            raise ValueError(f"sequence must be one of {sorted(policies)}, got {sequence!r}")
+        super().__init__(policies[sequence], counter)
+        self.sequence = sequence
+
+    def execute(self, plan, blocks, ops):
+        recovered = _run_traditional(plan, blocks, ops)
+        return recovered, None, 0.0
+
+
+class PPMDecoder(_PlanningDecoder):
+    """The paper's Partitioned and Parallel Matrix decoder.
+
+    Parameters
+    ----------
+    threads:
+        T, the worker count for the parallel phase.  The paper restrains
+        ``T <= min(4, cores)``; here T is free and the parallel-time
+        model (see :mod:`repro.parallel`) evaluates core-count effects.
+    policy:
+        Sequence policy; default is the paper's rule (min(C2, C4)).
+    parallel:
+        When False, groups run serially on the caller's thread — the mode
+        used for measured cost-reduction experiments on the 1-core host.
+    """
+
+    def __init__(
+        self,
+        threads: int = 4,
+        policy: SequencePolicy = SequencePolicy.PAPER,
+        parallel: bool = True,
+        counter: OpCounter | None = None,
+    ):
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        super().__init__(policy, counter)
+        self.threads = threads
+        self.parallel = parallel
+
+    def execute(self, plan, blocks, ops):
+        if not plan.uses_partition:
+            # the policy chose a whole-matrix sequence (e.g. C2 < C4)
+            return _run_traditional(plan, blocks, ops), None, 0.0
+        if self.parallel and self.threads > 1:
+            recovered, timing = run_groups_parallel(
+                plan.groups, blocks, ops, self.threads
+            )
+        else:
+            recovered, timing = run_groups_serial(plan.groups, blocks, ops)
+        t0 = time.perf_counter()
+        rest = _run_rest(plan, blocks, recovered, ops)
+        rest_seconds = time.perf_counter() - t0
+        recovered.update(rest)
+        return recovered, timing, rest_seconds

@@ -1,0 +1,63 @@
+"""The PPM Log Table (paper, Section III-A).
+
+For a parity-check matrix ``H`` and a failure scenario, each row ``i`` of
+the log table is ``(i, t_i, l_i)``:
+
+- ``t_i`` — how many nonzero entries of row ``i`` sit in columns that
+  correspond to faulty blocks;
+- ``l_i`` — which faulty columns those are.
+
+The table drives independence exploitation: a row with ``t_i == 1``
+recovers its faulty block alone; ``f`` rows sharing an identical ``l`` of
+size ``f`` recover those ``f`` blocks as a self-contained group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..matrix import GFMatrix
+
+
+@dataclass(frozen=True)
+class LogTableEntry:
+    """One row of the log table: ``(i, t_i, l_i)``."""
+
+    i: int
+    t: int
+    l: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.t != len(self.l):
+            raise ValueError(f"t={self.t} does not match |l|={len(self.l)}")
+
+
+def build_log_table(h: GFMatrix, faulty: Sequence[int]) -> list[LogTableEntry]:
+    """Build the log table of ``h`` for the given faulty column ids.
+
+    Vectorised: one masked nonzero scan over the faulty columns.
+    """
+    faulty = sorted(set(faulty))
+    for b in faulty:
+        if not (0 <= b < h.cols):
+            raise IndexError(f"faulty column {b} outside 0..{h.cols - 1}")
+    if not faulty:
+        return [LogTableEntry(i, 0, ()) for i in range(h.rows)]
+    sub = h.array[:, faulty] != 0
+    entries = []
+    faulty_arr = np.asarray(faulty)
+    for i in range(h.rows):
+        cols = faulty_arr[sub[i]]
+        entries.append(LogTableEntry(i, int(cols.size), tuple(int(c) for c in cols)))
+    return entries
+
+
+def format_log_table(entries: Sequence[LogTableEntry]) -> str:
+    """Render the log table the way the paper's Figure 3 prints it."""
+    lines = ["  i  t_i  l_i"]
+    for e in entries:
+        lines.append(f"  {e.i:<3}{e.t:<5}({', '.join(str(c) for c in e.l)})")
+    return "\n".join(lines)

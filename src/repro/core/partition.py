@@ -1,0 +1,175 @@
+"""Independence exploitation and matrix partition (paper, Section III-A).
+
+``partition`` is the general log-table method: group the rows of ``H`` by
+their faulty-column support ``l``; a group holding at least ``t = |l|``
+rows whose restriction to ``l`` has full rank becomes an *independent
+sub-matrix* recovering exactly those ``t`` blocks; everything else feeds
+the *remaining sub-matrix* ``H_rest``.
+
+``partition_sd`` is the paper's SD fast path (Algorithm 1): a stripe row
+with ``1 <= c <= m`` faults donates its ``m`` disk-parity rows as one
+independent group.  (Algorithm 1 as printed says ``c > m`` — a typo: the
+worked example, Figure 3 and the surrounding text all recover rows with
+``c <= m`` independently and send rows with more faults to ``H_rest``.)
+Both methods produce identical recovered-block groupings on SD scenarios,
+which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..matrix import GFMatrix, SingularMatrixError, select_independent_rows
+from .logtable import LogTableEntry, build_log_table
+
+
+@dataclass(frozen=True)
+class IndependentGroup:
+    """One independent sub-matrix: ``row_ids`` of H recovering ``faulty_ids``.
+
+    ``redundant_row_ids`` are surplus rows of the same support group (an
+    overdetermined group, e.g. m parity rows for c < m faults); they carry
+    no information beyond the selected rows and are dropped.
+    """
+
+    row_ids: tuple[int, ...]
+    faulty_ids: tuple[int, ...]
+    redundant_row_ids: tuple[int, ...] = ()
+
+    @property
+    def size(self) -> int:
+        return len(self.faulty_ids)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The p + 1-way split of H for one failure scenario.
+
+    ``groups`` are the p independent sub-matrices (decodable in
+    parallel); ``rest_row_ids`` form H_rest; ``rest_faulty_ids`` are the
+    dependent faulty blocks it must recover; ``discarded_row_ids`` had no
+    faulty support at all (pure checks, t_i == 0).
+    """
+
+    groups: tuple[IndependentGroup, ...]
+    rest_row_ids: tuple[int, ...]
+    rest_faulty_ids: tuple[int, ...]
+    discarded_row_ids: tuple[int, ...]
+
+    @property
+    def p(self) -> int:
+        """Degree of parallelism: the number of independent sub-matrices."""
+        return len(self.groups)
+
+    @property
+    def independent_faulty_ids(self) -> tuple[int, ...]:
+        """All blocks recovered in the parallel phase, sorted."""
+        return tuple(sorted(b for g in self.groups for b in g.faulty_ids))
+
+    @property
+    def has_rest(self) -> bool:
+        """True in the paper's "common case 3.2": H_rest is non-trivial."""
+        return bool(self.rest_faulty_ids)
+
+
+def partition(
+    h: GFMatrix,
+    faulty: Sequence[int],
+    log_table: Sequence[LogTableEntry] | None = None,
+) -> Partition:
+    """General log-table partition of ``h`` for a failure scenario."""
+    faulty = sorted(set(faulty))
+    entries = build_log_table(h, faulty) if log_table is None else list(log_table)
+    discarded = [e.i for e in entries if e.t == 0]
+    by_support: dict[tuple[int, ...], list[int]] = {}
+    for e in entries:
+        if e.t > 0:
+            by_support.setdefault(e.l, []).append(e.i)
+    # smaller supports first so singletons claim their blocks before any
+    # larger overlapping group; ties broken by first row id for determinism
+    ordered = sorted(by_support.items(), key=lambda kv: (len(kv[0]), kv[1][0]))
+    groups: list[IndependentGroup] = []
+    covered: set[int] = set()
+    rest_rows: list[int] = []
+    for support, rows in ordered:
+        t = len(support)
+        if covered.intersection(support) or len(rows) < t:
+            # overlaps an accepted group, or underdetermined: H_rest decides
+            rest_rows.extend(rows)
+            continue
+        restricted = h.take_rows(rows).take_columns(list(support))
+        try:
+            picked = select_independent_rows(restricted, t)
+        except SingularMatrixError:
+            rest_rows.extend(rows)
+            continue
+        selected = tuple(rows[i] for i in picked)
+        redundant = tuple(rid for rid in rows if rid not in selected)
+        groups.append(
+            IndependentGroup(
+                row_ids=selected, faulty_ids=tuple(support), redundant_row_ids=redundant
+            )
+        )
+        covered.update(support)
+    rest_faulty = tuple(b for b in faulty if b not in covered)
+    return Partition(
+        groups=tuple(sorted(groups, key=lambda g: g.row_ids[0])),
+        rest_row_ids=tuple(sorted(rest_rows)),
+        rest_faulty_ids=rest_faulty,
+        discarded_row_ids=tuple(discarded),
+    )
+
+
+def partition_sd(code, faulty: Sequence[int]) -> Partition:
+    """SD fast path (Algorithm 1): partition by per-stripe-row fault count.
+
+    For each stripe row ``i`` with ``c`` faults: ``c == 0`` discards the
+    row's parity rows, ``1 <= c <= m`` makes them an independent group,
+    ``c > m`` sends them to H_rest.  Sector-parity rows always belong to
+    H_rest (they span the whole stripe).
+    """
+    faulty = sorted(set(faulty))
+    m, s, n, r = code.m, code.s, code.n, code.r
+    h = code.H
+    faulty_by_row: dict[int, list[int]] = {}
+    for b in faulty:
+        faulty_by_row.setdefault(b // n, []).append(b)
+    groups: list[IndependentGroup] = []
+    rest_rows: list[int] = []
+    discarded: list[int] = []
+    covered: set[int] = set()
+    for i in range(r):
+        parity_rows = list(range(m * i, m * i + m))
+        row_faults = faulty_by_row.get(i, [])
+        c = len(row_faults)
+        if c == 0:
+            discarded.extend(parity_rows)
+        elif c <= m:
+            restricted = h.take_rows(parity_rows).take_columns(row_faults)
+            try:
+                picked = select_independent_rows(restricted, c)
+            except SingularMatrixError:
+                rest_rows.extend(parity_rows)
+                continue
+            selected = tuple(parity_rows[j] for j in picked)
+            groups.append(
+                IndependentGroup(
+                    row_ids=selected,
+                    faulty_ids=tuple(row_faults),
+                    redundant_row_ids=tuple(
+                        rid for rid in parity_rows if rid not in selected
+                    ),
+                )
+            )
+            covered.update(row_faults)
+        else:
+            rest_rows.extend(parity_rows)
+    rest_rows.extend(range(m * r, m * r + s))  # sector rows span everything
+    rest_faulty = tuple(b for b in faulty if b not in covered)
+    return Partition(
+        groups=tuple(groups),
+        rest_row_ids=tuple(sorted(rest_rows)),
+        rest_faulty_ids=rest_faulty,
+        discarded_row_ids=tuple(sorted(discarded)),
+    )

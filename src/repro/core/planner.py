@@ -1,0 +1,235 @@
+"""Decode planning: turn (H, failure scenario, policy) into matrices.
+
+A :class:`DecodePlan` is everything a decoder needs that does *not*
+depend on sector contents: the partition, the per-sub-matrix decode
+weights ``W_i = F_i^-1 S_i``, the rest-phase matrices, the traditional
+whole-matrix pair and the resulting C1..C4 costs.  Plans are pure data
+and reusable across stripes with the same failure pattern, which is how
+the benchmark harness amortises planning (exactly as a real array would
+for a rebuild touching thousands of stripes with one failure geometry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..codes.base import ErasureCode
+from ..matrix import (
+    GFMatrix,
+    SingularMatrixError,
+    invert,
+    select_independent_rows,
+    split_fs,
+    u,
+)
+from .partition import Partition, partition
+from .sequences import ExecutionMode, SequenceCosts, SequencePolicy
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """Matrix-first decode of one independent sub-matrix.
+
+    Recover ``faulty_ids`` as ``W @ [blocks[s] for s in survivor_ids]``;
+    the cost is ``u(W)`` mult_XORs.
+    """
+
+    row_ids: tuple[int, ...]
+    faulty_ids: tuple[int, ...]
+    survivor_ids: tuple[int, ...]
+    weights: GFMatrix
+
+    @property
+    def cost(self) -> int:
+        return u(self.weights)
+
+
+@dataclass(frozen=True)
+class RestPlan:
+    """Decode of H_rest, runnable in either sequence.
+
+    ``survivor_ids`` include the blocks the parallel phase recovered
+    (paper Step 4: recovered independent sectors participate).
+    """
+
+    row_ids: tuple[int, ...]
+    faulty_ids: tuple[int, ...]
+    survivor_ids: tuple[int, ...]
+    f_inv: GFMatrix
+    s: GFMatrix
+    weights: GFMatrix
+
+    @property
+    def cost_normal(self) -> int:
+        return u(self.f_inv) + u(self.s)
+
+    @property
+    def cost_matrix_first(self) -> int:
+        return u(self.weights)
+
+
+@dataclass(frozen=True)
+class TraditionalPlan:
+    """Whole-matrix decode (Steps 2-4 of the traditional process)."""
+
+    row_ids: tuple[int, ...]
+    faulty_ids: tuple[int, ...]
+    survivor_ids: tuple[int, ...]
+    f_inv: GFMatrix
+    s: GFMatrix
+    weights: GFMatrix
+
+    @property
+    def cost_normal(self) -> int:
+        """C1."""
+        return u(self.f_inv) + u(self.s)
+
+    @property
+    def cost_matrix_first(self) -> int:
+        """C2."""
+        return u(self.weights)
+
+
+@dataclass(frozen=True)
+class DecodePlan:
+    """A complete, data-independent decode recipe for one scenario."""
+
+    faulty_ids: tuple[int, ...]
+    partition: Partition
+    traditional: TraditionalPlan
+    groups: tuple[GroupPlan, ...]
+    rest: RestPlan | None
+    costs: SequenceCosts
+    policy: SequencePolicy
+    mode: ExecutionMode
+
+    @property
+    def p(self) -> int:
+        """Degree of parallelism."""
+        return self.partition.p
+
+    @property
+    def predicted_cost(self) -> int:
+        """mult_XORs the chosen mode will execute (per symbol of sector)."""
+        return self.costs.cost_of(self.mode)
+
+    @property
+    def uses_partition(self) -> bool:
+        return self.mode in (
+            ExecutionMode.PPM_REST_NORMAL,
+            ExecutionMode.PPM_REST_MATRIX_FIRST,
+        )
+
+    @property
+    def group_costs(self) -> tuple[int, ...]:
+        """Per-group mult_XORs — the c_i of Section III-C."""
+        return tuple(g.cost for g in self.groups)
+
+
+def _square_subplan(h: GFMatrix, rows: Sequence[int], faulty: Sequence[int]):
+    """Select rows making F square+invertible; return (rows, split, F^-1)."""
+    sub = h.take_rows(rows)
+    split = split_fs(sub, faulty)
+    need = len(split.faulty_ids)
+    picked = select_independent_rows(split.F, need)
+    selected_rows = tuple(rows[i] for i in picked)
+    f_sq = split.F.take_rows(picked)
+    s_sel = split.S.take_rows(picked)
+    # row selection may zero out survivor columns; compact again
+    keep = [c for c in range(s_sel.cols) if s_sel.array[:, c].any()]
+    survivor_ids = tuple(split.survivor_ids[c] for c in keep)
+    s_sel = s_sel.take_columns(keep)
+    return selected_rows, split.faulty_ids, survivor_ids, invert(f_sq), s_sel
+
+
+def plan_decode(
+    source: ErasureCode | GFMatrix,
+    faulty: Sequence[int],
+    policy: SequencePolicy = SequencePolicy.PAPER,
+    partition_result: Partition | None = None,
+) -> DecodePlan:
+    """Build the full decode plan for a failure scenario.
+
+    ``source`` is a code (its cached ``H`` is used) or a parity-check
+    matrix directly.  Raises
+    :class:`~repro.matrix.SingularMatrixError` if the scenario is not
+    decodable.
+    """
+    h = source.H if isinstance(source, ErasureCode) else source
+    faulty = tuple(sorted(set(faulty)))
+    if not faulty:
+        raise ValueError("no faulty blocks: nothing to plan")
+    if len(faulty) > h.rows:
+        raise SingularMatrixError(
+            f"{len(faulty)} faults exceed the {h.rows} parity constraints"
+        )
+    part = partition(h, faulty) if partition_result is None else partition_result
+
+    # traditional whole-matrix plan (C1 / C2 baseline)
+    t_rows, t_faulty, t_surv, t_finv, t_s = _square_subplan(
+        h, list(range(h.rows)), faulty
+    )
+    trad = TraditionalPlan(
+        row_ids=t_rows,
+        faulty_ids=t_faulty,
+        survivor_ids=t_surv,
+        f_inv=t_finv,
+        s=t_s,
+        weights=t_finv @ t_s,
+    )
+
+    # independent groups, always matrix-first
+    groups = []
+    for g in part.groups:
+        sub = h.take_rows(g.row_ids)
+        split = split_fs(sub, g.faulty_ids)
+        w = invert(split.F) @ split.S
+        groups.append(
+            GroupPlan(
+                row_ids=g.row_ids,
+                faulty_ids=split.faulty_ids,
+                survivor_ids=split.survivor_ids,
+                weights=w,
+            )
+        )
+
+    # remaining sub-matrix: recovered blocks act as survivors
+    rest = None
+    if part.rest_faulty_ids:
+        r_rows, r_faulty, r_surv, r_finv, r_s = _square_subplan(
+            h, list(part.rest_row_ids), part.rest_faulty_ids
+        )
+        rest = RestPlan(
+            row_ids=r_rows,
+            faulty_ids=r_faulty,
+            survivor_ids=r_surv,
+            f_inv=r_finv,
+            s=r_s,
+            weights=r_finv @ r_s,
+        )
+
+    group_total = sum(gp.cost for gp in groups)
+    costs = SequenceCosts(
+        c1=trad.cost_normal,
+        c2=trad.cost_matrix_first,
+        c3=group_total + (rest.cost_matrix_first if rest else 0),
+        c4=group_total + (rest.cost_normal if rest else 0),
+    )
+    return DecodePlan(
+        faulty_ids=faulty,
+        partition=part,
+        traditional=trad,
+        groups=tuple(groups),
+        rest=rest,
+        costs=costs,
+        policy=policy,
+        mode=costs.choose(policy),
+    )
+
+
+def evaluate_costs(
+    source: ErasureCode | GFMatrix, faulty: Sequence[int]
+) -> SequenceCosts:
+    """C1..C4 for a scenario without keeping the plan around."""
+    return plan_decode(source, faulty, policy=SequencePolicy.AUTO).costs

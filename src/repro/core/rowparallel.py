@@ -1,0 +1,127 @@
+"""Equation-oriented parallel decoding — the related-work baseline.
+
+The paper's Section V contrasts PPM with the *equation-oriented*
+parallelism of Sobe ("Parallel Reed/Solomon Coding on Multicore
+Processors", SNAPI 2010): instead of partitioning the parity-check
+matrix by faulty-block independence, parallelise the rows of the single
+whole-matrix decode — each output block ``BF_i = sum_j W[i][j] * BS_j``
+is an independent equation and can be computed on its own thread.
+
+Differences from PPM this baseline makes measurable:
+
+- no computational-cost reduction: it always executes the whole-matrix
+  matrix-first sequence (C2), never C4;
+- parallel granularity is the *output block*, so load balance depends on
+  per-row weights rather than sub-matrix structure;
+- no merge phase: every equation reads only survivors — so in a
+  bandwidth-unlimited model it can hide its extra ops behind threads
+  (PPM keeps H_rest serial), at the price of strictly more total work
+  (C2 > C4: worse CPU occupancy and energy, and redundant survivor reads
+  that real memory systems charge for).
+
+:class:`RowParallelDecoder` plugs into the same plan/stats machinery as
+the other decoders, so benches can compare all three on identical
+scenarios (``benchmarks/bench_ablation_rowparallel.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping
+
+import numpy as np
+
+from ..gf import OpCounter, RegionOps
+from .decoder import _PlanningDecoder
+from .executor import PhaseTiming
+from .sequences import SequencePolicy
+
+
+class RowParallelDecoder(_PlanningDecoder):
+    """Whole-matrix matrix-first decode with per-equation threading.
+
+    Executes ``W = F^-1 S`` row by row, ``threads`` rows at a time
+    (row i on worker i mod T — the same round-robin the paper's
+    Algorithm 1 uses for sub-matrices, applied at equation granularity).
+    """
+
+    def __init__(self, threads: int = 4, counter: OpCounter | None = None):
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        super().__init__(SequencePolicy.MATRIX_FIRST, counter)
+        self.threads = threads
+
+    def execute(self, plan, blocks: Mapping[int, np.ndarray], ops: RegionOps):
+        tp = plan.traditional
+        regions = [blocks[b] for b in tp.survivor_ids]
+        weights = tp.weights.array
+        rows = list(range(weights.shape[0]))
+        t_eff = max(1, min(self.threads, len(rows)))
+        if t_eff == 1:
+            t0 = time.perf_counter()
+            outs = ops.matrix_apply(weights, regions)
+            wall = time.perf_counter() - t0
+            timing = PhaseTiming(thread_seconds=(wall,), wall_seconds=wall)
+            return dict(zip(tp.faulty_ids, outs)), timing, 0.0
+
+        buckets: list[list[int]] = [[] for _ in range(t_eff)]
+        for i in rows:
+            buckets[i % t_eff].append(i)
+
+        def worker(bucket: list[int]):
+            t0 = time.perf_counter()
+            out = {
+                i: ops.linear_combination(weights[i], regions) for i in bucket
+            }
+            return out, time.perf_counter() - t0
+
+        wall0 = time.perf_counter()
+        pool = ThreadPoolExecutor(max_workers=t_eff)
+        try:
+            results = [f.result() for f in [pool.submit(worker, b) for b in buckets]]
+        finally:
+            pool.shutdown(wait=True)
+        wall = time.perf_counter() - wall0
+        recovered: dict[int, np.ndarray] = {}
+        for out, _elapsed in results:
+            for i, region in out.items():
+                recovered[tp.faulty_ids[i]] = region
+        timing = PhaseTiming(
+            thread_seconds=tuple(e for _o, e in results), wall_seconds=wall
+        )
+        return recovered, timing, 0.0
+
+
+def simulate_row_parallel_time(plan, profile, threads: int, sector_symbols: int):
+    """Makespan model for the equation-oriented baseline.
+
+    Bins per-row weights of the whole-matrix ``W`` round-robin over
+    ``threads`` workers; same conventions as
+    :func:`repro.parallel.simulate.simulate_ppm_time`.
+    """
+    from ..parallel.simulate import OVERSUBSCRIPTION_PENALTY, SimulatedTime
+
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    weights = plan.traditional.weights.array
+    row_costs = [int(np.count_nonzero(row)) for row in weights]
+    per_op = sector_symbols / profile.throughput
+    t_eff = max(1, min(threads, len(row_costs)))
+    if t_eff == 1:
+        return SimulatedTime(
+            phase1_seconds=sum(row_costs) * per_op, rest_seconds=0.0, spawn_seconds=0.0
+        )
+    bins = [0] * t_eff
+    for i, c in enumerate(row_costs):
+        bins[i % t_eff] += c
+    concurrent = min(t_eff, profile.cores)
+    makespan = max(max(bins), sum(row_costs) / concurrent)
+    penalty = 1.0
+    if t_eff > profile.cores:
+        penalty += OVERSUBSCRIPTION_PENALTY * (t_eff - profile.cores)
+    return SimulatedTime(
+        phase1_seconds=makespan * per_op * penalty,
+        rest_seconds=0.0,
+        spawn_seconds=profile.spawn_overhead_s * t_eff,
+    )

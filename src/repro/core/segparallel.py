@@ -1,0 +1,75 @@
+"""Segment-parallel decoding — the block-level-parallelism baseline.
+
+The paper's related work (refs [36]-[38]) covers *block-level*
+parallelism: split the data, not the matrix.  Each worker executes the
+entire decode over its own horizontal slice of every sector, so there is
+no load imbalance and no serial merge phase — but also no reduction in
+total work, and every worker touches every coefficient (poorer
+instruction locality, more table traffic than PPM's per-sub-matrix
+threads).
+
+:class:`SegmentParallelDecoder` composes with PPM's *sequence*
+optimisation: it executes whatever mode the plan chose (so it pays
+min(C2, C4) ops like PPM) but parallelises across segments rather than
+sub-matrices.  That isolates the two axes — partition-parallelism vs
+data-parallelism — for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping
+
+import numpy as np
+
+from ..gf import OpCounter, RegionOps
+from .decoder import _PlanningDecoder, _run_rest, _run_traditional
+from .executor import run_groups_serial
+from .sequences import SequencePolicy
+
+
+class SegmentParallelDecoder(_PlanningDecoder):
+    """Decode by splitting every sector into ``threads`` segments.
+
+    Worker ``t`` runs the full plan over symbols
+    ``[t*L/T, (t+1)*L/T)`` of every block; results are views into the
+    preallocated outputs, so no merge copy is needed.
+    """
+
+    def __init__(
+        self,
+        threads: int = 4,
+        policy: SequencePolicy = SequencePolicy.PAPER,
+        counter: OpCounter | None = None,
+    ):
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        super().__init__(policy, counter)
+        self.threads = threads
+
+    def _run_whole(self, plan, blocks, ops):
+        if plan.uses_partition:
+            recovered, _timing = run_groups_serial(plan.groups, blocks, ops)
+            recovered.update(_run_rest(plan, blocks, recovered, ops))
+            return recovered
+        return _run_traditional(plan, blocks, ops)
+
+    def execute(self, plan, blocks: Mapping[int, np.ndarray], ops: RegionOps):
+        sample = next(iter(blocks.values()))
+        length = sample.shape[0]
+        t_eff = max(1, min(self.threads, length))
+        if t_eff == 1:
+            return self._run_whole(plan, blocks, ops), None, 0.0
+        bounds = [round(t * length / t_eff) for t in range(t_eff + 1)]
+
+        def worker(t: int) -> dict[int, np.ndarray]:
+            lo, hi = bounds[t], bounds[t + 1]
+            segment_blocks = {b: region[lo:hi] for b, region in blocks.items()}
+            return self._run_whole(plan, segment_blocks, ops)
+
+        with ThreadPoolExecutor(max_workers=t_eff) as pool:
+            partials = list(pool.map(worker, range(t_eff)))
+        recovered: dict[int, np.ndarray] = {}
+        for bid in partials[0]:
+            recovered[bid] = np.concatenate([part[bid] for part in partials])
+        return recovered, None, 0.0

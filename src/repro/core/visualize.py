@@ -1,0 +1,109 @@
+"""ASCII rendering of parity-check matrices, partitions and plans.
+
+Reproduces the way the paper's Figures 2 and 3 annotate the decode: the
+matrix with faulty columns marked, the log table, the partition's group
+structure and the cost/sequence summary.  Used by ``ppm inspect`` and
+handy in notebooks and bug reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..codes.base import ErasureCode
+from ..matrix import GFMatrix
+from .logtable import build_log_table, format_log_table
+from .planner import DecodePlan, plan_decode
+from .sequences import SequencePolicy
+
+
+def render_matrix(
+    h: GFMatrix,
+    faulty: Sequence[int] = (),
+    row_labels: dict[int, str] | None = None,
+    max_cols: int = 40,
+) -> str:
+    """Render a GF matrix with faulty columns marked by ``*`` headers.
+
+    Wide matrices are truncated at ``max_cols`` columns with an ellipsis
+    (the paper's own figures do the same for SD matrices).
+    """
+    faulty_set = set(faulty)
+    cols = min(h.cols, max_cols)
+    truncated = h.cols > max_cols
+    width = max(
+        2, max(len(str(int(h[i, j]))) for i in range(h.rows) for j in range(cols))
+    )
+    label_width = max((len(v) for v in (row_labels or {}).values()), default=0)
+    lines = []
+    marker = " " * (label_width + 1) if label_width else ""
+    header = marker + " ".join(
+        ("*" if j in faulty_set else " ").rjust(width) for j in range(cols)
+    )
+    lines.append(header + (" ..." if truncated else ""))
+    for i in range(h.rows):
+        label = (row_labels or {}).get(i, "")
+        prefix = (label.ljust(label_width) + " ") if label_width else ""
+        row = " ".join(str(int(h[i, j])).rjust(width) for j in range(cols))
+        lines.append(prefix + row + (" ..." if truncated else ""))
+    return "\n".join(lines)
+
+
+def render_partition(plan: DecodePlan) -> str:
+    """Summarise a plan's partition the way Figure 3 labels H0..Hrest."""
+    lines = []
+    for idx, group in enumerate(plan.groups):
+        lines.append(
+            f"H{idx}: rows {list(group.row_ids)} -> blocks {list(group.faulty_ids)} "
+            f"(matrix-first, {group.cost} mult_XORs)"
+        )
+    if plan.rest is not None:
+        seq = (
+            "matrix-first"
+            if plan.mode.value.endswith("matrix_first")
+            else "normal"
+        )
+        cost = (
+            plan.rest.cost_matrix_first
+            if seq == "matrix-first"
+            else plan.rest.cost_normal
+        )
+        lines.append(
+            f"H_rest: rows {list(plan.rest.row_ids)} -> blocks "
+            f"{list(plan.rest.faulty_ids)} ({seq}, {cost} mult_XORs)"
+        )
+    else:
+        lines.append("H_rest: empty (no dependent faulty blocks)")
+    return "\n".join(lines)
+
+
+def inspect(
+    code: ErasureCode,
+    faulty: Sequence[int],
+    policy: SequencePolicy = SequencePolicy.PAPER,
+    show_matrix: bool = True,
+) -> str:
+    """Full Figure-3-style dump: matrix, log table, partition, costs."""
+    plan = plan_decode(code, faulty, policy)
+    sections = [code.describe(), f"faulty blocks: {sorted(set(faulty))}"]
+    if show_matrix:
+        labels = {}
+        for idx, group in enumerate(plan.groups):
+            for rid in group.row_ids:
+                labels[rid] = f"H{idx}"
+        if plan.rest is not None:
+            for rid in plan.rest.row_ids:
+                labels[rid] = "Hr"
+        for rid in plan.partition.discarded_row_ids:
+            labels[rid] = "--"
+        sections.append("parity-check matrix H (faulty columns starred):")
+        sections.append(render_matrix(code.H, faulty, row_labels=labels))
+    sections.append("log table:")
+    sections.append(format_log_table(build_log_table(code.H, faulty)))
+    sections.append(f"partition (p = {plan.p}):")
+    sections.append(render_partition(plan))
+    sections.append(
+        f"costs: {plan.costs.as_dict()}  chosen: {plan.mode.value} "
+        f"({plan.predicted_cost} mult_XORs)"
+    )
+    return "\n".join(sections)

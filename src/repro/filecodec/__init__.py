@@ -1,0 +1,5 @@
+"""File-level encode/decode tools (the shape of Plank's SD encoder/decoder)."""
+
+from .codec import FileCodecMeta, decode_file, encode_file, repair_files
+
+__all__ = ["FileCodecMeta", "decode_file", "encode_file", "repair_files"]

@@ -1,0 +1,59 @@
+"""Galois-field substrate: GF(2^w) scalar, vector and region arithmetic.
+
+Public surface:
+
+- :class:`~repro.gf.field.GF` — interned field objects for w in {4, 8, 16, 32}.
+- :class:`~repro.gf.region.RegionOps` / :class:`~repro.gf.region.OpCounter`
+  — the ``mult_XORs`` primitive and its exact operation accounting.
+- :mod:`~repro.gf.polynomials` — GF(2) polynomial tools and verified
+  default defining polynomials.
+"""
+
+from .bitmatrix import (
+    apply_bitmatrix,
+    bitmatrix_multiply,
+    companion_matrix,
+    expand_matrix,
+    from_bitplanes,
+    to_bitplanes,
+    xor_count,
+)
+from .field import GF
+from .polynomials import DEFAULT_POLYNOMIALS, default_polynomial, is_irreducible, is_primitive
+from .region import OpCounter, RegionOps
+from .schedule import (
+    XorSchedule,
+    execute_schedule,
+    naive_schedule,
+    pair_reuse_schedule,
+    schedule_cost,
+)
+from .split import mul_region_split, split_tables
+from .tables import build_logexp, build_mul8, dtype_for
+
+__all__ = [
+    "GF",
+    "apply_bitmatrix",
+    "bitmatrix_multiply",
+    "companion_matrix",
+    "expand_matrix",
+    "from_bitplanes",
+    "to_bitplanes",
+    "xor_count",
+    "DEFAULT_POLYNOMIALS",
+    "default_polynomial",
+    "is_irreducible",
+    "is_primitive",
+    "OpCounter",
+    "RegionOps",
+    "XorSchedule",
+    "execute_schedule",
+    "naive_schedule",
+    "pair_reuse_schedule",
+    "schedule_cost",
+    "mul_region_split",
+    "split_tables",
+    "build_logexp",
+    "build_mul8",
+    "dtype_for",
+]

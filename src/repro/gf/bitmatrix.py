@@ -1,0 +1,142 @@
+"""Bit-matrix (Cauchy / Jerasure style) representation of GF(2^w).
+
+The XOR-based erasure-coding lineage the paper cites (Blomer et al.'s
+Cauchy Reed-Solomon, ref [8]) replaces every GF(2^w) coefficient by a
+``w x w`` binary *companion matrix* over GF(2): multiplication by a
+constant becomes a fixed pattern of XORs between the ``w`` bit-planes
+("packets") of a block, and an entire coding matrix expands to a
+``(rows*w) x (cols*w)`` 0/1 matrix executed with XORs only.
+
+This module provides that representation plus the bit-plane packing of
+regions, so :class:`repro.core.bitdecoder.BitMatrixDecoder` can execute
+any decode plan XOR-only — demonstrating PPM is agnostic to the GF
+execution backend, and enabling the gather-vs-XOR ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .field import GF
+
+
+def companion_matrix(field: GF, a: int) -> np.ndarray:
+    """The ``w x w`` GF(2) matrix of multiplication by ``a``.
+
+    Column ``j`` holds the bits of ``a * x^j`` (x = the polynomial
+    indeterminate, i.e. the element 2), so for symbol bits ``v`` (LSB
+    first), ``bits(a * symbol) = M @ v (mod 2)``.
+    """
+    w = field.w
+    m = np.zeros((w, w), dtype=np.uint8)
+    for j in range(w):
+        product = int(field.mul(field.dtype.type(a), field.dtype.type(1 << j)))
+        for i in range(w):
+            m[i, j] = (product >> i) & 1
+    return m
+
+
+def bitmatrix_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """GF(2) matrix product of two 0/1 matrices."""
+    return (a.astype(np.uint32) @ b.astype(np.uint32) & 1).astype(np.uint8)
+
+
+def expand_matrix(field: GF, coefficients: np.ndarray) -> np.ndarray:
+    """Expand a GF(2^w) coefficient matrix to its binary bit-matrix.
+
+    Each entry becomes its companion matrix; the result is
+    ``(rows*w) x (cols*w)`` over GF(2).  Zero entries expand to zero
+    blocks (no XORs — matching the ``u(M)`` cost accounting).
+    """
+    coefficients = np.asarray(coefficients)
+    rows, cols = coefficients.shape
+    w = field.w
+    out = np.zeros((rows * w, cols * w), dtype=np.uint8)
+    cache: dict[int, np.ndarray] = {}
+    for i in range(rows):
+        for j in range(cols):
+            a = int(coefficients[i, j])
+            if a == 0:
+                continue
+            block = cache.get(a)
+            if block is None:
+                block = companion_matrix(field, a)
+                cache[a] = block
+            out[i * w : (i + 1) * w, j * w : (j + 1) * w] = block
+    return out
+
+
+def xor_count(bitmatrix: np.ndarray) -> int:
+    """XOR operations needed to apply a bit-matrix to packets.
+
+    One XOR per 1-entry, minus one per nonzero output row (the first
+    source initialises the destination) — Jerasure's standard count.
+    """
+    ones_per_row = np.count_nonzero(bitmatrix, axis=1)
+    return int(ones_per_row.sum() - np.count_nonzero(ones_per_row))
+
+
+# -- bit-plane packing -------------------------------------------------------
+
+
+def to_bitplanes(region: np.ndarray, field: GF) -> np.ndarray:
+    """Split a symbol region into its ``w`` bit-planes ("packets").
+
+    Returns a ``(w, n)`` uint8 array; plane ``i`` holds bit ``i`` of each
+    symbol (0/1 per entry; real implementations pack these into machine
+    words — the XOR pattern is identical).
+    """
+    if region.dtype != field.dtype:
+        raise TypeError(f"region dtype {region.dtype} != field dtype {field.dtype}")
+    planes = np.empty((field.w, region.size), dtype=np.uint8)
+    data = region.astype(np.uint64)
+    for i in range(field.w):
+        planes[i] = (data >> np.uint64(i)) & np.uint64(1)
+    return planes
+
+
+def from_bitplanes(planes: np.ndarray, field: GF) -> np.ndarray:
+    """Reassemble symbols from their bit-planes (inverse of to_bitplanes)."""
+    if planes.shape[0] != field.w:
+        raise ValueError(f"expected {field.w} planes, got {planes.shape[0]}")
+    out = np.zeros(planes.shape[1], dtype=np.uint64)
+    for i in range(field.w):
+        out |= planes[i].astype(np.uint64) << np.uint64(i)
+    return out.astype(field.dtype)
+
+
+def apply_bitmatrix(
+    bitmatrix: np.ndarray,
+    source_planes: list[np.ndarray],
+    w: int,
+    counter=None,
+) -> list[np.ndarray]:
+    """Apply an expanded bit-matrix to a list of per-block bit-planes.
+
+    ``source_planes[j]`` is the ``(w, n)`` plane stack of source block
+    ``j``; returns one plane stack per output block.  Pure XORs; if
+    ``counter`` is an :class:`repro.gf.region.OpCounter`, each XOR is
+    recorded as an xor-only mult_XORs (coefficient 1 on a packet).
+    """
+    rows, cols = bitmatrix.shape
+    if rows % w or cols % w:
+        raise ValueError(f"bit-matrix shape {bitmatrix.shape} not a multiple of w={w}")
+    if cols // w != len(source_planes):
+        raise ValueError(
+            f"{cols // w} source blocks expected, got {len(source_planes)}"
+        )
+    n = source_planes[0].shape[1]
+    outputs = []
+    for out_block in range(rows // w):
+        stack = np.zeros((w, n), dtype=np.uint8)
+        for bit_row in range(w):
+            row = bitmatrix[out_block * w + bit_row]
+            ones = np.nonzero(row)[0]
+            acc = stack[bit_row]
+            for col in ones:
+                src = source_planes[int(col) // w][int(col) % w]
+                np.bitwise_xor(acc, src, out=acc)
+            if counter is not None and ones.size:
+                counter.record(int(ones.size), int(ones.size) * n, xor_only=int(ones.size))
+        outputs.append(stack)
+    return outputs

@@ -1,0 +1,176 @@
+"""Bulk region operations: the paper's ``mult_XORs()`` primitive.
+
+The paper measures every encoding/decoding cost in units of
+``mult_XORs(d0, d1, a)``: multiply region ``d0`` by the w-bit constant
+``a`` in GF(2^w) and XOR the product into region ``d1``.  Evaluating
+``R = a0*d0 + a1*d1 + a2*d2`` is three ``mult_XORs``; the cost ``C`` of a
+decode is the number of such calls, which equals the number of nonzero
+coefficients in the matrices applied to blocks.
+
+This module is the *only* code that touches bulk sector data, so the
+:class:`OpCounter` it maintains is an exact operation count for every
+decoder built on top of it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from .field import GF
+from .split import mul_region_split
+
+
+@dataclass
+class OpCounter:
+    """Tally of region operations, in the paper's cost units.
+
+    ``mult_xors`` counts every multiply-and-XOR region call — the paper's
+    ``C``.  ``xor_only`` additionally counts how many of those had a == 1
+    (pure XOR, cheaper on real hardware); it is a subset, not an addition.
+    ``symbols`` is the total number of field symbols processed, used to
+    calibrate throughput for the parallel simulator.
+    """
+
+    mult_xors: int = 0
+    xor_only: int = 0
+    symbols: int = 0
+    _lock: threading.Lock = dc_field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def record(self, count: int, symbols: int, xor_only: int = 0) -> None:
+        """Record ``count`` mult_XORs over ``symbols`` symbols (thread-safe)."""
+        with self._lock:
+            self.mult_xors += count
+            self.xor_only += xor_only
+            self.symbols += symbols
+
+    def reset(self) -> None:
+        """Zero all tallies."""
+        with self._lock:
+            self.mult_xors = 0
+            self.xor_only = 0
+            self.symbols = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """Consistent (mult_xors, xor_only, symbols) triple."""
+        with self._lock:
+            return (self.mult_xors, self.xor_only, self.symbols)
+
+
+class RegionOps:
+    """GF(2^w) region arithmetic bound to a field and an op counter.
+
+    Parameters
+    ----------
+    field:
+        The GF(2^w) instance whose dtype all regions must carry.
+    counter:
+        Optional shared :class:`OpCounter`; a private one is created when
+        omitted.  Decoders inject a counter to attribute costs per phase.
+    """
+
+    def __init__(self, field: GF, counter: OpCounter | None = None):
+        self.field = field
+        self.counter = counter if counter is not None else OpCounter()
+
+    def _check(self, region: np.ndarray) -> None:
+        if region.dtype != self.field.dtype:
+            raise TypeError(
+                f"region dtype {region.dtype} does not match field dtype {self.field.dtype}"
+            )
+
+    def mul_region(self, src: np.ndarray, a: int, out: np.ndarray | None = None) -> np.ndarray:
+        """``out = a * src`` element-wise (no XOR accumulate, not counted)."""
+        self._check(src)
+        a = int(a)
+        if a == 0:
+            result = np.zeros_like(src)
+            if out is None:
+                return result
+            out[...] = 0
+            return out
+        if a == 1:
+            if out is None:
+                return src.copy()
+            out[...] = src
+            return out
+        if self.field.w == 8:
+            result = self.field.mul8_table[a][src]
+        elif self.field.w == 4:
+            result = self.field.mul(self.field.dtype.type(a), src)
+        else:
+            result = mul_region_split(self.field, src, a)
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def mult_xors(self, src: np.ndarray, dst: np.ndarray, a: int) -> np.ndarray:
+        """The paper's primitive: ``dst ^= a * src`` in place, counted.
+
+        Callers never emit a zero coefficient (a zero matrix entry simply
+        produces no call), so ``a == 0`` raises rather than silently
+        counting a free operation.
+        """
+        self._check(src)
+        self._check(dst)
+        a = int(a)
+        if a == 0:
+            raise ValueError("mult_XORs with a == 0 is a no-op; do not emit it")
+        if src.shape != dst.shape:
+            raise ValueError(f"region shape mismatch: {src.shape} vs {dst.shape}")
+        if a == 1:
+            np.bitwise_xor(dst, src, out=dst)
+            self.counter.record(1, src.size, xor_only=1)
+            return dst
+        if self.field.w == 8:
+            np.bitwise_xor(dst, self.field.mul8_table[a][src], out=dst)
+        elif self.field.w == 4:
+            np.bitwise_xor(dst, self.field.mul(self.field.dtype.type(a), src), out=dst)
+        else:
+            np.bitwise_xor(dst, mul_region_split(self.field, src, a), out=dst)
+        self.counter.record(1, src.size)
+        return dst
+
+    def linear_combination(
+        self,
+        coefficients: np.ndarray,
+        regions: list[np.ndarray],
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``out = sum_j coefficients[j] * regions[j]``, skipping zeros.
+
+        This is one output block of a matrix-times-block-vector product;
+        its cost is exactly the number of nonzero coefficients.
+        """
+        if len(coefficients) != len(regions):
+            raise ValueError("coefficient / region count mismatch")
+        if out is None:
+            if not regions:
+                raise ValueError("cannot infer output shape from empty inputs")
+            out = np.zeros_like(regions[0])
+        else:
+            out[...] = 0
+        for a, region in zip(coefficients, regions):
+            if int(a) != 0:
+                self.mult_xors(region, out, int(a))
+        return out
+
+    def matrix_apply(
+        self,
+        matrix: np.ndarray,
+        regions: list[np.ndarray],
+    ) -> list[np.ndarray]:
+        """Apply a coefficient matrix to a block vector: one region per row.
+
+        ``matrix`` is an (rows x len(regions)) array of field symbols; the
+        result is ``rows`` new regions.  Total cost: ``u(matrix)``
+        mult_XORs — the quantity the paper's C1..C4 formulas count.
+        """
+        if matrix.ndim != 2 or matrix.shape[1] != len(regions):
+            raise ValueError(
+                f"matrix shape {matrix.shape} incompatible with {len(regions)} regions"
+            )
+        return [self.linear_combination(row, regions) for row in matrix]

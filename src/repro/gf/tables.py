@@ -1,0 +1,113 @@
+"""Lookup-table construction for GF(2^w) arithmetic.
+
+For w <= 16 we build classic log/exp (discrete-logarithm) tables; for w = 8
+we additionally build the full 256x256 product table, which turns a
+region-by-constant multiplication into a single NumPy gather — the pure
+Python analogue of the SIMD table lookups the paper's C implementation
+uses (Plank's "Screaming Fast Galois Field Arithmetic").
+
+GF(2^32) is too large for global tables; it uses per-constant SPLIT tables
+built in :mod:`repro.gf.split` on top of the scalar/vector multiply in
+:mod:`repro.gf.field`.
+
+Tables are cached per ``(w, polynomial)`` so repeated ``GF(8)``
+constructions are free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .polynomials import default_polynomial, is_primitive
+
+_DTYPES = {4: np.uint8, 8: np.uint8, 16: np.uint16, 32: np.uint32}
+
+_LOGEXP_CACHE: dict[tuple[int, int], "LogExpTables"] = {}
+_MUL8_CACHE: dict[int, np.ndarray] = {}
+
+
+@dataclass(frozen=True)
+class LogExpTables:
+    """Discrete log / antilog tables for GF(2^w), w <= 16.
+
+    ``exp`` has length ``2 * (2^w - 1) + 1`` so that ``exp[log[a] + log[b]]``
+    never needs a modular reduction, even when both operands are zero and
+    hit the sentinel twice.  ``log[0]`` is a sentinel (stored as the group
+    order); products involving zero must be masked to zero by the caller
+    (the extra ``exp`` slot holds 0 so the both-zero case is already
+    correct without masking).
+    """
+
+    w: int
+    polynomial: int
+    log: np.ndarray
+    exp: np.ndarray
+
+    @property
+    def order(self) -> int:
+        """Multiplicative group order 2^w - 1."""
+        return (1 << self.w) - 1
+
+
+def build_logexp(w: int, polynomial: int | None = None) -> LogExpTables:
+    """Build (or fetch cached) log/exp tables for GF(2^w), w in {4, 8, 16}."""
+    if w not in (4, 8, 16):
+        raise ValueError(f"log/exp tables are only built for w in (4, 8, 16), got {w}")
+    poly = default_polynomial(w) if polynomial is None else polynomial
+    key = (w, poly)
+    cached = _LOGEXP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if not is_primitive(poly, w):
+        raise ValueError(f"polynomial {poly:#x} is not primitive for GF(2^{w})")
+
+    order = (1 << w) - 1
+    size = 1 << w
+    dtype = _DTYPES[w]
+    # log is int32 so that log[a] + log[b] cannot overflow before indexing.
+    log = np.zeros(size, dtype=np.int32)
+    exp = np.zeros(2 * order + 1, dtype=dtype)
+    value = 1
+    for power in range(order):
+        exp[power] = value
+        exp[power + order] = value
+        log[value] = power
+        value <<= 1
+        if value & size:
+            value ^= poly
+    log[0] = order  # sentinel; exp is sized so this cannot be hit silently
+    tables = LogExpTables(w=w, polynomial=poly, log=log, exp=exp)
+    _LOGEXP_CACHE[key] = tables
+    return tables
+
+
+def build_mul8(polynomial: int | None = None) -> np.ndarray:
+    """Full 256x256 GF(2^8) product table: ``MUL[a, b] == a * b``.
+
+    One row of this table is exactly the per-constant lookup table a SIMD
+    implementation would splat; ``MUL[a][region]`` multiplies a whole
+    region by ``a`` in one vectorised gather.
+    """
+    poly = default_polynomial(8) if polynomial is None else polynomial
+    cached = _MUL8_CACHE.get(poly)
+    if cached is not None:
+        return cached
+    t = build_logexp(8, poly)
+    a = np.arange(256)
+    # exp[log[a] + log[b]] with rows/cols for zero forced to zero.
+    table = t.exp[t.log[a][:, None] + t.log[a][None, :]].astype(np.uint8)
+    table[0, :] = 0
+    table[:, 0] = 0
+    table.setflags(write=False)
+    _MUL8_CACHE[poly] = table
+    return table
+
+
+def dtype_for(w: int) -> np.dtype:
+    """NumPy symbol dtype for GF(2^w) regions."""
+    try:
+        return np.dtype(_DTYPES[w])
+    except KeyError:
+        raise ValueError(f"unsupported word size w={w}") from None

@@ -1,0 +1,37 @@
+"""Dense matrix algebra over GF(2^w).
+
+Public surface: :class:`GFMatrix`, Gaussian tools (:func:`invert`,
+:func:`rank`, :func:`select_independent_rows`, :func:`is_invertible`,
+:func:`solve`, :class:`SingularMatrixError`), the F/S split
+(:func:`split_fs`, :class:`FSSplit`) and sparsity analysis (:func:`u`).
+"""
+
+from .gfmatrix import GFMatrix
+from .paritycheck import FSSplit, nonzero_columns, split_fs
+from .solve import (
+    SingularMatrixError,
+    invert,
+    is_invertible,
+    rank,
+    select_independent_rows,
+    solve,
+)
+from .sparsity import column_weights, density, row_support, row_weights, u
+
+__all__ = [
+    "GFMatrix",
+    "FSSplit",
+    "split_fs",
+    "nonzero_columns",
+    "SingularMatrixError",
+    "invert",
+    "is_invertible",
+    "rank",
+    "select_independent_rows",
+    "solve",
+    "u",
+    "row_weights",
+    "column_weights",
+    "row_support",
+    "density",
+]

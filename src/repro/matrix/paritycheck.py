@@ -1,0 +1,93 @@
+"""Parity-check matrix utilities: the F/S split and column bookkeeping.
+
+Step 2 of the traditional decoding process extracts the faulty-block
+columns of ``H`` into ``F`` and the surviving-block columns into ``S``
+(paper, Section II-B).  The same split is applied per sub-matrix by PPM,
+plus compaction of all-zero columns that partitioning creates
+("all sub-matrices do not include the all zero columns", Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .gfmatrix import GFMatrix
+
+
+@dataclass(frozen=True)
+class FSSplit:
+    """The (F, S) pair for one (sub-)matrix decode.
+
+    Attributes
+    ----------
+    F:
+        Columns of the source matrix for the faulty blocks, in
+        ``faulty_ids`` order.
+    S:
+        Columns for the surviving blocks with all-zero columns dropped,
+        in ``survivor_ids`` order.
+    faulty_ids / survivor_ids:
+        Global block ids (column ids of the full ``H``) labelling the
+        columns of ``F`` and ``S``.
+    """
+
+    F: GFMatrix
+    S: GFMatrix
+    faulty_ids: tuple[int, ...]
+    survivor_ids: tuple[int, ...]
+
+
+def split_fs(
+    h: GFMatrix,
+    faulty: Sequence[int],
+    column_ids: Sequence[int] | None = None,
+    drop_zero_survivor_columns: bool = True,
+) -> FSSplit:
+    """Split ``h`` into F (faulty columns) and S (surviving columns).
+
+    Parameters
+    ----------
+    h:
+        The parity-check matrix or a row-subset of it.
+    faulty:
+        Global ids of faulty blocks.  Ids not present in ``column_ids``
+        are ignored (they are another sub-matrix's responsibility).
+    column_ids:
+        Global block id of each column of ``h``; defaults to
+        ``0..cols-1`` (i.e. ``h`` is the full parity-check matrix).
+    drop_zero_survivor_columns:
+        Compact S by removing survivor columns that are all zero — those
+        survivors do not participate in this sub-matrix at all.
+    """
+    cols = h.cols
+    ids = list(range(cols)) if column_ids is None else list(column_ids)
+    if len(ids) != cols:
+        raise ValueError(f"column_ids has {len(ids)} entries for {cols} columns")
+    faulty_set = set(faulty)
+    faulty_pos = [i for i, bid in enumerate(ids) if bid in faulty_set]
+    survivor_pos = [i for i, bid in enumerate(ids) if bid not in faulty_set]
+    f_matrix = h.take_columns(faulty_pos)
+    s_matrix = h.take_columns(survivor_pos)
+    survivor_ids = [ids[i] for i in survivor_pos]
+    if drop_zero_survivor_columns and s_matrix.cols:
+        keep = np.nonzero(s_matrix.array.any(axis=0))[0]
+        if keep.size != s_matrix.cols:
+            s_matrix = s_matrix.take_columns(list(keep))
+            survivor_ids = [survivor_ids[int(i)] for i in keep]
+    return FSSplit(
+        F=f_matrix,
+        S=s_matrix,
+        faulty_ids=tuple(ids[i] for i in faulty_pos),
+        survivor_ids=tuple(survivor_ids),
+    )
+
+
+def nonzero_columns(h: GFMatrix, rows: Sequence[int]) -> list[int]:
+    """Column indices with at least one nonzero entry among ``rows``."""
+    if not rows:
+        return []
+    sub = h.array[list(rows), :]
+    return [int(c) for c in np.nonzero(sub.any(axis=0))[0]]

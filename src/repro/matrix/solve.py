@@ -1,0 +1,134 @@
+"""Gaussian elimination over GF(2^w): inversion, rank, row selection.
+
+Decoding (Steps 2-4 of the paper's process) needs ``F`` inverted; the PPM
+partition additionally needs to *select* an invertible square submatrix
+from an overdetermined group of parity rows (e.g. an SD stripe row with
+fewer faults than coding disks contributes m rows for v < m faults).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gf import GF
+from .gfmatrix import GFMatrix
+
+
+class SingularMatrixError(ValueError):
+    """Raised when a matrix that must be invertible is rank-deficient.
+
+    In decoding terms: the failure scenario is not recoverable by this
+    code instance (more erasures than the code tolerates, or a coefficient
+    set without the required independence).
+    """
+
+
+def invert(matrix: GFMatrix) -> GFMatrix:
+    """Inverse of a square GF matrix by Gauss-Jordan elimination.
+
+    Raises :class:`SingularMatrixError` if the matrix is singular.
+    """
+    if matrix.rows != matrix.cols:
+        raise ValueError(f"cannot invert non-square matrix {matrix.shape}")
+    f = matrix.field
+    n = matrix.rows
+    a = matrix.array.copy()
+    inv = f.eye(n)
+    for col in range(n):
+        pivot = _find_pivot(a, col, col)
+        if pivot is None:
+            raise SingularMatrixError(f"matrix is singular at column {col}")
+        if pivot != col:
+            a[[col, pivot]] = a[[pivot, col]]
+            inv[[col, pivot]] = inv[[pivot, col]]
+        pv = a[col, col]
+        if pv != 1:
+            scale = f.inv(pv)
+            a[col] = f.mul(scale, a[col])
+            inv[col] = f.mul(scale, inv[col])
+        # eliminate this column from every other row in one vectorised sweep
+        factors = a[:, col].copy()
+        factors[col] = 0
+        nz = np.nonzero(factors)[0]
+        if nz.size:
+            a[nz] ^= f.mul(factors[nz][:, None], a[col][None, :])
+            inv[nz] ^= f.mul(factors[nz][:, None], inv[col][None, :])
+    return GFMatrix(f, inv, copy=False)
+
+
+def _find_pivot(a: np.ndarray, col: int, start_row: int) -> int | None:
+    rows = np.nonzero(a[start_row:, col])[0]
+    if rows.size == 0:
+        return None
+    return start_row + int(rows[0])
+
+
+def rank(matrix: GFMatrix) -> int:
+    """Rank of a GF matrix via row echelon reduction."""
+    f = matrix.field
+    a = matrix.array.copy()
+    r = 0
+    for col in range(matrix.cols):
+        if r == matrix.rows:
+            break
+        pivot = _find_pivot(a, col, r)
+        if pivot is None:
+            continue
+        if pivot != r:
+            a[[r, pivot]] = a[[pivot, r]]
+        pv = a[r, col]
+        if pv != 1:
+            a[r] = f.mul(f.inv(pv), a[r])
+        below = a[r + 1 :, col].copy()
+        nz = np.nonzero(below)[0]
+        if nz.size:
+            a[r + 1 + nz] ^= f.mul(below[nz][:, None], a[r][None, :])
+        r += 1
+    return r
+
+
+def select_independent_rows(matrix: GFMatrix, need: int | None = None) -> list[int]:
+    """Indices of rows forming a full-rank subset (greedy, first-wins).
+
+    Used to pick ``need`` rows whose restriction to the faulty columns is
+    invertible out of an overdetermined parity group.  Raises
+    :class:`SingularMatrixError` if fewer than ``need`` independent rows
+    exist.
+    """
+    f = matrix.field
+    if need is None:
+        need = matrix.cols
+    basis = np.empty((0, matrix.cols), dtype=f.dtype)
+    chosen: list[int] = []
+    for i in range(matrix.rows):
+        candidate = matrix.array[i].copy()
+        # reduce against current basis (basis rows are kept pivot-normalised)
+        for brow in basis:
+            pcol = int(np.nonzero(brow)[0][0])
+            factor = candidate[pcol]
+            if factor:
+                candidate ^= f.mul(factor, brow)
+        if candidate.any():
+            pcol = int(np.nonzero(candidate)[0][0])
+            pv = candidate[pcol]
+            if pv != 1:
+                candidate = f.mul(f.inv(pv), candidate)
+            basis = np.vstack([basis, candidate])
+            chosen.append(i)
+            if len(chosen) == need:
+                return chosen
+    raise SingularMatrixError(
+        f"only {len(chosen)} independent rows available, {need} required"
+    )
+
+
+def solve(a: GFMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``a @ x = b`` for a square invertible ``a`` (symbol vectors)."""
+    return invert(a).matvec(b)
+
+
+def is_invertible(matrix: GFMatrix) -> bool:
+    """True iff the square matrix has full rank."""
+    if matrix.rows != matrix.cols:
+        return False
+    return rank(matrix) == matrix.rows

@@ -1,0 +1,38 @@
+"""Nonzero-structure analysis of GF matrices.
+
+The paper's entire cost model is built on ``u(M)`` — the number of
+nonzero coefficients of a matrix — because applying a matrix to a vector
+of blocks costs exactly one ``mult_XORs`` per nonzero coefficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gfmatrix import GFMatrix
+
+
+def u(matrix: GFMatrix) -> int:
+    """The paper's u(M): number of nonzero coefficients in ``matrix``."""
+    return matrix.nonzero_count
+
+
+def row_weights(matrix: GFMatrix) -> np.ndarray:
+    """Nonzero count of every row."""
+    return np.count_nonzero(matrix.array, axis=1)
+
+
+def column_weights(matrix: GFMatrix) -> np.ndarray:
+    """Nonzero count of every column."""
+    return np.count_nonzero(matrix.array, axis=0)
+
+
+def row_support(matrix: GFMatrix, row: int) -> tuple[int, ...]:
+    """Column indices of the nonzero entries of ``row``."""
+    return tuple(int(c) for c in np.nonzero(matrix.array[row])[0])
+
+
+def density(matrix: GFMatrix) -> float:
+    """Fraction of nonzero entries (0.0 for an empty matrix)."""
+    total = matrix.rows * matrix.cols
+    return matrix.nonzero_count / total if total else 0.0

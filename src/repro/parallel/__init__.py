@@ -1,0 +1,69 @@
+"""Parallel substrate: thread execution lives in :mod:`repro.core.executor`;
+this package provides the calibrated decode-time model used to evaluate
+multi-core behaviour (this host has one core — DESIGN.md, substitutions).
+"""
+
+from .assignment import assign_lpt, assign_round_robin, lpt_advantage, makespan
+from .network import (
+    NetworkModel,
+    RepairBill,
+    compare_repair_bills,
+    default_placement,
+    repair_bill,
+)
+from .calibrate import (
+    host_profile,
+    measure_spawn_overhead,
+    measure_throughput,
+    scaled_paper_profile,
+)
+from .rebuild import (
+    HybridRebuilder,
+    IntraStripeRebuilder,
+    RebuildResult,
+    StripeParallelRebuilder,
+    simulate_rebuild_time,
+)
+from .simulate import (
+    E5_2603,
+    E5_2650,
+    I7_3930K,
+    PAPER_CPUS,
+    CPUProfile,
+    SimulatedTime,
+    improvement_ratio,
+    simulate_decode_time,
+    simulate_ppm_time,
+    simulate_traditional_time,
+)
+
+__all__ = [
+    "assign_lpt",
+    "assign_round_robin",
+    "lpt_advantage",
+    "makespan",
+    "NetworkModel",
+    "RepairBill",
+    "compare_repair_bills",
+    "default_placement",
+    "repair_bill",
+    "HybridRebuilder",
+    "IntraStripeRebuilder",
+    "RebuildResult",
+    "StripeParallelRebuilder",
+    "simulate_rebuild_time",
+    "host_profile",
+    "measure_spawn_overhead",
+    "measure_throughput",
+    "scaled_paper_profile",
+    "E5_2603",
+    "E5_2650",
+    "I7_3930K",
+    "PAPER_CPUS",
+    "CPUProfile",
+    "SimulatedTime",
+    "improvement_ratio",
+    "simulate_decode_time",
+    "simulate_ppm_time",
+    "simulate_traditional_time",
+]

@@ -1,0 +1,87 @@
+"""Host calibration for the parallel-time model.
+
+Measures what this machine actually achieves on the two quantities the
+simulator needs — ``mult_XORs`` throughput (symbols x ops / second) and
+thread-spawn overhead — so simulated times for the paper's CPU profiles
+are anchored to real kernel speed rather than guesses.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..gf import GF, RegionOps
+from .simulate import CPUProfile
+
+_HOST_CACHE: dict[int, CPUProfile] = {}
+
+
+def measure_throughput(w: int = 8, region_symbols: int = 1 << 18, repeats: int = 12) -> float:
+    """Measured mult_XORs throughput in symbols x ops per second."""
+    field = GF(w)
+    ops = RegionOps(field)
+    rng = np.random.default_rng(0)
+    src = rng.integers(0, field.order + 1, size=region_symbols).astype(field.dtype)
+    dst = np.zeros_like(src)
+    ops.mult_xors(src, dst, 3)  # warm tables and caches
+    t0 = time.perf_counter()
+    for i in range(repeats):
+        ops.mult_xors(src, dst, 2 + (i % 7))
+    elapsed = time.perf_counter() - t0
+    return repeats * region_symbols / elapsed
+
+
+def measure_spawn_overhead(threads: int = 4, repeats: int = 5) -> float:
+    """Measured cost of standing up a T-worker pool, per thread (seconds)."""
+    total = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        pool = ThreadPoolExecutor(max_workers=threads)
+        futures = [pool.submit(lambda: None) for _ in range(threads)]
+        for f in futures:
+            f.result()
+        pool.shutdown(wait=True)
+        total += time.perf_counter() - t0
+    return total / (repeats * threads)
+
+
+def host_profile(w: int = 8, refresh: bool = False) -> CPUProfile:
+    """A CPU profile describing *this* machine, measured once and cached.
+
+    The host's GHz is unknown portably, so the profile pins ``ghz=1.0``
+    and folds the whole measured throughput into ``base_throughput``;
+    the paper-CPU profiles are then scaled from it by clock ratio via
+    :func:`scaled_paper_profile`.
+    """
+    if not refresh and w in _HOST_CACHE:
+        return _HOST_CACHE[w]
+    profile = CPUProfile(
+        name=f"host(w={w})",
+        cores=os.cpu_count() or 1,
+        ghz=1.0,
+        base_throughput=measure_throughput(w),
+        spawn_overhead_s=measure_spawn_overhead(),
+    )
+    _HOST_CACHE[w] = profile
+    return profile
+
+
+def scaled_paper_profile(paper_cpu: CPUProfile, host: CPUProfile) -> CPUProfile:
+    """A paper CPU re-based on the host's measured per-GHz throughput.
+
+    Keeps the paper CPU's core count and clock but replaces the default
+    throughput constant with what a GHz of *this* machine's kernel
+    actually delivers, and uses the host's measured spawn overhead.
+    """
+    per_ghz = host.base_throughput / max(host.ghz, 1e-9)
+    return CPUProfile(
+        name=paper_cpu.name,
+        cores=paper_cpu.cores,
+        ghz=paper_cpu.ghz,
+        base_throughput=per_ghz,
+        spawn_overhead_s=host.spawn_overhead_s,
+    )

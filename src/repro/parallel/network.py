@@ -1,0 +1,106 @@
+"""Network model for distributed repair — LRC's other motivation.
+
+The paper motivates LRC with degraded reads that "reduce disk I/O,
+network overhead, and degraded read latency" (§I): in a cluster, every
+survivor a repair touches must cross the network from its node.  This
+module prices a decode plan under a simple cluster model:
+
+- blocks live on nodes (default: one node per disk);
+- a repair runs on one *repair node*; every survivor block on another
+  node is transferred once (recovered intermediates stay local);
+- transfer time = latency (per remote node contacted) + bytes/bandwidth,
+  with transfers from distinct nodes overlapping up to ``parallel_fetch``
+  streams; compute uses the usual calibrated throughput.
+
+``repair_bill`` returns bytes/latency/compute; combined with
+:func:`repro.stripes.reads.plan_io` it reproduces the LRC-vs-RS
+degraded-read economics quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..codes.base import ErasureCode
+from ..core.planner import DecodePlan
+from ..stripes.reads import plan_io
+from .simulate import CPUProfile
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cluster network parameters (defaults: 10 GbE, intra-rack)."""
+
+    bandwidth_bytes_per_s: float = 1.25e9
+    latency_s: float = 200e-6
+    parallel_fetch: int = 4
+
+
+@dataclass(frozen=True)
+class RepairBill:
+    """Cost of one distributed repair."""
+
+    network_bytes: int
+    remote_nodes: int
+    transfer_seconds: float
+    compute_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.transfer_seconds + self.compute_seconds
+
+
+def default_placement(code: ErasureCode) -> dict[int, int]:
+    """One node per disk: block -> node id (== disk id)."""
+    return {b: code.position(b)[1] for b in range(code.num_blocks)}
+
+
+def repair_bill(
+    code: ErasureCode,
+    plan: DecodePlan,
+    sector_bytes: int,
+    profile: CPUProfile,
+    network: NetworkModel | None = None,
+    placement: Mapping[int, int] | None = None,
+    repair_node: int | None = None,
+) -> RepairBill:
+    """Price a repair plan on a cluster.
+
+    ``repair_node`` defaults to the node of the first faulty block (the
+    node that wants the data / hosts the replacement).
+    """
+    network = network if network is not None else NetworkModel()
+    placement = placement if placement is not None else default_placement(code)
+    if repair_node is None:
+        repair_node = placement[plan.faulty_ids[0]]
+    io = plan_io(code, plan)
+    remote_blocks = [b for b in io.blocks_read if placement[b] != repair_node]
+    remote_nodes = {placement[b] for b in remote_blocks}
+    total_bytes = len(remote_blocks) * sector_bytes
+    # fetches from distinct nodes overlap up to parallel_fetch streams
+    waves = -(-len(remote_nodes) // network.parallel_fetch) if remote_nodes else 0
+    transfer = (
+        waves * network.latency_s + total_bytes / network.bandwidth_bytes_per_s
+    )
+    symbols = sector_bytes // code.field.dtype.itemsize
+    compute = plan.predicted_cost * symbols / profile.throughput
+    return RepairBill(
+        network_bytes=total_bytes,
+        remote_nodes=len(remote_nodes),
+        transfer_seconds=transfer,
+        compute_seconds=compute,
+    )
+
+
+def compare_repair_bills(
+    codes_and_plans: Sequence[tuple[str, ErasureCode, DecodePlan]],
+    sector_bytes: int,
+    profile: CPUProfile,
+    network: NetworkModel | None = None,
+) -> dict[str, RepairBill]:
+    """Repair bills of several (code, plan) pairs under one cluster model."""
+    return {
+        name: repair_bill(code, plan, sector_bytes, profile, network)
+        for name, code, plan in codes_and_plans
+    }

@@ -1,0 +1,67 @@
+"""Stripe storage substrate: layout, sector data, failures, disk arrays.
+
+Public surface: :class:`StripeLayout`, :class:`Stripe`, :class:`DiskArray`,
+:class:`FailureScenario` and the scenario generators matching the paper's
+experimental methodology (:func:`worst_case_sd`, :func:`lrc_scenario`,
+:func:`random_scenario`).
+"""
+
+from .array import DiskArray
+from .failures import (
+    FailureScenario,
+    UndecodableScenarioError,
+    lrc_scenario,
+    random_scenario,
+    worst_case_sd,
+)
+from .layout import StripeLayout
+from .reads import RepairIO, compare_degraded_read, degraded_read_cost, plan_io
+from .scrub import (
+    ScrubResult,
+    locate_corruptions,
+    locate_single_corruption,
+    repair_corruption,
+    scrub_array,
+    syndromes,
+)
+from .rotation import RotatedDiskArray, logical_disk, parity_load, physical_disk
+from .store import Stripe
+from .traces import (
+    LifetimeReport,
+    TraceConfig,
+    TraceEvent,
+    generate_trace,
+    iter_repair_batches,
+    simulate_lifetime,
+)
+
+__all__ = [
+    "LifetimeReport",
+    "TraceConfig",
+    "TraceEvent",
+    "generate_trace",
+    "iter_repair_batches",
+    "simulate_lifetime",
+    "RepairIO",
+    "compare_degraded_read",
+    "degraded_read_cost",
+    "plan_io",
+    "ScrubResult",
+    "locate_corruptions",
+    "locate_single_corruption",
+    "repair_corruption",
+    "scrub_array",
+    "syndromes",
+    "RotatedDiskArray",
+    "logical_disk",
+    "parity_load",
+    "physical_disk",
+    "DiskArray",
+    "FailureScenario",
+    "UndecodableScenarioError",
+    "lrc_scenario",
+    "random_scenario",
+    "worst_case_sd",
+    "StripeLayout",
+    "Stripe",
+]

@@ -1,0 +1,201 @@
+"""Failure-scenario generation, reproducing the paper's methodology.
+
+Section IV: "We use a random integer generator to simulate the m faulty
+disks (m random numbers in (0..n-1)) and the s additional faulty sectors
+(the surviving sectors are labeled from 0 to (n-m)*r-1, s random numbers
+in (0..(n-m)*r-1)).  The s additional faulty sectors can reside on z
+(1 <= z <= s) rows."  We use a seeded PCG64 instead of random.org
+(documented substitution) and optionally constrain the sector faults to
+exactly ``z`` distinct rows, as the figures require.
+
+Every generator can *validate* its scenario against a code instance
+(``F`` full rank) and resample on the rare singular draw, so experiments
+never run on an undecodable pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from ..codes import is_decodable
+from ..codes.base import ErasureCode
+from .layout import StripeLayout
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """One concrete failure pattern on a stripe.
+
+    Attributes
+    ----------
+    faulty_blocks:
+        Sorted block ids of all lost sectors.
+    failed_disks:
+        Whole-disk failures contributing to ``faulty_blocks``.
+    sector_faults:
+        The additional individual sector failures (latent sector errors).
+    """
+
+    faulty_blocks: tuple[int, ...]
+    failed_disks: tuple[int, ...] = ()
+    sector_faults: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if list(self.faulty_blocks) != sorted(set(self.faulty_blocks)):
+            raise ValueError("faulty_blocks must be sorted and unique")
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.faulty_blocks)
+
+    def z(self, layout: StripeLayout) -> int:
+        """Number of distinct stripe rows holding the sector faults."""
+        return len(layout.rows_touched(self.sector_faults))
+
+    def describe(self, layout: StripeLayout | None = None) -> str:
+        parts = [f"{self.num_faults} faulty blocks"]
+        if self.failed_disks:
+            parts.append(f"disks {list(self.failed_disks)}")
+        if self.sector_faults:
+            parts.append(f"sectors {list(self.sector_faults)}")
+            if layout is not None:
+                parts.append(f"z={self.z(layout)}")
+        return ", ".join(parts)
+
+
+class UndecodableScenarioError(RuntimeError):
+    """No decodable scenario found within the resampling budget."""
+
+
+def worst_case_sd(
+    code: ErasureCode,
+    z: int | None = None,
+    rng: np.random.Generator | int | None = None,
+    validate: bool = True,
+    max_resample: int = 64,
+) -> FailureScenario:
+    """The paper's worst-case SD scenario: m whole disks + s sectors.
+
+    The s sector faults land on surviving disks; when ``z`` is given they
+    are confined to exactly ``z`` distinct stripe rows (the paper sweeps
+    z in Figure 5 and fixes z = 1 elsewhere).
+    """
+    m = getattr(code, "m", None)
+    s = getattr(code, "s", 0)
+    if m is None:
+        raise TypeError(f"{code.kind} has no disk-parity count m")
+    if z is not None and s and not (1 <= z <= min(s, code.r)):
+        raise ValueError(f"need 1 <= z <= min(s, r) = {min(s, code.r)}, got z={z}")
+    rng = np.random.default_rng(rng)
+    layout = StripeLayout.of_code(code)
+    for _ in range(max_resample):
+        disks = sorted(int(d) for d in rng.choice(code.n, size=m, replace=False))
+        disk_blocks = [layout.block_id(i, j) for j in disks for i in range(code.r)]
+        sectors: list[int] = []
+        if s:
+            surviving_disks = [j for j in range(code.n) if j not in disks]
+            if z is None:
+                pool = [layout.block_id(i, j) for i in range(code.r) for j in surviving_disks]
+                picks = rng.choice(len(pool), size=s, replace=False)
+                sectors = sorted(pool[int(p)] for p in picks)
+            else:
+                sectors = _sectors_in_z_rows(layout, surviving_disks, s, z, rng)
+        scenario = FailureScenario(
+            faulty_blocks=tuple(sorted(disk_blocks + sectors)),
+            failed_disks=tuple(disks),
+            sector_faults=tuple(sectors),
+        )
+        if not validate or is_decodable(code, scenario.faulty_blocks):
+            return scenario
+    raise UndecodableScenarioError(
+        f"no decodable worst-case scenario for {code.describe()} in {max_resample} draws"
+    )
+
+
+def _sectors_in_z_rows(
+    layout: StripeLayout,
+    surviving_disks: list[int],
+    s: int,
+    z: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """s sector faults spread over exactly z distinct rows."""
+    if z > s:
+        raise ValueError(f"cannot spread {s} sectors over {z} rows")
+    per_row_capacity = len(surviving_disks)
+    if s > z * per_row_capacity:
+        raise ValueError(
+            f"{s} sector faults cannot fit in {z} rows of {per_row_capacity} survivors"
+        )
+    rows = sorted(int(i) for i in rng.choice(layout.r, size=z, replace=False))
+    # ensure every chosen row gets at least one fault, remainder spread freely
+    counts = [1] * z
+    for _ in range(s - z):
+        candidates = [i for i in range(z) if counts[i] < per_row_capacity]
+        counts[int(rng.integers(0, len(candidates)))] += 1
+    sectors = []
+    for row, count in zip(rows, counts):
+        picks = rng.choice(len(surviving_disks), size=count, replace=False)
+        sectors.extend(layout.block_id(row, surviving_disks[int(p)]) for p in picks)
+    return sorted(sectors)
+
+
+def random_scenario(
+    code: ErasureCode,
+    num_faults: int,
+    rng: np.random.Generator | int | None = None,
+    validate: bool = True,
+    max_resample: int = 256,
+) -> FailureScenario:
+    """Uniformly random sector failures (no whole-disk structure)."""
+    rng = np.random.default_rng(rng)
+    for _ in range(max_resample):
+        picks = rng.choice(code.num_blocks, size=num_faults, replace=False)
+        blocks = tuple(sorted(int(b) for b in picks))
+        scenario = FailureScenario(faulty_blocks=blocks, sector_faults=blocks)
+        if not validate or is_decodable(code, blocks):
+            return scenario
+    raise UndecodableScenarioError(
+        f"no decodable {num_faults}-fault scenario for {code.describe()}"
+    )
+
+
+def lrc_scenario(
+    code: ErasureCode,
+    local_failures: int,
+    extra_failures: int = 0,
+    rng: np.random.Generator | int | None = None,
+    validate: bool = True,
+    max_resample: int = 256,
+) -> FailureScenario:
+    """LRC scenario: one failure in each of ``local_failures`` distinct
+    groups plus ``extra_failures`` more blocks anywhere.
+
+    The locally-repairable singles are what PPM extracts as independent
+    sub-matrices; the extras force the global parities into H_rest.
+    """
+    groups = getattr(code, "groups", None)
+    if groups is None:
+        raise TypeError(f"{code.kind} is not an LRC code")
+    if local_failures > len(groups):
+        raise ValueError(f"only {len(groups)} groups, asked for {local_failures}")
+    rng = np.random.default_rng(rng)
+    for _ in range(max_resample):
+        chosen_groups = rng.choice(len(groups), size=local_failures, replace=False)
+        faulty: set[int] = set()
+        for gi in chosen_groups:
+            members = list(groups[int(gi)]) + [code.local_parity_id(int(gi))]
+            faulty.add(int(members[int(rng.integers(0, len(members)))]))
+        survivors = [b for b in range(code.n) if b not in faulty]
+        if extra_failures:
+            picks = rng.choice(len(survivors), size=extra_failures, replace=False)
+            faulty.update(survivors[int(p)] for p in picks)
+        blocks = tuple(sorted(faulty))
+        scenario = FailureScenario(faulty_blocks=blocks, sector_faults=blocks)
+        if not validate or is_decodable(code, blocks):
+            return scenario
+    raise UndecodableScenarioError(
+        f"no decodable LRC scenario ({local_failures} local + {extra_failures} extra)"
+    )

@@ -1,0 +1,71 @@
+"""Stripe geometry helpers: block id <-> (row, disk) mapping.
+
+Mirrors the paper's numbering: a stripe has ``n`` strips (disks) of ``r``
+rows; sector ``b_{i*n+j}`` is in row ``i`` on disk ``j`` and corresponds
+to column ``i*n + j`` of the parity-check matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Geometry of one stripe: ``n`` disks x ``r`` rows."""
+
+    n: int
+    r: int
+
+    def __post_init__(self):
+        if self.n < 1 or self.r < 1:
+            raise ValueError(f"invalid layout n={self.n}, r={self.r}")
+
+    @property
+    def num_blocks(self) -> int:
+        return self.n * self.r
+
+    def block_id(self, row: int, disk: int) -> int:
+        """Column/block id of the sector in ``row`` on ``disk``."""
+        if not (0 <= row < self.r):
+            raise IndexError(f"row {row} outside 0..{self.r - 1}")
+        if not (0 <= disk < self.n):
+            raise IndexError(f"disk {disk} outside 0..{self.n - 1}")
+        return row * self.n + disk
+
+    def position(self, block: int) -> tuple[int, int]:
+        """(row, disk) of a block id."""
+        if not (0 <= block < self.num_blocks):
+            raise IndexError(f"block {block} outside stripe of {self.num_blocks}")
+        return divmod(block, self.n)
+
+    def row_of(self, block: int) -> int:
+        return self.position(block)[0]
+
+    def disk_of(self, block: int) -> int:
+        return self.position(block)[1]
+
+    def blocks_of_disk(self, disk: int) -> tuple[int, ...]:
+        """All block ids on ``disk``, top to bottom."""
+        if not (0 <= disk < self.n):
+            raise IndexError(f"disk {disk} outside 0..{self.n - 1}")
+        return tuple(row * self.n + disk for row in range(self.r))
+
+    def blocks_of_row(self, row: int) -> tuple[int, ...]:
+        """All block ids in stripe ``row``, left to right."""
+        if not (0 <= row < self.r):
+            raise IndexError(f"row {row} outside 0..{self.r - 1}")
+        return tuple(row * self.n + disk for disk in range(self.n))
+
+    def rows_touched(self, blocks) -> tuple[int, ...]:
+        """Sorted distinct stripe rows containing any of ``blocks``."""
+        return tuple(sorted({self.row_of(b) for b in blocks}))
+
+    def disks_touched(self, blocks) -> tuple[int, ...]:
+        """Sorted distinct disks containing any of ``blocks``."""
+        return tuple(sorted({self.disk_of(b) for b in blocks}))
+
+    @classmethod
+    def of_code(cls, code) -> "StripeLayout":
+        """Layout matching an :class:`~repro.codes.base.ErasureCode`."""
+        return cls(n=code.n, r=code.r)

@@ -1,0 +1,69 @@
+"""Rotated (declustered) parity placement across stripes.
+
+With a fixed layout, the coding disks of every stripe are the same
+physical devices, which concentrates parity-update I/O (the classic
+RAID-4 bottleneck) and makes a coding-disk failure hit only parity.
+Production arrays rotate the layout per stripe (RAID-5 left-symmetric):
+logical disk ``j`` of stripe ``i`` lives on physical disk
+``(j + i) mod n``.
+
+Codes and decoders work entirely in *logical* coordinates; rotation is a
+pure placement concern, so :class:`RotatedDiskArray` only translates
+physical failures into per-stripe logical erasures.  ``parity_load``
+quantifies the balancing.
+"""
+
+from __future__ import annotations
+
+from ..codes.base import ErasureCode
+from .array import DiskArray
+
+
+def physical_disk(logical: int, stripe_index: int, n: int) -> int:
+    """Physical device holding logical disk ``logical`` of a stripe."""
+    return (logical + stripe_index) % n
+
+
+def logical_disk(physical: int, stripe_index: int, n: int) -> int:
+    """Logical column stored on ``physical`` within a stripe."""
+    return (physical - stripe_index) % n
+
+
+def parity_load(code: ErasureCode, num_stripes: int, rotated: bool = True) -> list[int]:
+    """Parity blocks stored per physical disk over ``num_stripes`` stripes."""
+    layout_parity_disks = sorted(
+        {code.position(b)[1] for b in code.parity_block_ids}
+    )
+    per_disk_parity = {
+        j: sum(1 for b in code.parity_block_ids if code.position(b)[1] == j)
+        for j in layout_parity_disks
+    }
+    load = [0] * code.n
+    for stripe_index in range(num_stripes):
+        for j, count in per_disk_parity.items():
+            target = physical_disk(j, stripe_index, code.n) if rotated else j
+            load[target] += count
+    return load
+
+
+class RotatedDiskArray(DiskArray):
+    """A :class:`DiskArray` with left-symmetric per-stripe rotation.
+
+    ``fail_disk`` takes a *physical* device id; each stripe loses the
+    logical column that the rotation places there.  Everything else
+    (degraded reads, rebuild, verification) operates on logical block
+    ids and is inherited unchanged.
+    """
+
+    def fail_disk(self, disk: int) -> None:
+        if not (0 <= disk < self.code.n):
+            raise IndexError(f"disk {disk} outside 0..{self.code.n - 1}")
+        self.failed_disks.add(disk)
+        for stripe_index, stripe in enumerate(self.stripes):
+            logical = logical_disk(disk, stripe_index, self.code.n)
+            stripe.erase(self.layout.blocks_of_disk(logical))
+
+    def physical_of(self, stripe_index: int, block: int) -> int:
+        """Physical disk holding a stripe's logical block."""
+        _row, logical = self.layout.position(block)
+        return physical_disk(logical, stripe_index, self.code.n)

@@ -1,0 +1,142 @@
+"""In-memory stripe data: the unit the decoders actually operate on.
+
+A :class:`Stripe` maps every block id to a NumPy region of field symbols
+(the "sector"; real deployments make it 512 B-64 KB — here its length is
+a free parameter, and the benchmark harness converts byte sizes to symbol
+counts).  The stripe distinguishes *present* from *erased* blocks; erased
+blocks keep no data, as in a real array.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..gf import GF
+from .layout import StripeLayout
+
+
+class Stripe:
+    """Sector data for one stripe.
+
+    Parameters
+    ----------
+    layout:
+        Stripe geometry.
+    field:
+        Field whose dtype all sectors carry.
+    sector_symbols:
+        Symbols per sector (sector byte size / field word bytes).
+    blocks:
+        Optional initial mapping ``block_id -> region``.
+    """
+
+    def __init__(
+        self,
+        layout: StripeLayout,
+        field: GF,
+        sector_symbols: int,
+        blocks: Mapping[int, np.ndarray] | None = None,
+    ):
+        if sector_symbols < 1:
+            raise ValueError(f"sector_symbols must be positive, got {sector_symbols}")
+        self.layout = layout
+        self.field = field
+        self.sector_symbols = sector_symbols
+        self._blocks: dict[int, np.ndarray] = {}
+        if blocks:
+            for bid, region in blocks.items():
+                self.put(bid, region)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        layout: StripeLayout,
+        field: GF,
+        sector_symbols: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> "Stripe":
+        """Stripe with every block filled with uniform random symbols."""
+        rng = np.random.default_rng(rng)
+        stripe = cls(layout, field, sector_symbols)
+        for bid in range(layout.num_blocks):
+            data = rng.integers(0, field.order + 1, size=sector_symbols)
+            stripe.put(bid, data.astype(field.dtype))
+        return stripe
+
+    @classmethod
+    def zeros(cls, layout: StripeLayout, field: GF, sector_symbols: int) -> "Stripe":
+        """Stripe with every block present and zeroed."""
+        stripe = cls(layout, field, sector_symbols)
+        for bid in range(layout.num_blocks):
+            stripe.put(bid, field.zeros(sector_symbols))
+        return stripe
+
+    # -- block access --------------------------------------------------------
+
+    def put(self, block: int, region: np.ndarray) -> None:
+        """Store (copy) a region as block ``block``."""
+        self.layout.position(block)  # bounds check
+        region = np.asarray(region)
+        if region.dtype != self.field.dtype:
+            raise TypeError(
+                f"block {block}: dtype {region.dtype} != field dtype {self.field.dtype}"
+            )
+        if region.shape != (self.sector_symbols,):
+            raise ValueError(
+                f"block {block}: shape {region.shape} != ({self.sector_symbols},)"
+            )
+        self._blocks[block] = region.copy()
+
+    def get(self, block: int) -> np.ndarray:
+        """The region of a present block (KeyError if erased/absent)."""
+        if block not in self._blocks:
+            raise KeyError(f"block {block} is erased or was never written")
+        return self._blocks[block]
+
+    def has(self, block: int) -> bool:
+        return block in self._blocks
+
+    def erase(self, blocks: Iterable[int]) -> None:
+        """Drop the data of the given blocks (simulates failures)."""
+        for bid in blocks:
+            self.layout.position(bid)
+            self._blocks.pop(bid, None)
+
+    @property
+    def present_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._blocks))
+
+    @property
+    def erased_ids(self) -> tuple[int, ...]:
+        return tuple(
+            b for b in range(self.layout.num_blocks) if b not in self._blocks
+        )
+
+    def gather(self, blocks: Iterable[int]) -> list[np.ndarray]:
+        """Regions of the given blocks, in order."""
+        return [self.get(b) for b in blocks]
+
+    def copy(self) -> "Stripe":
+        """Deep copy."""
+        return Stripe(
+            self.layout,
+            self.field,
+            self.sector_symbols,
+            blocks={b: r for b, r in self._blocks.items()},
+        )
+
+    def equals_on(self, other: "Stripe", blocks: Iterable[int]) -> bool:
+        """True iff both stripes hold identical data for ``blocks``."""
+        return all(
+            self.has(b) and other.has(b) and np.array_equal(self.get(b), other.get(b))
+            for b in blocks
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of present sector data."""
+        return sum(r.nbytes for r in self._blocks.values())

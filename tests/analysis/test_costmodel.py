@@ -1,0 +1,104 @@
+"""The paper's closed-form cost model vs the counted costs of real matrices.
+
+This is the strongest internal-consistency check in the reproduction: the
+formulas of Section III-B must agree with the nonzero counts our planner
+produces on real SD matrices.  C1/C4 agree exactly for generic scenarios;
+C2/C3 are upper bounds that the counted value may undershoot by a few ops
+when a matrix product happens to produce zero coefficients.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis import SDConfig, c1_minus_c4, c3_minus_c2, sd_costs
+from repro.codes import SDCode
+from repro.core import SequencePolicy, plan_decode
+from repro.stripes import worst_case_sd
+
+
+def test_paper_example_exact():
+    costs = sd_costs(n=4, r=4, m=1, s=1, z=1)
+    assert costs.c1 == 35
+    assert costs.c2 == 31
+    assert costs.c4 == 29
+    assert costs.reduction() == pytest.approx(0.1714, abs=1e-4)
+
+
+def test_identities():
+    """C1 - C4 > 0 and C3 - C2 > 0 across the paper's parameter ranges."""
+    for n, r, m, s in itertools.product((4, 10, 24), (4, 16, 24), (1, 2, 3), (1, 2, 3)):
+        if m >= n:
+            continue
+        for z in range(1, min(s, r) + 1):
+            assert c1_minus_c4(n, r, m, s, z) > 0, (n, r, m, s, z)
+            assert c3_minus_c2(n, r, m, s, z) > 0, (n, r, m, s, z)
+
+
+def test_c1_minus_c4_closed_form_at_z1():
+    """At z = 1 the saving is m^2 * (z+1) * (r-1) (both paper variants agree)."""
+    for n, r, m, s in [(8, 16, 2, 2), (6, 4, 1, 1), (12, 24, 3, 3)]:
+        assert c1_minus_c4(n, r, m, s, 1) == m * m * 2 * (r - 1)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SDConfig(4, 4, 4, 1)  # m >= n
+    with pytest.raises(ValueError):
+        SDConfig(4, 4, 1, 0)  # s < 1
+    with pytest.raises(ValueError):
+        SDConfig(4, 4, 1, 2, z=3)  # z > s
+    assert SDConfig(8, 16, 2, 2).in_paper_ranges()
+    assert not SDConfig(30, 16, 2, 2).in_paper_ranges()
+
+
+@pytest.mark.parametrize(
+    "n,r,m,s", [(6, 16, 1, 1), (8, 16, 2, 2), (6, 4, 2, 2), (9, 12, 3, 1)]
+)
+def test_formula_matches_counted_z1(n, r, m, s):
+    """z = 1: closed form equals (C1, C4) and bounds (C2, C3) tightly."""
+    code = SDCode(n, r, m, s)
+    scen = worst_case_sd(code, z=1, rng=42)
+    counted = plan_decode(code, scen.faulty_blocks, SequencePolicy.AUTO).costs
+    predicted = sd_costs(n, r, m, s, 1)
+    assert counted.c1 == predicted.c1
+    assert counted.c4 == predicted.c4
+    assert counted.c2 <= predicted.c2
+    assert counted.c3 <= predicted.c3
+    assert predicted.c2 - counted.c2 <= max(4, predicted.c2 // 50)
+    assert predicted.c3 - counted.c3 <= max(4, predicted.c3 // 50)
+
+
+@pytest.mark.parametrize("z", [1, 2, 3])
+def test_formula_tracks_counted_for_z(z):
+    """Across z, counted never exceeds the closed form and stays within 2%."""
+    code = SDCode(10, 8, 3, 3)
+    scen = worst_case_sd(code, z=z, rng=7)
+    counted = plan_decode(code, scen.faulty_blocks, SequencePolicy.AUTO).costs
+    predicted = sd_costs(10, 8, 3, 3, z)
+    for key in ("c1", "c2", "c4"):
+        c, p = getattr(counted, key), getattr(predicted, key)
+        assert c <= p, key
+        assert p - c <= max(4, p // 50), key
+
+
+def test_ratios_shape_match_figure4():
+    """C4/C1 grows with n and s, shrinks with growing m (Figure 4 trends)."""
+    r = 16
+    # growing n
+    ratios_n = [sd_costs(n, r, 2, 2, 1).ratio("c4") for n in (6, 11, 16, 21)]
+    assert ratios_n == sorted(ratios_n)
+    # growing s
+    ratios_s = [sd_costs(12, r, 2, s, 1).ratio("c4") for s in (1, 2, 3)]
+    assert ratios_s == sorted(ratios_s)
+    # growing m shrinks the ratio
+    ratios_m = [sd_costs(12, r, m, 2, 1).ratio("c4") for m in (1, 2, 3)]
+    assert ratios_m == sorted(ratios_m, reverse=True)
+
+
+def test_ratio_shrinks_with_z_and_r():
+    """Figures 5 and 6: C4/C1 decreases as z or r increases."""
+    ratios_z = [sd_costs(12, 16, 2, 3, z).ratio("c4") for z in (1, 2, 3)]
+    assert ratios_z == sorted(ratios_z, reverse=True)
+    ratios_r = [sd_costs(12, r, 2, 3, 1).ratio("c4") for r in (4, 8, 16, 24)]
+    assert ratios_r == sorted(ratios_r, reverse=True)

@@ -1,0 +1,66 @@
+"""Unit tests for the energy model (the paper's deferred evaluation)."""
+
+import pytest
+
+from repro.analysis import EnergyModel, decode_energy, energy_comparison
+from repro.codes import SDCode
+from repro.core import plan_decode
+from repro.parallel import E5_2603
+from repro.stripes import worst_case_sd
+
+SYM = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def plan():
+    code = SDCode(12, 16, 2, 2)
+    scen = worst_case_sd(code, z=1, rng=0)
+    return plan_decode(code, scen.faulty_blocks)
+
+
+def test_bills_positive_and_decomposed(plan):
+    bill = decode_energy(plan, E5_2603, threads=4, sector_symbols=SYM)
+    assert bill.compute_j > 0
+    assert bill.static_j > 0
+    assert bill.threading_j >= 0
+    assert bill.total_j == pytest.approx(
+        bill.compute_j + bill.static_j + bill.threading_j
+    )
+
+
+def test_traditional_has_no_threading_cost(plan):
+    bill = decode_energy(plan, E5_2603, threads=4, sector_symbols=SYM, traditional=True)
+    assert bill.threading_j == 0
+
+
+def test_ppm_saves_energy_overall(plan):
+    """Fewer ops + shorter wall time beat the small threading overhead."""
+    comparison = energy_comparison(plan, E5_2603, threads=4, sector_symbols=SYM)
+    assert comparison.saving > 0
+    assert comparison.ppm.compute_j < comparison.traditional.compute_j
+    assert comparison.ppm.static_j < comparison.traditional.static_j
+
+
+def test_extra_power_is_modest(plan):
+    """The paper's claim: PPM's extra draw while active stays small (< 2 W)."""
+    comparison = energy_comparison(plan, E5_2603, threads=4, sector_symbols=SYM)
+    assert comparison.extra_threading_watts < 2.0
+
+
+def test_compute_energy_scales_with_symbols(plan):
+    small = decode_energy(plan, E5_2603, 4, sector_symbols=1 << 10)
+    large = decode_energy(plan, E5_2603, 4, sector_symbols=1 << 20)
+    assert large.compute_j == pytest.approx(small.compute_j * 1024, rel=1e-9)
+
+
+def test_custom_model(plan):
+    free_static = EnergyModel(static_watts=0.0)
+    bill = decode_energy(plan, E5_2603, 4, SYM, model=free_static)
+    assert bill.static_j == 0.0
+
+
+def test_saving_zero_edge():
+    from repro.analysis.energy import EnergyBill, EnergyComparison
+
+    zero = EnergyBill(0.0, 0.0, 0.0)
+    assert EnergyComparison(zero, zero).saving == 0.0

@@ -1,0 +1,79 @@
+"""Unit tests for the MTTDL reliability analysis."""
+
+import pytest
+
+from repro.analysis import (
+    ReliabilityModel,
+    mttdl,
+    mttdl_improvement,
+    rebuild_hours,
+)
+from repro.codes import SDCode
+from repro.core import plan_decode
+from repro.parallel import E5_2603
+from repro.stripes import worst_case_sd
+
+
+@pytest.fixture(scope="module")
+def plan():
+    code = SDCode(12, 16, 2, 2)
+    scen = worst_case_sd(code, z=1, rng=0)
+    return plan_decode(code, scen.faulty_blocks)
+
+
+def test_mttdl_basic_scaling():
+    model = ReliabilityModel(disk_afr=0.04)
+    base = mttdl(12, 2, repair_hours=10.0, model=model)
+    faster = mttdl(12, 2, repair_hours=5.0, model=model)
+    # halving repair time multiplies MTTDL by 2^f = 4
+    assert faster.mttdl_years == pytest.approx(4 * base.mttdl_years)
+    # deeper fault tolerance helps enormously
+    deeper = mttdl(12, 3, repair_hours=10.0, model=model)
+    assert deeper.mttdl_years > base.mttdl_years
+
+
+def test_mttdl_validation():
+    model = ReliabilityModel()
+    with pytest.raises(ValueError):
+        mttdl(2, 2, 10.0, model)
+    with pytest.raises(ValueError):
+        mttdl(12, 2, 0.0, model)
+
+
+def test_rebuild_hours_components(plan):
+    compute_only = ReliabilityModel(media_bytes_per_s=0.0, capacity_bytes=1e12)
+    with_media = ReliabilityModel(media_bytes_per_s=150e6, capacity_bytes=1e12)
+    a = rebuild_hours(plan, E5_2603, 4, compute_only)
+    b = rebuild_hours(plan, E5_2603, 4, with_media)
+    assert b > a > 0
+    media_hours = 1e12 / 150e6 / 3600
+    assert b == pytest.approx(a + media_hours)
+
+
+def test_ppm_rebuild_faster(plan):
+    model = ReliabilityModel(media_bytes_per_s=0.0)
+    trad = rebuild_hours(plan, E5_2603, 4, model, use_ppm=False)
+    ppm = rebuild_hours(plan, E5_2603, 4, model, use_ppm=True)
+    assert ppm < trad
+
+
+def test_mttdl_improvement_compute_bound(plan):
+    """With no media floor, PPM's decode gain compounds as (gain)^f."""
+    model = ReliabilityModel(media_bytes_per_s=0.0)
+    trad, ppm = mttdl_improvement(plan, 12, 2, E5_2603, threads=4, model=model)
+    assert ppm.mttdl_years > trad.mttdl_years
+    ratio = ppm.mttdl_years / trad.mttdl_years
+    time_ratio = trad.repair_hours / ppm.repair_hours
+    assert ratio == pytest.approx(time_ratio**2, rel=1e-6)
+
+
+def test_mttdl_improvement_saturates_with_media_floor(plan):
+    """Once rebuilds are disk-bound, decode speed stops mattering much."""
+    compute_bound = ReliabilityModel(media_bytes_per_s=0.0)
+    disk_bound = ReliabilityModel(media_bytes_per_s=150e6)
+    t1, p1 = mttdl_improvement(plan, 12, 2, E5_2603, model=compute_bound)
+    t2, p2 = mttdl_improvement(plan, 12, 2, E5_2603, model=disk_bound)
+    gain_compute = p1.mttdl_years / t1.mttdl_years
+    gain_disk = p2.mttdl_years / t2.mttdl_years
+    assert gain_disk < gain_compute
+    assert gain_disk >= 1.0

@@ -1,0 +1,69 @@
+"""Integration tests for the extra experiments."""
+
+import pytest
+
+from repro.bench import EXTRAS, run_extra
+
+
+def test_all_extras_registered():
+    assert set(EXTRAS) == {
+        "paper-average",
+        "network-repair",
+        "reliability",
+        "c2-share",
+        "energy",
+        "parallel-strategies",
+        "rebuild-strategies",
+        "degraded-read-io",
+        "xor-scheduling",
+    }
+
+
+def test_run_extra_unknown():
+    with pytest.raises(ValueError):
+        run_extra("frobnicate")
+
+
+def test_c2_share_only_small_n():
+    report = run_extra("c2-share")
+    for n in report.column("n"):
+        assert n <= 9  # the paper's boundary
+    assert any("C2 < C4" in note for note in report.notes)
+
+
+def test_energy_saves_and_stays_under_two_watts():
+    report = run_extra("energy")
+    for saving in report.column("saving"):
+        assert saving > 0
+    for watts in report.column("extra W"):
+        assert watts < 2.0  # the paper's observation
+
+
+def test_parallel_strategies_ppm_beats_traditional():
+    report = run_extra("parallel-strategies")
+    for trad, ppm in zip(report.column("trad s"), report.column("ppm s")):
+        assert ppm < trad
+
+
+def test_rebuild_hybrid_wins():
+    report = run_extra("rebuild-strategies")
+    for row in report.rows:
+        _count, stripe_par, intra, hybrid = row
+        assert hybrid <= stripe_par
+        assert hybrid < intra
+
+
+def test_degraded_read_lrc_cheapest():
+    report = run_extra("degraded-read-io")
+    by_code = {row[0]: row[1] for row in report.rows}
+    assert by_code["LRC(12,4,2)"] < by_code["RS(16,12)"]
+    assert by_code["LRC(12,4,2)"] < by_code["SD(14,16,2,2) row"]
+
+
+def test_xor_scheduling_never_worse():
+    report = run_extra("xor-scheduling")
+    for naive, scheduled in zip(
+        report.column("naive XORs"), report.column("scheduled XORs")
+    ):
+        assert scheduled <= naive
+    assert max(report.column("saving")) > 0.3  # dense matrices save a lot

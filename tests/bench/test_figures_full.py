@@ -1,0 +1,58 @@
+"""Full-mode sweeps for the cost-model figures (4-6) — cheap, no data path."""
+
+import pytest
+
+from repro.bench import run_figure
+
+
+@pytest.fixture(scope="module")
+def fig4_full():
+    return run_figure(4, fast=False)
+
+
+def test_figure4_full_grid(fig4_full):
+    # 9 (m, s) combos x 4 n values, minus nothing (all n > m)
+    assert len(fig4_full.rows) == 36
+
+
+def test_figure4_full_c4_always_wins_or_c2(fig4_full):
+    for row in fig4_full.rows:
+        c2, c3, c4 = row[3], row[4], row[5]
+        assert min(c2, c4) <= 1.0  # PPM's choice beats C1 everywhere
+        assert c3 > c2 or c3 == pytest.approx(c2)  # C3 never strictly best
+
+
+def test_figure4_full_counted_tracks_model(fig4_full):
+    for counted, model in zip(
+        fig4_full.column("C4/C1"), fig4_full.column("model C4/C1")
+    ):
+        assert counted == pytest.approx(model, rel=0.02)
+
+
+def test_figure5_full_monotone():
+    report = run_figure(5, fast=False)
+    keys = {(row[0], row[1]) for row in report.rows}
+    assert len(keys) == 3 * 4  # m in 1..3, n in sweep
+    for key in keys:
+        series = sorted(
+            (row for row in report.rows if (row[0], row[1]) == key),
+            key=lambda row: row[2],
+        )
+        ratios = [row[3] for row in series]
+        assert ratios == sorted(ratios, reverse=True), key
+
+
+def test_figure6_full_monotone():
+    """The closed-form ratio is strictly monotone in r; counted values
+    track it within the incidental-zero tolerance (they can wiggle by a
+    fraction of a percent between adjacent r, scenario-dependent)."""
+    report = run_figure(6, fast=False)
+    for m, s in {(row[0], row[1]) for row in report.rows}:
+        series = sorted(
+            (row for row in report.rows if (row[0], row[1]) == (m, s)),
+            key=lambda row: row[3],
+        )
+        model = [row[5] for row in series]
+        assert model == sorted(model, reverse=True), (m, s)
+        for counted, predicted in zip((row[4] for row in series), model):
+            assert counted == pytest.approx(predicted, rel=0.02)

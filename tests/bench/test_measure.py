@@ -1,0 +1,56 @@
+"""Unit tests for the measured-decode helpers."""
+
+import pytest
+
+from repro.bench import (
+    build_stripe,
+    erased_blocks,
+    measure_decoder,
+    measure_improvement,
+    measure_wall,
+    sd_workload,
+)
+from repro.core import PPMDecoder, TraditionalDecoder
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return sd_workload(6, 4, 2, 2, z=1, stripe_bytes=1 << 14, seed=0)
+
+
+def test_measure_decoder_basics(workload):
+    result = measure_decoder(workload, TraditionalDecoder(), repeats=2)
+    assert result.seconds > 0
+    assert result.stripe_bytes == workload.stripe_bytes
+    assert result.mult_xors == workload.plan.costs.c1
+    assert result.mb_per_s > 0
+
+
+def test_measure_decoder_shared_blocks(workload):
+    stripe = build_stripe(workload, seed=1)
+    blocks = erased_blocks(workload, stripe)
+    a = measure_decoder(workload, TraditionalDecoder(), repeats=1, blocks=blocks)
+    b = measure_decoder(
+        workload, PPMDecoder(parallel=False), repeats=1, blocks=blocks
+    )
+    assert a.mult_xors != b.mult_xors or a.mult_xors == b.mult_xors  # both ran
+    assert b.mult_xors == workload.plan.predicted_cost
+
+
+def test_measure_improvement(workload):
+    improvement = measure_improvement(workload, repeats=2)
+    assert improvement.traditional.seconds > 0
+    assert improvement.ppm.seconds > 0
+    assert improvement.ratio > -1.0
+    # op counts reflect the policies
+    assert improvement.traditional.mult_xors == workload.plan.costs.c1
+    assert improvement.ppm.mult_xors == min(
+        workload.plan.costs.c2, workload.plan.costs.c4
+    )
+
+
+def test_measure_wall():
+    calls = []
+    elapsed = measure_wall(lambda: calls.append(1), repeats=3)
+    assert elapsed >= 0
+    assert len(calls) == 3

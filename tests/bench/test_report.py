@@ -1,0 +1,51 @@
+"""Unit tests for the Report renderer."""
+
+import pytest
+
+from repro.bench import Report, format_reports
+
+
+def sample():
+    r = Report(title="T", headers=("a", "b"))
+    r.add(1, 0.5)
+    r.add(2, 0.25)
+    r.note("a note")
+    return r
+
+
+def test_add_validates():
+    r = Report(title="T", headers=("a", "b"))
+    with pytest.raises(ValueError):
+        r.add(1)
+
+
+def test_format_table():
+    text = sample().format_table()
+    assert "T" in text
+    assert "a" in text and "b" in text
+    assert "0.5000" in text
+    assert "# a note" in text
+
+
+def test_to_csv():
+    csv = sample().to_csv()
+    lines = csv.splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,0.5000"
+
+
+def test_column():
+    assert sample().column("a") == [1, 2]
+    with pytest.raises(ValueError):
+        sample().column("zzz")
+
+
+def test_filtered():
+    r = sample()
+    assert r.filtered(a=1) == [(1, 0.5)]
+    assert r.filtered(a=3) == []
+
+
+def test_format_reports():
+    text = format_reports([sample(), sample()])
+    assert text.count("T\n=") == 2

@@ -1,0 +1,48 @@
+"""The paper's 85.78% headline statistic, reproduced to four decimals."""
+
+import pytest
+
+from repro.bench.sweeps import c4_over_c1_sweep, paper_average_report, sweep_stats
+
+
+def test_paper_mean_and_range_exact():
+    """Paper: 'the average value of C4/C1 is equal to 85.78% (in the
+    range from 47.97% to 98.06%)' — the Figure-4 grid reproduces all
+    three numbers to rounding."""
+    stats = sweep_stats(c4_over_c1_sweep())
+    assert stats.mean == pytest.approx(0.8578, abs=5e-4)
+    assert stats.minimum == pytest.approx(0.4797, abs=5e-4)
+    assert stats.maximum == pytest.approx(0.9807, abs=5e-4)
+
+
+def test_sweep_grid_size():
+    points = c4_over_c1_sweep()
+    # n in 6..24 (19 values) x 1 r x 3 m x 3 s
+    assert len(points) == 19 * 9
+
+
+def test_custom_z_sweep():
+    points = c4_over_c1_sweep(ns=[12], ss=[3], zs=[1, 2, 3])
+    assert len(points) == 3 * 3  # 3 m values x 3 z values
+    by_z = {}
+    for n, r, m, s, z, ratio in points:
+        if m == 2:
+            by_z[z] = ratio
+    assert by_z[1] > by_z[2] > by_z[3]  # Figure 5's trend
+
+
+def test_sweep_stats_empty():
+    with pytest.raises(ValueError):
+        sweep_stats([])
+
+
+def test_report_contents():
+    report = paper_average_report()
+    assert report.column("statistic") == [
+        "configurations",
+        "mean C4/C1",
+        "min C4/C1",
+        "max C4/C1",
+    ]
+    reproduced = report.rows[1][1]
+    assert reproduced == pytest.approx(0.8578, abs=5e-4)

@@ -1,0 +1,88 @@
+"""Unit tests for workload construction."""
+
+import pytest
+
+from repro.bench import (
+    LRC_COST_FAMILIES,
+    build_stripe,
+    erased_blocks,
+    lrc_workload,
+    rs_workload,
+    sd_workload,
+    sector_symbols_for,
+)
+from repro.codes import SDCode, is_decodable
+
+
+def test_sector_symbols_for():
+    code = SDCode(8, 16, 2, 2, 8)  # 128 blocks, 1-byte symbols
+    assert sector_symbols_for(code, 128 * 100) == 100
+    assert sector_symbols_for(code, 1) == 1  # clamped
+    code32 = SDCode(8, 16, 2, 2, 32)
+    assert sector_symbols_for(code32, 128 * 100 * 4) == 100
+
+
+def test_sd_workload():
+    wl = sd_workload(8, 16, 2, 2, z=1, stripe_bytes=1 << 17, seed=1)
+    assert wl.code.n == 8
+    assert wl.plan.faulty_ids == wl.scenario.faulty_blocks
+    assert is_decodable(wl.code, wl.scenario.faulty_blocks)
+    assert wl.stripe_bytes == wl.code.num_blocks * wl.sector_symbols
+    assert abs(wl.stripe_bytes - (1 << 17)) < wl.code.num_blocks
+
+
+def test_sd_workload_deterministic():
+    a = sd_workload(6, 8, 1, 1, seed=3)
+    b = sd_workload(6, 8, 1, 1, seed=3)
+    assert a.scenario == b.scenario
+
+
+def test_rs_workload():
+    wl = rs_workload(8, 6, r=4, stripe_bytes=1 << 14)
+    assert wl.code.m == 2
+    assert len(wl.scenario.failed_disks) == 2
+    assert len(wl.scenario.faulty_blocks) == 8
+    assert is_decodable(wl.code, wl.scenario.faulty_blocks)
+
+
+def test_lrc_workload_families():
+    for cost, (k, l, g) in LRC_COST_FAMILIES.items():
+        assert (k + l + g) / k == pytest.approx(cost, abs=0.04), cost
+
+
+def test_lrc_workload_fixed_modes():
+    by_stripe = lrc_workload(1.5, fixed="stripe", stripe_bytes=1 << 16)
+    by_strip = lrc_workload(1.5, fixed="strip", strip_bytes=1 << 12)
+    assert by_strip.sector_symbols == 1 << 12
+    assert by_stripe.stripe_bytes <= 1 << 16
+    with pytest.raises(ValueError):
+        lrc_workload(1.5, fixed="block")
+    with pytest.raises(ValueError):
+        lrc_workload(9.9)
+
+
+def test_lrc_workload_scenario_spans_groups():
+    wl = lrc_workload(1.7, stripe_bytes=1 << 12)
+    code = wl.code
+    # one failure per group plus one extra
+    assert len(wl.scenario.faulty_blocks) == code.l + 1
+
+
+def test_build_stripe_is_code_valid():
+    wl = sd_workload(6, 4, 2, 2, stripe_bytes=1 << 12, seed=5)
+    stripe = build_stripe(wl, seed=0)
+    from repro.gf import RegionOps
+
+    ops = RegionOps(wl.code.field)
+    regions = [stripe.get(b) for b in range(wl.code.num_blocks)]
+    syndromes = ops.matrix_apply(wl.code.H.array, regions)
+    assert all(not s.any() for s in syndromes)
+
+
+def test_erased_blocks_excludes_faulty():
+    wl = sd_workload(6, 4, 2, 2, stripe_bytes=1 << 12, seed=6)
+    stripe = build_stripe(wl, seed=0)
+    blocks = erased_blocks(wl, stripe)
+    assert set(blocks) == set(range(wl.code.num_blocks)) - set(
+        wl.scenario.faulty_blocks
+    )

@@ -1,0 +1,129 @@
+"""Hypothesis property tests over randomly-parameterised codes.
+
+Invariants every construction must satisfy regardless of parameters:
+full-rank H, decodable parity positions (encodability), pairwise
+linearly-independent columns (single-corruption locatability), sane
+geometry bookkeeping.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import LRCCode, RSCode, SDCode
+from repro.codes.search import is_decodable
+from repro.matrix import GFMatrix, rank
+
+
+@st.composite
+def sd_params(draw):
+    n = draw(st.integers(4, 10))
+    r = draw(st.integers(2, 8))
+    m = draw(st.integers(1, min(3, n - 2)))
+    s = draw(st.integers(0, min(3, (n - m) * r - 2)))
+    return n, r, m, s
+
+
+@st.composite
+def lrc_params(draw):
+    k = draw(st.integers(2, 14))
+    l = draw(st.integers(1, min(4, k)))
+    g = draw(st.integers(0, 3))
+    return k, l, g
+
+
+@given(sd_params())
+@settings(max_examples=40, deadline=None)
+def test_sd_h_full_rank(params):
+    code = SDCode(*params)
+    assert rank(code.H) == code.H.rows
+
+
+@given(sd_params())
+@settings(max_examples=40, deadline=None)
+def test_sd_parity_encodable_and_counted(params):
+    code = SDCode(*params)
+    n, r, m, s = params
+    assert len(code.parity_block_ids) == m * r + s == code.H.rows
+    assert is_decodable(code, code.parity_block_ids)
+    assert len(code.data_block_ids) + len(code.parity_block_ids) == code.num_blocks
+
+
+@given(sd_params())
+@settings(max_examples=30, deadline=None)
+def test_sd_columns_pairwise_independent(params):
+    """No two columns are scalar multiples (locatability / 2-erasure).
+
+    Requires minimum distance >= 3, i.e. m + s >= 2 (an SD code with
+    m = 1, s = 0 is RAID-5-like: same-row columns are identical).
+    """
+    n, r, m, s = params
+    if m + s < 2:
+        return
+    code = SDCode(*params)
+    h = code.H
+    f = code.field
+    rng = np.random.default_rng(0)
+    cols = rng.choice(code.num_blocks, size=min(8, code.num_blocks), replace=False)
+    for idx, a in enumerate(cols):
+        for b in cols[idx + 1 :]:
+            pair = h.take_columns([int(a), int(b)])
+            assert rank(pair) == 2, (a, b)
+
+
+@given(lrc_params())
+@settings(max_examples=40, deadline=None)
+def test_lrc_geometry_consistent(params):
+    k, l, g = params
+    code = LRCCode(k, l, g)
+    assert sum(code.group_sizes) == k
+    assert code.n == k + l + g
+    covered = [b for group in code.groups for b in group]
+    assert sorted(covered) == list(range(k))
+    for gi in range(l):
+        for b in code.groups[gi]:
+            assert code.group_of(b) == gi
+    assert rank(code.H) == code.H.rows
+
+
+@given(lrc_params())
+@settings(max_examples=30, deadline=None)
+def test_lrc_single_failures_always_local(params):
+    """Any single data-block loss decodes via its local row alone."""
+    k, l, g = params
+    code = LRCCode(k, l, g)
+    from repro.core import plan_decode
+
+    for b in (0, k - 1):
+        plan = plan_decode(code, [b])
+        assert plan.p == 1
+        group = code.group_of(b)
+        expected = set(code.groups[group]) | {code.local_parity_id(group)}
+        assert set(plan.groups[0].survivor_ids) | {b} == expected
+
+
+@given(st.integers(3, 16), st.integers(1, 3), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_rs_mds_sampled(n, m, r):
+    if m >= n:
+        return
+    code = RSCode(n, n - m, r=r)
+    rng = np.random.default_rng(1)
+    disks = rng.choice(n, size=m, replace=False)
+    faulty = [code.block_id(i, int(j)) for j in disks for i in range(r)]
+    assert is_decodable(code, faulty)
+
+
+@given(sd_params(), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_sd_syndrome_of_encoded_stripe_is_zero(params, seed):
+    from repro.core import TraditionalDecoder
+    from repro.gf import RegionOps
+    from repro.stripes import Stripe, StripeLayout
+
+    code = SDCode(*params)
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, 4, rng=seed)
+    TraditionalDecoder().encode_into(code, stripe)
+    ops = RegionOps(code.field)
+    regions = [stripe.get(b) for b in range(code.num_blocks)]
+    assert all(not s.any() for s in ops.matrix_apply(code.H.array, regions))

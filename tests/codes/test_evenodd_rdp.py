@@ -1,0 +1,89 @@
+"""Unit tests for the XOR-only symmetric baselines EVENODD and RDP."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import CodeConstructionError, EvenOddCode, RDPCode, is_decodable
+from repro.matrix import rank
+
+
+@pytest.mark.parametrize("p", [3, 5, 7])
+def test_evenodd_geometry(p):
+    code = EvenOddCode(p)
+    assert code.n == p + 2
+    assert code.r == p - 1
+    assert len(code.parity_block_ids) == 2 * (p - 1)
+    assert code.H.shape == (2 * (p - 1), (p + 2) * (p - 1))
+
+
+@pytest.mark.parametrize("p", [3, 5, 7])
+def test_rdp_geometry(p):
+    code = RDPCode(p)
+    assert code.n == p + 1
+    assert code.r == p - 1
+    assert code.H.shape == (2 * (p - 1), (p + 1) * (p - 1))
+
+
+def test_prime_required():
+    with pytest.raises(CodeConstructionError):
+        EvenOddCode(4)
+    with pytest.raises(CodeConstructionError):
+        RDPCode(6)
+    with pytest.raises(CodeConstructionError):
+        EvenOddCode(1)
+
+
+@pytest.mark.parametrize("code_cls", [EvenOddCode, RDPCode])
+def test_binary_matrices(code_cls):
+    h = code_cls(5).H.array
+    assert set(np.unique(h).tolist()) <= {0, 1}
+
+
+@pytest.mark.parametrize("code_cls", [EvenOddCode, RDPCode])
+def test_full_rank(code_cls):
+    code = code_cls(5)
+    assert rank(code.H) == code.H.rows
+
+
+@pytest.mark.parametrize("p", [3, 5])
+def test_evenodd_tolerates_any_two_disks(p):
+    code = EvenOddCode(p)
+    for combo in combinations(range(code.n), 2):
+        faulty = [code.block_id(i, j) for j in combo for i in range(code.r)]
+        assert is_decodable(code, faulty), combo
+
+
+@pytest.mark.parametrize("p", [3, 5])
+def test_rdp_tolerates_any_two_disks(p):
+    code = RDPCode(p)
+    for combo in combinations(range(code.n), 2):
+        faulty = [code.block_id(i, j) for j in combo for i in range(code.r)]
+        assert is_decodable(code, faulty), combo
+
+
+def test_evenodd_three_disks_fail():
+    code = EvenOddCode(5)
+    faulty = [code.block_id(i, j) for j in (0, 1, 2) for i in range(code.r)]
+    assert not is_decodable(code, faulty)
+
+
+def test_evenodd_row_parity_rows():
+    code = EvenOddCode(5)
+    h = code.H.array
+    # row-parity constraint i covers the p data disks of row i plus disk p
+    for i in range(code.r):
+        support = set(np.nonzero(h[i])[0].tolist())
+        expected = {code.block_id(i, j) for j in range(5)} | {code.block_id(i, 5)}
+        assert support == expected
+
+
+def test_rdp_diagonal_includes_row_parity_disk():
+    """RDP's diagonals must cross the row-parity disk (its defining trick)."""
+    code = RDPCode(5)
+    h = code.H.array
+    row_parity_cols = {code.block_id(i, code.p - 1) for i in range(code.r)}
+    diagonal_rows = h[code.r :]
+    touched = set(np.nonzero(diagonal_rows.any(axis=0))[0].tolist())
+    assert touched & row_parity_cols

@@ -1,0 +1,110 @@
+"""Unit tests for LRC codes, anchored on the paper's (4,2,2) example."""
+
+import numpy as np
+import pytest
+
+from repro.codes import LRCCode, is_decodable, verify_code
+
+
+@pytest.fixture
+def paper_lrc():
+    """The (4, 2, 2)-LRC of Figure 1b."""
+    return LRCCode(4, 2, 2)
+
+
+def test_geometry(paper_lrc):
+    assert paper_lrc.n == 8
+    assert paper_lrc.r == 1
+    assert paper_lrc.k == 4
+    assert paper_lrc.groups == ((0, 1), (2, 3))
+    assert paper_lrc.local_parity_id(0) == 4
+    assert paper_lrc.local_parity_id(1) == 5
+    assert paper_lrc.global_parity_id(0) == 6
+    assert paper_lrc.global_parity_id(1) == 7
+    assert paper_lrc.parity_block_ids == (4, 5, 6, 7)
+
+
+def test_asymmetric_parity(paper_lrc):
+    """Local parities touch 2 data blocks; globals touch 4 — asymmetric."""
+    h = paper_lrc.H.array
+    local_weights = [np.count_nonzero(h[i, :4]) for i in range(2)]
+    global_weights = [np.count_nonzero(h[i, :4]) for i in range(2, 4)]
+    assert local_weights == [2, 2]
+    assert global_weights == [4, 4]
+
+
+def test_local_rows_are_xor(paper_lrc):
+    h = paper_lrc.H.array
+    assert h[0].tolist() == [1, 1, 0, 0, 1, 0, 0, 0]
+    assert h[1].tolist() == [0, 0, 1, 1, 0, 1, 0, 0]
+
+
+def test_single_failure_per_group_decodable(paper_lrc):
+    assert is_decodable(paper_lrc, [0])
+    assert is_decodable(paper_lrc, [1, 3])
+    assert is_decodable(paper_lrc, [4, 5])
+
+
+def test_multi_failure_decodable(paper_lrc):
+    # one whole group failed plus its local parity: uses globals
+    assert is_decodable(paper_lrc, [0, 1, 4])
+    assert is_decodable(paper_lrc, [0, 1, 2, 3])
+
+
+def test_too_many_failures_not_decodable(paper_lrc):
+    # 5 failures > l + g = 4 constraints
+    assert not is_decodable(paper_lrc, [0, 1, 2, 3, 4])
+
+
+def test_group_of(paper_lrc):
+    assert paper_lrc.group_of(0) == 0
+    assert paper_lrc.group_of(3) == 1
+    assert paper_lrc.group_of(4) == 0  # local parity
+    assert paper_lrc.group_of(6) is None  # global parity
+
+
+def test_uneven_groups():
+    lrc = LRCCode(7, 3, 2)
+    assert lrc.group_sizes == (3, 2, 2)
+    assert lrc.groups == ((0, 1, 2), (3, 4), (5, 6))
+    assert sum(lrc.group_sizes) == 7
+
+
+def test_explicit_group_sizes():
+    lrc = LRCCode(6, 2, 1, group_sizes=[4, 2])
+    assert lrc.groups == ((0, 1, 2, 3), (4, 5))
+    with pytest.raises(ValueError):
+        LRCCode(6, 2, 1, group_sizes=[4, 1])
+    with pytest.raises(ValueError):
+        LRCCode(6, 2, 1, group_sizes=[6, 0])
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        LRCCode(0, 1, 1)
+    with pytest.raises(ValueError):
+        LRCCode(4, 5, 1)
+    with pytest.raises(ValueError):
+        LRCCode(4, 1, -1)
+    with pytest.raises(IndexError):
+        LRCCode(4, 2, 2).local_parity_id(2)
+    with pytest.raises(IndexError):
+        LRCCode(4, 2, 2).global_parity_id(2)
+
+
+def test_storage_cost():
+    assert LRCCode(4, 2, 2).storage_cost == 2.0
+    assert LRCCode(40, 2, 2).storage_cost == pytest.approx(1.1)
+
+
+def test_verify_paper_instance(paper_lrc):
+    assert verify_code(paper_lrc, samples=150)
+
+
+def test_larger_instances_verify():
+    for k, l, g in [(8, 2, 2), (12, 3, 2), (6, 2, 1)]:
+        assert verify_code(LRCCode(k, l, g), samples=80), (k, l, g)
+
+
+def test_encoding_positions_decodable(paper_lrc):
+    assert is_decodable(paper_lrc, paper_lrc.parity_block_ids)

@@ -1,0 +1,62 @@
+"""Unit tests for the code registry."""
+
+import pytest
+
+from repro.codes import (
+    EvenOddCode,
+    LRCCode,
+    SDCode,
+    available_codes,
+    get_code,
+    register_code,
+)
+from repro.codes.base import ErasureCode
+
+
+def test_available():
+    kinds = available_codes()
+    assert set(kinds) == {"sd", "pmds", "lrc", "rs", "evenodd", "rdp", "star"}
+    assert list(kinds) == sorted(kinds)
+
+
+def test_get_code_constructs():
+    sd = get_code("sd", n=4, r=4, m=1, s=1)
+    assert isinstance(sd, SDCode)
+    lrc = get_code("lrc", k=4, l=2, g=2)
+    assert isinstance(lrc, LRCCode)
+    eo = get_code("evenodd", p=5)
+    assert isinstance(eo, EvenOddCode)
+
+
+def test_get_code_unknown():
+    with pytest.raises(ValueError, match="unknown code kind"):
+        get_code("raid0")
+
+
+def test_register_custom_code():
+    class Dummy(ErasureCode):
+        kind = "dummy-test"
+
+        def __init__(self):
+            from repro.gf import GF
+
+            super().__init__(n=2, r=1, field=GF(8))
+
+        @property
+        def parity_block_ids(self):
+            return (1,)
+
+        def parity_check_matrix(self):
+            from repro.matrix import GFMatrix
+
+            return GFMatrix.from_rows(self.field, [[1, 1]])
+
+    register_code("dummy-test", Dummy)
+    try:
+        assert isinstance(get_code("dummy-test"), Dummy)
+        with pytest.raises(ValueError, match="already registered"):
+            register_code("dummy-test", Dummy)
+    finally:
+        from repro.codes.registry import _REGISTRY
+
+        _REGISTRY.pop("dummy-test", None)

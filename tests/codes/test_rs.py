@@ -1,0 +1,87 @@
+"""Unit tests for the RS baseline (Vandermonde and Cauchy styles)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import CodeConstructionError, RSCode, is_decodable
+
+
+def test_geometry():
+    rs = RSCode(6, 4, r=4)
+    assert rs.m == 2
+    assert rs.coding_disks == (4, 5)
+    assert rs.num_blocks == 24
+    assert len(rs.parity_block_ids) == 8
+    assert rs.H.shape == (8, 24)
+
+
+def test_symmetric_parity():
+    """Every parity constraint touches exactly n blocks (symmetric)."""
+    rs = RSCode(6, 4, r=2)
+    weights = np.count_nonzero(rs.H.array, axis=1)
+    assert set(weights.tolist()) == {6}
+
+
+def test_block_diagonal_structure():
+    rs = RSCode(5, 3, r=3)
+    h = rs.H.array
+    for i in range(3):
+        block = h[2 * i : 2 * i + 2, 5 * i : 5 * i + 5]
+        assert np.count_nonzero(block) == 10
+    # nothing outside the diagonal blocks
+    total = np.count_nonzero(h)
+    assert total == 30
+
+
+def test_mds_any_m_disks():
+    """Vandermonde RS: every m-disk failure decodes (the MDS property)."""
+    rs = RSCode(6, 4, r=2)
+    for combo in combinations(range(6), 2):
+        faulty = [rs.block_id(i, j) for j in combo for i in range(2)]
+        assert is_decodable(rs, faulty), combo
+
+
+def test_mds_any_m_blocks_single_row():
+    rs = RSCode(8, 5, r=1)
+    for combo in combinations(range(8), 3):
+        assert is_decodable(rs, list(combo)), combo
+
+
+def test_more_than_m_failures_in_row_fails():
+    rs = RSCode(6, 4, r=1)
+    assert not is_decodable(rs, [0, 1, 2])
+
+
+def test_cauchy_style_mds():
+    rs = RSCode(8, 5, r=1, style="cauchy")
+    for combo in combinations(range(8), 3):
+        assert is_decodable(rs, list(combo)), combo
+
+
+def test_cauchy_systematic_identity():
+    rs = RSCode(6, 4, r=1, style="cauchy")
+    h = rs.H.array
+    assert np.array_equal(h[:, 4:], np.eye(2, dtype=h.dtype))
+
+
+def test_word_sizes():
+    for w in (8, 16, 32):
+        rs = RSCode(10, 8, r=1, w=w)
+        assert is_decodable(rs, [0, 9])
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        RSCode(4, 0)
+    with pytest.raises(ValueError):
+        RSCode(4, 4)
+    with pytest.raises(ValueError):
+        RSCode(4, 2, style="fancy")
+    with pytest.raises(CodeConstructionError):
+        RSCode(20, 10, w=4)  # n exceeds GF(16) points
+
+
+def test_describe():
+    assert "(6,4)-RS[vandermonde]" in RSCode(6, 4).describe()

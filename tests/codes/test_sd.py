@@ -1,0 +1,139 @@
+"""Unit tests for SD codes, anchored on the paper's worked example."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    KNOWN_COEFFICIENTS,
+    CodeConstructionError,
+    SDCode,
+    default_coefficients,
+    is_decodable,
+)
+from repro.gf import GF
+
+
+@pytest.fixture
+def paper_code():
+    """SD^{1,1}_{4,4}(8|1,2) from Figure 2."""
+    return SDCode(4, 4, 1, 1, 8)
+
+
+def test_paper_example_h(paper_code):
+    """H must match Figure 2: 4 XOR rows + the 2^c row."""
+    h = paper_code.H
+    assert h.shape == (5, 16)
+    for i in range(4):
+        expected = np.zeros(16, dtype=np.uint8)
+        expected[4 * i : 4 * i + 4] = 1
+        assert np.array_equal(h.array[i], expected)
+    f = GF(8)
+    two = f.dtype.type(2)
+    assert h.array[4].tolist() == [int(f.pow(two, c)) for c in range(16)]
+
+
+def test_paper_example_coefficients(paper_code):
+    assert paper_code.coefficients == (1, 2)
+    assert KNOWN_COEFFICIENTS[(4, 4, 1, 1, 8)] == (1, 2)
+
+
+def test_paper_failure_scenario_decodable(paper_code):
+    """Figure 2's failure set {b2, b6, b10, b13, b14} must decode."""
+    assert is_decodable(paper_code, [2, 6, 10, 13, 14])
+
+
+def test_geometry(paper_code):
+    assert paper_code.num_blocks == 16
+    assert paper_code.block_id(2, 1) == 9
+    assert paper_code.position(9) == (2, 1)
+    with pytest.raises(IndexError):
+        paper_code.block_id(4, 0)
+    with pytest.raises(IndexError):
+        paper_code.position(16)
+
+
+def test_parity_layout(paper_code):
+    # disk 3 is the coding disk; the last data-disk sector (3,2)=14 codes.
+    assert paper_code.coding_disks == (3,)
+    assert paper_code.coding_sector_ids == (14,)
+    assert paper_code.parity_block_ids == (3, 7, 11, 14, 15)
+    assert len(paper_code.data_block_ids) == 11
+
+
+def test_parity_positions_encodable(paper_code):
+    """Encoding = decoding the parity positions; F must be invertible."""
+    assert is_decodable(paper_code, paper_code.parity_block_ids)
+
+
+def test_h_row_grouping_matches_algorithm1():
+    """Rows m*i .. m*i+m-1 must belong to stripe row i (Algorithm 1)."""
+    code = SDCode(6, 4, 2, 2, 8)
+    h = code.H
+    for i in range(code.r):
+        for q in range(code.m):
+            row = h.array[code.m * i + q]
+            support = np.nonzero(row)[0]
+            assert support.min() >= i * code.n
+            assert support.max() < (i + 1) * code.n
+
+
+def test_sector_rows_span_stripe():
+    code = SDCode(6, 4, 2, 2, 8)
+    h = code.H
+    for t in range(code.s):
+        assert np.all(h.array[code.m * code.r + t] != 0)
+
+
+def test_default_coefficients_known_and_generic():
+    assert default_coefficients(6, 4, 2, 2, 8) == (1, 42, 26, 61)
+    generic = default_coefficients(8, 16, 2, 2, 8)
+    assert generic == (1, 2, 4, 8)
+
+
+def test_larger_field_words():
+    for w in (16, 32):
+        code = SDCode(6, 4, 2, 1, w)
+        assert code.H.shape == (9, 24)
+        assert is_decodable(code, [0, 5, 6, 11, 12, 17, 18, 23, 9])
+
+
+def test_coding_sectors_wrap_rows():
+    code = SDCode(4, 4, 1, 4, 8)
+    # 3 data disks per row; 4 coding sectors spill into row 2
+    assert code.coding_sector_ids == (10, 12, 13, 14)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        SDCode(4, 4, 0, 1)
+    with pytest.raises(ValueError):
+        SDCode(4, 4, 4, 1)
+    with pytest.raises(ValueError):
+        SDCode(4, 4, 1, -1)
+    with pytest.raises(ValueError):
+        SDCode(4, 4, 1, 12)  # s leaves no data
+    with pytest.raises(ValueError):
+        SDCode(1, 4, 1, 1)
+    with pytest.raises(ValueError):
+        SDCode(4, 0, 1, 1)
+
+
+def test_coefficient_validation():
+    with pytest.raises(ValueError):
+        SDCode(4, 4, 1, 1, coefficients=(1,))  # wrong count
+    with pytest.raises(CodeConstructionError):
+        SDCode(4, 4, 1, 1, coefficients=(1, 1))  # duplicate
+    with pytest.raises(CodeConstructionError):
+        SDCode(4, 4, 1, 1, coefficients=(0, 2))  # zero
+    with pytest.raises(CodeConstructionError):
+        SDCode(4, 4, 1, 1, 4, coefficients=(1, 200))  # exceeds GF(16)
+
+
+def test_describe(paper_code):
+    text = paper_code.describe()
+    assert "SD^{1,1}_{4,4}" in text
+    assert "(8|1,2)" in text
+
+
+def test_storage_cost(paper_code):
+    assert paper_code.storage_cost == pytest.approx(16 / 11)

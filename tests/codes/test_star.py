@@ -1,0 +1,83 @@
+"""Unit tests for STAR codes (triple-failure XOR baseline)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes import CodeConstructionError, StarCode, get_code, is_decodable
+from repro.matrix import rank
+
+
+@pytest.mark.parametrize("p", [3, 5, 7])
+def test_geometry(p):
+    code = StarCode(p)
+    assert code.n == p + 3
+    assert code.r == p - 1
+    assert len(code.parity_block_ids) == 3 * (p - 1)
+    assert code.H.shape == (3 * (p - 1), (p + 3) * (p - 1))
+
+
+def test_prime_required():
+    with pytest.raises(CodeConstructionError):
+        StarCode(4)
+    with pytest.raises(CodeConstructionError):
+        StarCode(9)
+
+
+def test_binary_full_rank():
+    code = StarCode(5)
+    h = code.H.array
+    assert set(np.unique(h).tolist()) <= {0, 1}
+    assert rank(code.H) == code.H.rows
+
+
+@pytest.mark.parametrize("p", [3, 5])
+def test_tolerates_any_three_disks(p):
+    code = StarCode(p)
+    for combo in combinations(range(code.n), 3):
+        faulty = [code.block_id(i, j) for j in combo for i in range(code.r)]
+        assert is_decodable(code, faulty), combo
+
+
+def test_four_disks_fail():
+    code = StarCode(5)
+    faulty = [code.block_id(i, j) for j in (0, 1, 2, 3) for i in range(code.r)]
+    assert not is_decodable(code, faulty)
+
+
+def test_row_parity_rows_match_evenodd_structure():
+    code = StarCode(5)
+    h = code.H.array
+    for i in range(code.r):
+        support = set(np.nonzero(h[i])[0].tolist())
+        expected = {code.block_id(i, j) for j in range(5)} | {code.block_id(i, 5)}
+        assert support == expected
+
+
+def test_diagonal_and_antidiagonal_differ():
+    """The two diagonal parity families must impose distinct constraints."""
+    code = StarCode(5)
+    h = code.H.array
+    diag = h[code.r : 2 * code.r, : 5 * code.r]
+    anti = h[2 * code.r :, : 5 * code.r]
+    assert not np.array_equal(diag, anti)
+
+
+def test_registered():
+    assert isinstance(get_code("star", p=5), StarCode)
+
+
+def test_decode_roundtrip():
+    from repro.core import PPMDecoder, TraditionalDecoder
+    from repro.stripes import Stripe, StripeLayout
+
+    code = StarCode(5)
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, 32, rng=0)
+    TraditionalDecoder().encode_into(code, stripe)
+    truth = stripe.copy()
+    faulty = [code.block_id(i, j) for j in (0, 3, 6) for i in range(code.r)]
+    stripe.erase(faulty)
+    recovered = PPMDecoder(threads=2).decode(code, stripe, faulty)
+    for b in faulty:
+        assert np.array_equal(recovered[b], truth.get(b))

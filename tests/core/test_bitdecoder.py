@@ -1,0 +1,110 @@
+"""Unit tests for the XOR-only bit-matrix decode backend."""
+
+import numpy as np
+import pytest
+
+from repro.codes import LRCCode, SDCode
+from repro.core import BitMatrixDecoder, SequencePolicy, TraditionalDecoder
+from repro.stripes import Stripe, StripeLayout, worst_case_sd
+
+
+def valid_stripe(code, symbols=32, rng=0):
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, symbols, rng=rng)
+    TraditionalDecoder().encode_into(code, stripe)
+    return stripe
+
+
+@pytest.fixture(scope="module")
+def sd_setup():
+    code = SDCode(6, 8, 2, 2)
+    scen = worst_case_sd(code, z=1, rng=0)
+    stripe = valid_stripe(code, rng=1)
+    truth = stripe.copy()
+    stripe.erase(scen.faulty_blocks)
+    return code, scen, stripe, truth
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [
+        SequencePolicy.PAPER,
+        SequencePolicy.NORMAL,
+        SequencePolicy.MATRIX_FIRST,
+        SequencePolicy.PPM_MATRIX_FIRST_REST,
+        SequencePolicy.PPM_NORMAL_REST,
+    ],
+)
+def test_recovers_under_every_policy(sd_setup, policy):
+    code, scen, stripe, truth = sd_setup
+    decoder = BitMatrixDecoder(policy=policy)
+    recovered = decoder.decode(code, stripe, scen.faulty_blocks)
+    for b in scen.faulty_blocks:
+        assert np.array_equal(recovered[b], truth.get(b)), (policy, b)
+
+
+def test_agrees_with_gf_backend(sd_setup):
+    code, scen, stripe, _ = sd_setup
+    a = BitMatrixDecoder().decode(code, stripe, scen.faulty_blocks)
+    b = TraditionalDecoder().decode(code, stripe, scen.faulty_blocks)
+    for bid in scen.faulty_blocks:
+        assert np.array_equal(a[bid], b[bid])
+
+
+def test_all_ops_are_xors(sd_setup):
+    code, scen, stripe, _ = sd_setup
+    decoder = BitMatrixDecoder()
+    _, stats = decoder.decode_with_stats(code, stripe, scen.faulty_blocks)
+    assert stats.mult_xors > 0
+    assert decoder.counter.xor_only == decoder.counter.mult_xors
+
+
+def test_xor_cost_reflects_blowup(sd_setup):
+    """The bit-matrix backend pays ~w^2/2 XORs per dense coefficient."""
+    code, scen, _, _ = sd_setup
+    decoder = BitMatrixDecoder()
+    xors = decoder.xor_cost(code, scen.faulty_blocks)
+    gf_ops = decoder.plan(code, scen.faulty_blocks).predicted_cost
+    assert xors > gf_ops  # strictly more XORs than GF table ops
+    assert xors < gf_ops * code.field.w * code.field.w  # bounded by w^2
+
+
+def test_ppm_partition_still_reduces_xor_cost(sd_setup):
+    """PPM's sequence choice helps the XOR backend too."""
+    code, scen, _, _ = sd_setup
+    ppm = BitMatrixDecoder(policy=SequencePolicy.PPM_NORMAL_REST)
+    mf = BitMatrixDecoder(policy=SequencePolicy.PPM_MATRIX_FIRST_REST)
+    assert ppm.xor_cost(code, scen.faulty_blocks) < mf.xor_cost(
+        code, scen.faulty_blocks
+    )
+
+
+def test_lrc_roundtrip():
+    code = LRCCode(8, 2, 2)
+    stripe = valid_stripe(code, rng=2)
+    truth = stripe.copy()
+    faulty = [0, 4, 6]
+    stripe.erase(faulty)
+    recovered = BitMatrixDecoder().decode(code, stripe, faulty)
+    for b in faulty:
+        assert np.array_equal(recovered[b], truth.get(b))
+
+
+def test_w16_roundtrip():
+    code = SDCode(6, 4, 2, 1, w=16)
+    stripe = valid_stripe(code, rng=3)
+    truth = stripe.copy()
+    scen = worst_case_sd(code, z=1, rng=4)
+    stripe.erase(scen.faulty_blocks)
+    recovered = BitMatrixDecoder().decode(code, stripe, scen.faulty_blocks)
+    for b in scen.faulty_blocks:
+        assert np.array_equal(recovered[b], truth.get(b))
+
+
+def test_encode_via_bitmatrix():
+    code = SDCode(4, 4, 1, 1)
+    layout = StripeLayout.of_code(code)
+    stripe = Stripe.random(layout, code.field, 16, rng=5)
+    a = BitMatrixDecoder().encode(code, stripe)
+    b = TraditionalDecoder().encode(code, stripe)
+    for bid in code.parity_block_ids:
+        assert np.array_equal(a[bid], b[bid])

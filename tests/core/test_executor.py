@@ -1,0 +1,92 @@
+"""Unit tests for the parallel group executor."""
+
+import numpy as np
+import pytest
+
+from repro.codes import SDCode
+from repro.core import (
+    PPMDecoder,
+    TraditionalDecoder,
+    plan_decode,
+    run_group,
+    run_groups_parallel,
+    run_groups_serial,
+)
+from repro.gf import RegionOps
+from repro.stripes import Stripe, StripeLayout, worst_case_sd
+
+
+@pytest.fixture(scope="module")
+def setup():
+    code = SDCode(6, 8, 2, 2)
+    scen = worst_case_sd(code, z=1, rng=0)
+    plan = plan_decode(code, scen.faulty_blocks)
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, 32, rng=1)
+    TraditionalDecoder().encode_into(code, stripe)
+    truth = stripe.copy()
+    stripe.erase(scen.faulty_blocks)
+    blocks = {b: stripe.get(b) for b in stripe.present_ids}
+    return code, plan, blocks, truth
+
+
+def test_run_group(setup):
+    code, plan, blocks, truth = setup
+    group = plan.groups[0]
+    out = run_group(group, blocks, RegionOps(code.field))
+    assert sorted(out) == sorted(group.faulty_ids)
+    for b, region in out.items():
+        assert np.array_equal(region, truth.get(b))
+
+
+def test_serial_equals_parallel(setup):
+    code, plan, blocks, truth = setup
+    serial, s_timing = run_groups_serial(plan.groups, blocks, RegionOps(code.field))
+    parallel, p_timing = run_groups_parallel(
+        plan.groups, blocks, RegionOps(code.field), threads=4
+    )
+    assert sorted(serial) == sorted(parallel)
+    for b in serial:
+        assert np.array_equal(serial[b], parallel[b])
+        assert np.array_equal(serial[b], truth.get(b))
+    assert len(s_timing.thread_seconds) == 1
+    assert len(p_timing.thread_seconds) == 4
+    assert p_timing.wall_seconds > 0
+    assert p_timing.busy_seconds > 0
+
+
+def test_thread_count_clamped(setup):
+    code, plan, blocks, _ = setup
+    # more threads than groups: clamped to the group count
+    _, timing = run_groups_parallel(
+        plan.groups, blocks, RegionOps(code.field), threads=1000
+    )
+    assert len(timing.thread_seconds) == len(plan.groups)
+
+
+def test_single_thread_short_circuits(setup):
+    code, plan, blocks, _ = setup
+    _, timing = run_groups_parallel(plan.groups, blocks, RegionOps(code.field), threads=1)
+    assert len(timing.thread_seconds) == 1
+    assert timing.spawn_seconds == 0.0
+
+
+def test_op_counter_complete_across_threads(setup):
+    """Thread-parallel execution must not lose op counts."""
+    code, plan, blocks, _ = setup
+    ops_serial = RegionOps(code.field)
+    run_groups_serial(plan.groups, blocks, ops_serial)
+    ops_parallel = RegionOps(code.field)
+    run_groups_parallel(plan.groups, blocks, ops_parallel, threads=4)
+    assert ops_serial.counter.mult_xors == ops_parallel.counter.mult_xors
+    assert ops_serial.counter.mult_xors == sum(g.cost for g in plan.groups)
+
+
+def test_round_robin_assignment_matches_algorithm1(setup):
+    """Group p lands on worker p mod T (observable via PPMDecoder timing)."""
+    code, plan, blocks, truth = setup
+    decoder = PPMDecoder(threads=3)
+    recovered, stats = decoder.decode_with_stats(code, blocks, plan.faulty_ids)
+    assert stats.phase1 is not None
+    assert len(stats.phase1.thread_seconds) == 3
+    for b in plan.partition.independent_faulty_ids:
+        assert np.array_equal(recovered[b], truth.get(b))

@@ -1,0 +1,72 @@
+"""Unit tests for the log table data structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogTableEntry, build_log_table, format_log_table
+from repro.gf import GF
+from repro.matrix import GFMatrix
+
+
+def small_h():
+    f = GF(8)
+    return GFMatrix(
+        f,
+        np.array(
+            [
+                [1, 1, 0, 0],
+                [0, 2, 3, 0],
+                [0, 0, 0, 5],
+                [1, 1, 1, 1],
+            ],
+            dtype=f.dtype,
+        ),
+    )
+
+
+def test_entry_validation():
+    LogTableEntry(0, 2, (1, 3))
+    with pytest.raises(ValueError):
+        LogTableEntry(0, 1, (1, 3))
+
+
+def test_build_basic():
+    entries = build_log_table(small_h(), [1, 3])
+    assert [(e.t, e.l) for e in entries] == [
+        (1, (1,)),
+        (1, (1,)),
+        (1, (3,)),
+        (2, (1, 3)),
+    ]
+    assert [e.i for e in entries] == [0, 1, 2, 3]
+
+
+def test_no_faults():
+    entries = build_log_table(small_h(), [])
+    assert all(e.t == 0 and e.l == () for e in entries)
+    assert len(entries) == 4
+
+
+def test_faulty_dedup_and_sort():
+    a = build_log_table(small_h(), [3, 1, 1])
+    b = build_log_table(small_h(), [1, 3])
+    assert a == b
+
+
+def test_zero_coefficient_not_counted():
+    # column 0 has zeros in rows 1 and 2
+    entries = build_log_table(small_h(), [0])
+    assert [e.t for e in entries] == [1, 0, 0, 1]
+
+
+def test_bounds():
+    with pytest.raises(IndexError):
+        build_log_table(small_h(), [4])
+    with pytest.raises(IndexError):
+        build_log_table(small_h(), [-1])
+
+
+def test_format():
+    text = format_log_table(build_log_table(small_h(), [1, 3]))
+    assert "i  t_i  l_i" in text
+    assert "(1, 3)" in text

@@ -1,0 +1,114 @@
+"""The paper's worked example, asserted exactly.
+
+SD^{1,1}_{4,4}(8|1,2) with faulty sectors {b2, b6, b10, b13, b14}
+(Figures 2 and 3, Section II-B/III-B):
+
+- log table rows (0,1,(2)), (1,1,(6)), (2,1,(10)), (3,2,(13,14)),
+  (4,5,(2,6,10,13,14));
+- partition: p = 3 singleton groups {b2}, {b6}, {b10}; H_rest = rows
+  {3, 4} recovering {b13, b14};
+- costs C1 = 35, C2 = 31, C4 = 29; PPM picks C4; the reduction
+  (C1-C4)/C1 = 17.14%.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import SDCode
+from repro.core import (
+    ExecutionMode,
+    PPMDecoder,
+    SequencePolicy,
+    TraditionalDecoder,
+    build_log_table,
+    partition,
+    partition_sd,
+    plan_decode,
+)
+from repro.stripes import Stripe, StripeLayout
+
+FAULTY = (2, 6, 10, 13, 14)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SDCode(4, 4, 1, 1, 8)
+
+
+def test_log_table_matches_figure3(code):
+    entries = build_log_table(code.H, FAULTY)
+    assert [(e.i, e.t, e.l) for e in entries] == [
+        (0, 1, (2,)),
+        (1, 1, (6,)),
+        (2, 1, (10,)),
+        (3, 2, (13, 14)),
+        (4, 5, (2, 6, 10, 13, 14)),
+    ]
+
+
+def test_partition_matches_figure3(code):
+    part = partition(code.H, FAULTY)
+    assert part.p == 3
+    assert [g.faulty_ids for g in part.groups] == [(2,), (6,), (10,)]
+    assert [g.row_ids for g in part.groups] == [(0,), (1,), (2,)]
+    assert part.rest_row_ids == (3, 4)
+    assert part.rest_faulty_ids == (13, 14)
+    assert part.discarded_row_ids == ()
+    assert part.independent_faulty_ids == (2, 6, 10)
+    assert part.has_rest
+
+
+def test_sd_fast_path_identical(code):
+    general = partition(code.H, FAULTY)
+    fast = partition_sd(code, FAULTY)
+    assert fast.p == general.p
+    assert [g.faulty_ids for g in fast.groups] == [g.faulty_ids for g in general.groups]
+    assert fast.rest_faulty_ids == general.rest_faulty_ids
+
+
+def test_costs_match_section_iii_b(code):
+    plan = plan_decode(code, FAULTY, SequencePolicy.PAPER)
+    assert plan.costs.c1 == 35
+    assert plan.costs.c2 == 31
+    assert plan.costs.c4 == 29
+    assert plan.costs.reduction() == pytest.approx(0.1714, abs=1e-4)
+    assert plan.mode is ExecutionMode.PPM_REST_NORMAL
+
+
+def test_c2_less_than_c1_as_figure2_notes(code):
+    plan = plan_decode(code, FAULTY, SequencePolicy.AUTO)
+    assert plan.costs.c2 == 31 < plan.costs.c1 == 35
+
+
+def test_decoders_recover_exact_data(code):
+    layout = StripeLayout.of_code(code)
+    stripe = Stripe.random(layout, code.field, 128, rng=2015)
+    TraditionalDecoder().encode_into(code, stripe)
+    truth = stripe.copy()
+    stripe.erase(FAULTY)
+    for decoder in (
+        TraditionalDecoder("normal"),
+        TraditionalDecoder("matrix_first"),
+        PPMDecoder(threads=1, parallel=False),
+        PPMDecoder(threads=3),
+    ):
+        recovered = decoder.decode(code, stripe, FAULTY)
+        assert sorted(recovered) == list(FAULTY)
+        for b in FAULTY:
+            assert np.array_equal(recovered[b], truth.get(b)), (decoder, b)
+
+
+def test_measured_op_counts_equal_predictions(code):
+    layout = StripeLayout.of_code(code)
+    stripe = Stripe.random(layout, code.field, 16, rng=7)
+    TraditionalDecoder().encode_into(code, stripe)
+    stripe.erase(FAULTY)
+    expectations = [
+        (TraditionalDecoder("normal"), 35),
+        (TraditionalDecoder("matrix_first"), 31),
+        (PPMDecoder(parallel=False), 29),
+        (PPMDecoder(policy=SequencePolicy.PPM_MATRIX_FIRST_REST, parallel=False), 37),
+    ]
+    for decoder, expected in expectations:
+        _, stats = decoder.decode_with_stats(code, stripe, FAULTY)
+        assert stats.mult_xors == expected, type(decoder).__name__

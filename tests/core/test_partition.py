@@ -1,0 +1,193 @@
+"""Unit tests for independence exploitation and the matrix partition."""
+
+import numpy as np
+import pytest
+
+from repro.codes import LRCCode, RSCode, SDCode
+from repro.core import partition, partition_sd
+from repro.gf import GF
+from repro.matrix import GFMatrix
+from repro.stripes import StripeLayout, worst_case_sd
+
+
+def test_group_of_f_rows_with_identical_support():
+    """f rows sharing an l of size f form one independent group."""
+    f = GF(8)
+    h = GFMatrix(
+        f,
+        np.array(
+            [
+                [1, 2, 1, 0],
+                [1, 3, 0, 1],
+                [0, 0, 1, 1],
+            ],
+            dtype=f.dtype,
+        ),
+    )
+    part = partition(h, [0, 1])
+    assert part.p == 1
+    (group,) = part.groups
+    assert group.faulty_ids == (0, 1)
+    assert group.row_ids == (0, 1)
+    assert part.rest_row_ids == ()
+    assert part.discarded_row_ids == (2,)  # no faulty support: a pure check
+    assert part.rest_faulty_ids == ()
+    assert not part.has_rest
+
+
+def test_overdetermined_group_selects_and_marks_redundant():
+    """More matching rows than faults: pick t, mark the rest redundant."""
+    f = GF(8)
+    h = GFMatrix(
+        f,
+        np.array(
+            [
+                [1, 1, 0],
+                [2, 1, 0],
+                [3, 1, 0],
+            ],
+            dtype=f.dtype,
+        ),
+    )
+    part = partition(h, [0])
+    assert part.p == 1
+    (group,) = part.groups
+    assert group.row_ids == (0,)
+    assert group.redundant_row_ids == (1, 2)
+
+
+def test_dependent_rows_in_group_fall_to_rest():
+    """Rows matching in support but linearly dependent cannot decode alone."""
+    f = GF(8)
+    # rows 0-2 share support {0,1} but are rank 1 on the faulty columns
+    h = GFMatrix(
+        f,
+        np.array(
+            [
+                [1, 1, 1, 0],
+                [1, 1, 0, 1],
+                [2, 2, 1, 1],
+            ],
+            dtype=f.dtype,
+        ),
+    )
+    part = partition(h, [0, 1])
+    assert part.p == 0
+    assert set(part.rest_row_ids) == {0, 1, 2}
+    assert part.rest_faulty_ids == (0, 1)
+
+
+def test_overlapping_groups_defer_to_rest():
+    """A group overlapping an accepted one goes to H_rest."""
+    f = GF(8)
+    h = GFMatrix(
+        f,
+        np.array(
+            [
+                [1, 0, 0],  # singleton recovers block 0
+                [1, 2, 0],  # support {0,1}: overlaps, must defer
+                [1, 3, 0],
+            ],
+            dtype=f.dtype,
+        ),
+    )
+    part = partition(h, [0, 1])
+    assert [g.faulty_ids for g in part.groups] == [(0,)]
+    assert part.rest_faulty_ids == (1,)
+    assert set(part.rest_row_ids) == {1, 2}
+
+
+def test_t_zero_rows_discarded():
+    f = GF(8)
+    h = GFMatrix(f, np.array([[1, 0, 1], [0, 1, 0]], dtype=f.dtype))
+    part = partition(h, [1])
+    assert part.discarded_row_ids == (0,)
+    assert part.p == 1
+
+
+def test_paper_case_4_maximum_parallelism():
+    """Every faulty block independent, H_rest empty (paper case 4)."""
+    code = RSCode(6, 4, r=4)
+    # one failure per row: each row's 2 parity rows recover it independently
+    faulty = [code.block_id(i, i) for i in range(4)]
+    part = partition(code.H, faulty)
+    assert part.p == 4
+    assert part.rest_faulty_ids == ()
+
+
+def test_paper_case_1_no_parallelism():
+    """No independent sub-matrix: everything in H_rest (paper case 1)."""
+    code = RSCode(6, 4, r=1)
+    part = partition(code.H, [0, 1])
+    # both parity rows have support {0,1}: a single group of size 2...
+    # which IS independent. Force case 1 with an LRC double failure in
+    # one group plus a global-parity loss.
+    lrc = LRCCode(4, 2, 2)
+    part = partition(lrc.H, [0, 1, 6])
+    # local row 0 has support {0,1}; globals have {0,1,6}-ish supports
+    assert part.rest_faulty_ids != ()
+
+
+@pytest.mark.parametrize(
+    "n,r,m,s,z",
+    [(6, 8, 1, 1, 1), (6, 8, 2, 2, 1), (8, 16, 2, 2, 2), (10, 8, 3, 3, 3)],
+)
+def test_sd_worst_case_structure(n, r, m, s, z):
+    """SD worst case: p == r - z groups of m faults; rest is m*z + s square."""
+    code = SDCode(n, r, m, s)
+    scen = worst_case_sd(code, z=z, rng=1)
+    part = partition(code.H, scen.faulty_blocks)
+    assert part.p == r - z
+    for g in part.groups:
+        assert len(g.faulty_ids) == m
+        assert len(g.row_ids) == m
+    assert len(part.rest_faulty_ids) == m * z + s
+
+
+@pytest.mark.parametrize(
+    "n,r,m,s,z",
+    [(6, 8, 1, 1, 1), (6, 8, 2, 2, 1), (8, 16, 2, 2, 2), (12, 8, 3, 2, 2)],
+)
+def test_fast_path_agrees_with_general(n, r, m, s, z):
+    code = SDCode(n, r, m, s)
+    for seed in range(5):
+        scen = worst_case_sd(code, z=z, rng=seed)
+        general = partition(code.H, scen.faulty_blocks)
+        fast = partition_sd(code, scen.faulty_blocks)
+        assert fast.p == general.p
+        assert sorted(g.faulty_ids for g in fast.groups) == sorted(
+            g.faulty_ids for g in general.groups
+        )
+        assert fast.rest_faulty_ids == general.rest_faulty_ids
+
+
+def test_fast_path_discards_clean_rows():
+    code = SDCode(6, 4, 2, 2)
+    # only one faulty sector, in row 0
+    part = partition_sd(code, [0])
+    assert part.p == 1
+    # rows of stripe rows 1..3 discarded
+    assert len(part.discarded_row_ids) == code.m * 3
+    # sector rows always in rest, but no rest faults remain
+    assert part.rest_faulty_ids == ()
+
+
+def test_partial_disk_failure_fast_path():
+    """c < m faults in a row still form a group (select c of m rows)."""
+    code = SDCode(6, 4, 2, 2)
+    part = partition_sd(code, [1])  # one fault, row 0
+    (group,) = part.groups
+    assert group.faulty_ids == (1,)
+    assert len(group.row_ids) == 1
+    assert len(group.redundant_row_ids) == 1
+
+
+def test_lrc_partition():
+    """LRC: single failures per group are independent; extras to rest."""
+    lrc = LRCCode(8, 2, 2)
+    # one data failure in each group + one global parity lost
+    faulty = [0, 4, lrc.global_parity_id(0)]
+    part = partition(lrc.H, faulty)
+    assert part.p >= 2
+    recovered = set(part.independent_faulty_ids)
+    assert {0, 4} <= recovered | set(part.rest_faulty_ids)

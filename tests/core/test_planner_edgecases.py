@@ -1,0 +1,153 @@
+"""Planner edge cases across codes, word sizes and degenerate scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.codes import EvenOddCode, LRCCode, RDPCode, SDCode, StarCode
+from repro.core import (
+    PPMDecoder,
+    SequencePolicy,
+    TraditionalDecoder,
+    partition,
+    plan_decode,
+)
+from repro.stripes import Stripe, StripeLayout, worst_case_sd
+
+
+def roundtrip(code, faulty, rng=0, symbols=8):
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, symbols, rng=rng)
+    TraditionalDecoder().encode_into(code, stripe)
+    truth = stripe.copy()
+    stripe.erase(faulty)
+    recovered = PPMDecoder(parallel=False).decode(code, stripe, faulty)
+    for b in faulty:
+        assert np.array_equal(recovered[b], truth.get(b)), b
+    return recovered
+
+
+def test_single_fault_plan_is_one_group():
+    code = SDCode(6, 8, 2, 2)
+    plan = plan_decode(code, [0])
+    assert plan.p == 1
+    assert plan.rest is None
+    assert plan.costs.c3 == plan.costs.c4
+    roundtrip(code, [0])
+
+
+def test_sd_without_sector_parity():
+    """s = 0 degenerates SD to per-row MDS; everything is independent."""
+    code = SDCode(6, 8, 2, 0)
+    assert code.H.rows == 2 * 8
+    disks = (1, 4)
+    faulty = [code.block_id(i, j) for j in disks for i in range(code.r)]
+    plan = plan_decode(code, faulty)
+    assert plan.p == code.r
+    assert plan.rest is None
+    roundtrip(code, faulty, rng=1)
+
+
+def test_parity_only_failure():
+    """Losing only parity blocks is decodable (re-encoding)."""
+    code = SDCode(6, 4, 2, 2)
+    faulty = list(code.parity_block_ids[:4])
+    plan = plan_decode(code, faulty)
+    assert plan.predicted_cost > 0
+    roundtrip(code, faulty, rng=2)
+
+
+def test_deep_stripe():
+    code = SDCode(6, 24, 2, 2)
+    scen = worst_case_sd(code, z=2, rng=3)
+    plan = plan_decode(code, scen.faulty_blocks)
+    assert plan.p == 24 - 2
+    roundtrip(code, scen.faulty_blocks, rng=4, symbols=4)
+
+
+@pytest.mark.parametrize("w", [16, 32])
+def test_wide_words(w):
+    code = SDCode(6, 4, 2, 1, w)
+    scen = worst_case_sd(code, z=1, rng=5)
+    plan = plan_decode(code, scen.faulty_blocks)
+    assert plan.costs.c4 <= plan.costs.c1
+    roundtrip(code, scen.faulty_blocks, rng=6)
+
+
+@pytest.mark.parametrize(
+    "code",
+    [EvenOddCode(5), RDPCode(5), StarCode(5)],
+    ids=lambda c: c.kind,
+)
+def test_xor_codes_partition_single_disk(code):
+    """One lost disk in an XOR code: every row repairs independently."""
+    faulty = [code.block_id(i, 0) for i in range(code.r)]
+    part = partition(code.H, faulty)
+    assert part.p == code.r
+    assert part.rest_faulty_ids == ()
+    roundtrip(code, faulty, rng=7)
+
+
+def test_evenodd_double_disk_uses_rest():
+    code = EvenOddCode(5)
+    faulty = [code.block_id(i, j) for j in (0, 1) for i in range(code.r)]
+    plan = plan_decode(code, faulty)
+    # double failure couples rows through the diagonals: H_rest is live
+    assert plan.rest is not None or plan.p > 0
+    roundtrip(code, faulty, rng=8)
+
+
+def test_lrc_local_parity_loss_is_reencoding():
+    code = LRCCode(8, 2, 2)
+    faulty = [code.local_parity_id(0)]
+    plan = plan_decode(code, faulty)
+    assert plan.p == 1
+    assert plan.groups[0].survivor_ids == code.groups[0]
+    roundtrip(code, faulty, rng=9)
+
+
+def test_lrc_global_plus_local():
+    code = LRCCode(8, 2, 2)
+    faulty = [0, code.global_parity_id(1)]
+    plan = plan_decode(code, faulty)
+    roundtrip(code, faulty, rng=10)
+
+
+def test_policy_auto_never_beaten_by_forced():
+    code = SDCode(8, 8, 2, 2)
+    scen = worst_case_sd(code, z=1, rng=11)
+    auto = plan_decode(code, scen.faulty_blocks, SequencePolicy.AUTO)
+    for policy in (
+        SequencePolicy.NORMAL,
+        SequencePolicy.MATRIX_FIRST,
+        SequencePolicy.PPM_MATRIX_FIRST_REST,
+        SequencePolicy.PPM_NORMAL_REST,
+    ):
+        forced = plan_decode(code, scen.faulty_blocks, policy)
+        assert auto.predicted_cost <= forced.predicted_cost, policy
+
+
+def test_plans_are_immutable_dataclasses():
+    code = SDCode(6, 4, 2, 2)
+    plan = plan_decode(code, [0, 1])
+    with pytest.raises(AttributeError):
+        plan.mode = None
+
+
+def test_plan_reuse_across_stripes():
+    """One plan decodes many stripes with the same failure geometry."""
+    code = SDCode(6, 4, 2, 2)
+    scen = worst_case_sd(code, z=1, rng=12)
+    decoder = PPMDecoder(parallel=False)
+    layout = StripeLayout.of_code(code)
+    plans = set()
+    for seed in range(3):
+        stripe = Stripe.random(layout, code.field, 8, rng=seed)
+        TraditionalDecoder().encode_into(code, stripe)
+        truth = stripe.copy()
+        stripe.erase(scen.faulty_blocks)
+        recovered, stats = decoder.decode_with_stats(
+            code, stripe, scen.faulty_blocks
+        )
+        plans.add(id(stats.plan))
+        for b in scen.faulty_blocks:
+            assert np.array_equal(recovered[b], truth.get(b))
+    assert len(plans) == 1  # cached plan reused

@@ -1,0 +1,113 @@
+"""Hypothesis property tests: encode/decode roundtrips and PPM invariants.
+
+The central invariants:
+
+1. For any decodable failure scenario, every decoder recovers the exact
+   lost data (traditional normal == traditional matrix-first == PPM).
+2. PPM's measured op count equals the chosen C_i, and C4 <= C1 whenever a
+   partition exists.
+3. The partition never assigns one faulty block to two groups and always
+   covers all faults (groups + rest).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import SDCode, is_decodable
+from repro.core import PPMDecoder, SequencePolicy, TraditionalDecoder, partition, plan_decode
+from repro.stripes import Stripe, StripeLayout
+
+
+@st.composite
+def sd_code_and_faults(draw):
+    n = draw(st.integers(4, 8))
+    r = draw(st.integers(2, 6))
+    m = draw(st.integers(1, min(2, n - 2)))
+    s = draw(st.integers(0, 2))
+    if s > (n - m) * r - 2:
+        s = 0
+    code = SDCode(n, r, m, s, 8)
+    max_faults = m * r + s
+    count = draw(st.integers(1, max_faults))
+    faults = draw(
+        st.lists(
+            st.integers(0, code.num_blocks - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    return code, tuple(sorted(faults))
+
+
+@given(sd_code_and_faults(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_all_decoders_recover_exactly(params, seed):
+    code, faults = params
+    if not is_decodable(code, faults):
+        return
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, 8, rng=seed)
+    TraditionalDecoder().encode_into(code, stripe)
+    truth = stripe.copy()
+    stripe.erase(faults)
+    results = []
+    for decoder in (
+        TraditionalDecoder("normal"),
+        TraditionalDecoder("matrix_first"),
+        PPMDecoder(parallel=False),
+        PPMDecoder(threads=2),
+    ):
+        recovered = decoder.decode(code, stripe, faults)
+        results.append(recovered)
+        for b in faults:
+            assert np.array_equal(recovered[b], truth.get(b))
+    # decoders agree among themselves too
+    for other in results[1:]:
+        for b in faults:
+            assert np.array_equal(results[0][b], other[b])
+
+
+@given(sd_code_and_faults())
+@settings(max_examples=60, deadline=None)
+def test_partition_covers_and_is_disjoint(params):
+    code, faults = params
+    part = partition(code.H, faults)
+    seen: set[int] = set()
+    for g in part.groups:
+        assert not (seen & set(g.faulty_ids)), "groups overlap"
+        seen.update(g.faulty_ids)
+    assert seen | set(part.rest_faulty_ids) == set(faults)
+    assert not (seen & set(part.rest_faulty_ids))
+    # row sets disjoint
+    rows: set[int] = set(part.rest_row_ids) | set(part.discarded_row_ids)
+    for g in part.groups:
+        assert not (rows & set(g.row_ids))
+        rows.update(g.row_ids)
+        rows.update(g.redundant_row_ids)
+
+
+@given(sd_code_and_faults())
+@settings(max_examples=40, deadline=None)
+def test_measured_cost_equals_chosen_ci(params):
+    code, faults = params
+    if not is_decodable(code, faults):
+        return
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, 4, rng=0)
+    TraditionalDecoder().encode_into(code, stripe)
+    stripe.erase(faults)
+    decoder = PPMDecoder(parallel=False, policy=SequencePolicy.PAPER)
+    _, stats = decoder.decode_with_stats(code, stripe, faults)
+    assert stats.mult_xors == stats.plan.predicted_cost
+    assert stats.plan.predicted_cost == min(stats.plan.costs.c2, stats.plan.costs.c4)
+
+
+@given(sd_code_and_faults())
+@settings(max_examples=40, deadline=None)
+def test_paper_policy_never_worse_than_traditional_normal(params):
+    """min(C2, C4) <= C1: PPM never loses to the baseline on op count."""
+    code, faults = params
+    if not is_decodable(code, faults):
+        return
+    plan = plan_decode(code, faults, SequencePolicy.PAPER)
+    assert plan.predicted_cost <= plan.costs.c1

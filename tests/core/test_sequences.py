@@ -1,0 +1,69 @@
+"""Unit tests for calculation-sequence costs and policy choice."""
+
+import pytest
+
+from repro.core import ExecutionMode, SequenceCosts, SequencePolicy
+
+
+@pytest.fixture
+def paper_costs():
+    """The worked example's costs (C3 from our exact computation)."""
+    return SequenceCosts(c1=35, c2=31, c3=37, c4=29)
+
+
+def test_cost_of(paper_costs):
+    assert paper_costs.cost_of(ExecutionMode.TRADITIONAL_NORMAL) == 35
+    assert paper_costs.cost_of(ExecutionMode.TRADITIONAL_MATRIX_FIRST) == 31
+    assert paper_costs.cost_of(ExecutionMode.PPM_REST_MATRIX_FIRST) == 37
+    assert paper_costs.cost_of(ExecutionMode.PPM_REST_NORMAL) == 29
+
+
+def test_forced_policies(paper_costs):
+    assert paper_costs.choose(SequencePolicy.NORMAL) is ExecutionMode.TRADITIONAL_NORMAL
+    assert (
+        paper_costs.choose(SequencePolicy.MATRIX_FIRST)
+        is ExecutionMode.TRADITIONAL_MATRIX_FIRST
+    )
+    assert (
+        paper_costs.choose(SequencePolicy.PPM_MATRIX_FIRST_REST)
+        is ExecutionMode.PPM_REST_MATRIX_FIRST
+    )
+    assert (
+        paper_costs.choose(SequencePolicy.PPM_NORMAL_REST)
+        is ExecutionMode.PPM_REST_NORMAL
+    )
+
+
+def test_paper_policy_picks_min_c2_c4(paper_costs):
+    assert paper_costs.choose(SequencePolicy.PAPER) is ExecutionMode.PPM_REST_NORMAL
+    flipped = SequenceCosts(c1=35, c2=20, c3=37, c4=29)
+    assert (
+        flipped.choose(SequencePolicy.PAPER) is ExecutionMode.TRADITIONAL_MATRIX_FIRST
+    )
+
+
+def test_paper_policy_prefers_ppm_on_tie():
+    tied = SequenceCosts(c1=35, c2=29, c3=37, c4=29)
+    assert tied.choose(SequencePolicy.PAPER) is ExecutionMode.PPM_REST_NORMAL
+
+
+def test_auto_policy_considers_all_four():
+    weird = SequenceCosts(c1=10, c2=50, c3=8, c4=50)
+    assert weird.choose(SequencePolicy.AUTO) is ExecutionMode.PPM_REST_MATRIX_FIRST
+    c1_best = SequenceCosts(c1=5, c2=50, c3=50, c4=50)
+    assert c1_best.choose(SequencePolicy.AUTO) is ExecutionMode.TRADITIONAL_NORMAL
+
+
+def test_as_dict_ratio_reduction(paper_costs):
+    assert paper_costs.as_dict() == {"C1": 35, "C2": 31, "C3": 37, "C4": 29}
+    assert paper_costs.ratio("c4") == pytest.approx(29 / 35)
+    assert paper_costs.ratio("C2") == pytest.approx(31 / 35)
+    assert paper_costs.reduction() == pytest.approx(6 / 35)
+
+
+def test_zero_c1_guarded():
+    zero = SequenceCosts(c1=0, c2=0, c3=0, c4=0)
+    with pytest.raises(ZeroDivisionError):
+        zero.ratio("c4")
+    with pytest.raises(ZeroDivisionError):
+        zero.reduction()

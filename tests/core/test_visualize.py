@@ -1,0 +1,82 @@
+"""Unit tests for the ASCII matrix/partition renderer."""
+
+import numpy as np
+import pytest
+
+from repro.codes import SDCode
+from repro.core import inspect, plan_decode, render_matrix, render_partition
+from repro.gf import GF
+from repro.matrix import GFMatrix
+
+FAULTY = [2, 6, 10, 13, 14]
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SDCode(4, 4, 1, 1)
+
+
+def test_render_matrix_marks_faulty_columns(code):
+    text = render_matrix(code.H, FAULTY)
+    header = text.splitlines()[0]
+    assert header.count("*") == len(FAULTY)
+
+
+def test_render_matrix_truncates():
+    f = GF(8)
+    wide = GFMatrix(f, np.ones((2, 60), dtype=f.dtype))
+    text = render_matrix(wide, max_cols=10)
+    assert "..." in text
+    # 10 columns rendered, not 60
+    assert text.splitlines()[1].count("1") == 10
+
+
+def test_render_matrix_row_labels(code):
+    text = render_matrix(code.H, FAULTY, row_labels={0: "H0", 4: "Hr"})
+    lines = text.splitlines()
+    assert lines[1].startswith("H0")
+    assert lines[5].startswith("Hr")
+
+
+def test_render_partition_lists_groups_and_rest(code):
+    plan = plan_decode(code, FAULTY)
+    text = render_partition(plan)
+    assert "H0: rows [0] -> blocks [2]" in text
+    assert "H_rest: rows [3, 4] -> blocks [13, 14]" in text
+    assert "normal, 20 mult_XORs" in text
+
+
+def test_render_partition_empty_rest(code):
+    plan = plan_decode(code, [2])
+    text = render_partition(plan)
+    assert "H_rest: empty" in text
+
+
+def test_inspect_full_dump(code):
+    text = inspect(code, FAULTY)
+    assert "log table" in text
+    assert "partition (p = 3)" in text
+    assert "'C1': 35" in text
+    assert "ppm_rest_normal (29 mult_XORs)" in text
+
+
+def test_inspect_without_matrix(code):
+    text = inspect(code, FAULTY, show_matrix=False)
+    assert "parity-check matrix" not in text
+
+
+def test_cli_inspect(capsys):
+    from repro.cli import main
+
+    assert main(["inspect", "sd", "n=4", "r=4", "m=1", "s=1", "--faulty", "2,6,10,13,14"]) == 0
+    out = capsys.readouterr().out
+    assert "p = 3" in out
+    assert "'C4': 29" in out
+
+
+def test_cli_inspect_default_scenario(capsys):
+    from repro.cli import main
+
+    assert main(["inspect", "sd", "n=6", "r=4", "m=2", "s=2", "--no-matrix"]) == 0
+    out = capsys.readouterr().out
+    assert "partition" in out

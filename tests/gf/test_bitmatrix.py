@@ -1,0 +1,127 @@
+"""Unit + property tests for the Cauchy-style bit-matrix representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import (
+    GF,
+    OpCounter,
+    apply_bitmatrix,
+    bitmatrix_multiply,
+    companion_matrix,
+    expand_matrix,
+    from_bitplanes,
+    to_bitplanes,
+    xor_count,
+)
+
+
+@pytest.fixture(params=[4, 8, 16], ids=lambda w: f"w{w}")
+def field(request):
+    return GF(request.param)
+
+
+def test_companion_identity_and_zero(field):
+    assert np.array_equal(companion_matrix(field, 1), np.eye(field.w, dtype=np.uint8))
+    assert not companion_matrix(field, 0).any()
+
+
+def test_companion_encodes_multiplication(field):
+    rng = np.random.default_rng(0)
+    for a in (2, 3, field.order):
+        m = companion_matrix(field, a)
+        for x in rng.integers(0, field.order + 1, size=8):
+            bits = np.array([(int(x) >> i) & 1 for i in range(field.w)], dtype=np.uint8)
+            out_bits = (m @ bits) & 1
+            out = sum(int(b) << i for i, b in enumerate(out_bits))
+            assert out == int(field.mul(field.dtype.type(a), field.dtype.type(x))), (a, x)
+
+
+@given(st.integers(1, 255), st.integers(1, 255))
+@settings(max_examples=60)
+def test_companion_homomorphism(a, b):
+    """M(a) @ M(b) == M(a*b): the representation is a ring homomorphism."""
+    f = GF(8)
+    ab = int(f.mul(f.dtype.type(a), f.dtype.type(b)))
+    assert np.array_equal(
+        bitmatrix_multiply(companion_matrix(f, a), companion_matrix(f, b)),
+        companion_matrix(f, ab),
+    )
+
+
+@given(st.integers(1, 255))
+@settings(max_examples=40)
+def test_companion_invertible_for_nonzero(a):
+    from repro.matrix import GFMatrix, is_invertible
+
+    f = GF(8)
+    m = GFMatrix(GF(8), companion_matrix(f, a))
+    assert is_invertible(m)
+
+
+def test_expand_matrix_shape_and_zero_blocks(field):
+    coeffs = np.array([[1, 0], [2, 3]], dtype=field.dtype)
+    expanded = expand_matrix(field, coeffs)
+    w = field.w
+    assert expanded.shape == (2 * w, 2 * w)
+    assert not expanded[:w, w:].any()  # zero coefficient -> zero block
+    assert np.array_equal(expanded[:w, :w], np.eye(w, dtype=np.uint8))
+
+
+def test_xor_count():
+    m = np.array([[1, 1, 0], [0, 0, 0], [1, 0, 0]], dtype=np.uint8)
+    # row 0: 2 ones -> 1 xor; row 2: 1 one -> 0 xors
+    assert xor_count(m) == 1
+    assert xor_count(np.zeros((2, 2), dtype=np.uint8)) == 0
+
+
+def test_bitplane_roundtrip(field):
+    rng = np.random.default_rng(1)
+    region = rng.integers(0, field.order + 1, size=77).astype(field.dtype)
+    planes = to_bitplanes(region, field)
+    assert planes.shape == (field.w, 77)
+    assert np.array_equal(from_bitplanes(planes, field), region)
+
+
+def test_bitplane_validation(field):
+    with pytest.raises(TypeError):
+        to_bitplanes(np.zeros(4, dtype=np.float32), field)
+    with pytest.raises(ValueError):
+        from_bitplanes(np.zeros((field.w + 1, 4), dtype=np.uint8), field)
+
+
+def test_apply_bitmatrix_equals_field_arithmetic(field):
+    """Bit-plane XOR execution == direct GF matrix application."""
+    rng = np.random.default_rng(2)
+    coeffs = rng.integers(0, field.order + 1, size=(2, 3)).astype(field.dtype)
+    regions = [
+        rng.integers(0, field.order + 1, size=32).astype(field.dtype)
+        for _ in range(3)
+    ]
+    expanded = expand_matrix(field, coeffs)
+    planes = [to_bitplanes(r, field) for r in regions]
+    outs = apply_bitmatrix(expanded, planes, field.w)
+    from repro.gf import RegionOps
+
+    expected = RegionOps(field).matrix_apply(coeffs, regions)
+    for got_planes, want in zip(outs, expected):
+        assert np.array_equal(from_bitplanes(got_planes, field), want)
+
+
+def test_apply_bitmatrix_counts_xors(field):
+    coeffs = np.array([[3]], dtype=field.dtype)
+    expanded = expand_matrix(field, coeffs)
+    region = np.arange(16, dtype=field.dtype) & field.order
+    counter = OpCounter()
+    apply_bitmatrix(expanded, [to_bitplanes(region.astype(field.dtype), field)], field.w, counter)
+    assert counter.mult_xors == int(expanded.sum())
+    assert counter.xor_only == counter.mult_xors
+
+
+def test_apply_bitmatrix_validation(field):
+    with pytest.raises(ValueError):
+        apply_bitmatrix(np.zeros((3, field.w), dtype=np.uint8), [], field.w)
+    with pytest.raises(ValueError):
+        apply_bitmatrix(np.zeros((field.w, field.w), dtype=np.uint8), [], field.w)

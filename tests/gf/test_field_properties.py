@@ -1,0 +1,113 @@
+"""Hypothesis property tests: GF(2^w) must satisfy the field axioms.
+
+These are the invariants every layer above (matrices, codes, PPM) relies
+on; we test them exhaustively-by-sampling for each supported word size.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF, RegionOps
+
+WORD_SIZES = [4, 8, 16, 32]
+
+
+def field_element(w):
+    return st.integers(min_value=0, max_value=(1 << w) - 1)
+
+
+def three_elements():
+    return st.integers(0, len(WORD_SIZES) - 1).flatmap(
+        lambda i: st.tuples(
+            st.just(WORD_SIZES[i]),
+            field_element(WORD_SIZES[i]),
+            field_element(WORD_SIZES[i]),
+            field_element(WORD_SIZES[i]),
+        )
+    )
+
+
+@given(three_elements())
+@settings(max_examples=200)
+def test_mul_associative_commutative(args):
+    w, a, b, c = args
+    f = GF(w)
+    a, b, c = f.dtype.type(a), f.dtype.type(b), f.dtype.type(c)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+
+@given(three_elements())
+@settings(max_examples=200)
+def test_distributivity(args):
+    w, a, b, c = args
+    f = GF(w)
+    a, b, c = f.dtype.type(a), f.dtype.type(b), f.dtype.type(c)
+    assert f.mul(a, b ^ c) == f.mul(a, b) ^ f.mul(a, c)
+
+
+@given(three_elements())
+@settings(max_examples=200)
+def test_multiplicative_inverse(args):
+    w, a, _, _ = args
+    f = GF(w)
+    if a == 0:
+        return
+    a = f.dtype.type(a)
+    assert f.mul(a, f.inv(a)) == 1
+    assert f.div(a, a) == 1
+
+
+@given(three_elements())
+@settings(max_examples=100)
+def test_no_zero_divisors(args):
+    w, a, b, _ = args
+    f = GF(w)
+    a, b = f.dtype.type(a), f.dtype.type(b)
+    product = f.mul(a, b)
+    if a != 0 and b != 0:
+        assert product != 0
+    else:
+        assert product == 0
+
+
+@given(three_elements(), st.integers(min_value=0, max_value=300))
+@settings(max_examples=100)
+def test_pow_homomorphism(args, e):
+    w, a, b, _ = args
+    f = GF(w)
+    a, b = f.dtype.type(a), f.dtype.type(b)
+    # (a*b)^e == a^e * b^e in an abelian group
+    assert f.pow(f.mul(a, b), e) == f.mul(f.pow(a, e), f.pow(b, e))
+
+
+@given(three_elements(), st.integers(min_value=1, max_value=128))
+@settings(max_examples=60)
+def test_region_mul_is_pointwise_field_mul(args, size):
+    w, a, seed, _ = args
+    f = GF(w)
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, f.order + 1, size=size).astype(f.dtype)
+    ops = RegionOps(f)
+    got = ops.mul_region(src, a)
+    want = np.array([f.mul(f.dtype.type(a), x) for x in src], dtype=f.dtype)
+    assert np.array_equal(got, want)
+
+
+@given(three_elements(), st.integers(min_value=1, max_value=64))
+@settings(max_examples=60)
+def test_mult_xors_accumulates(args, size):
+    """dst ^= a*src twice restores dst (characteristic-2 self-inverse)."""
+    w, a, seed, _ = args
+    if a == 0:
+        return
+    f = GF(w)
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, f.order + 1, size=size).astype(f.dtype)
+    dst = rng.integers(0, f.order + 1, size=size).astype(f.dtype)
+    original = dst.copy()
+    ops = RegionOps(f)
+    ops.mult_xors(src, dst, a)
+    ops.mult_xors(src, dst, a)
+    assert np.array_equal(dst, original)

@@ -1,0 +1,118 @@
+"""Unit tests for GF(2) polynomial arithmetic and field-polynomial checks."""
+
+import pytest
+
+from repro.gf.polynomials import (
+    DEFAULT_POLYNOMIALS,
+    default_polynomial,
+    is_irreducible,
+    is_primitive,
+    poly_degree,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_mulmod,
+    poly_powmod,
+)
+
+
+def test_poly_degree():
+    assert poly_degree(0) == -1
+    assert poly_degree(1) == 0
+    assert poly_degree(0b10) == 1
+    assert poly_degree(0x11D) == 8
+
+
+def test_poly_mul_matches_known_products():
+    # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+    assert poly_mul(0b11, 0b11) == 0b101
+    # (x^2 + x)(x + 1) = x^3 + x
+    assert poly_mul(0b110, 0b11) == 0b1010
+    assert poly_mul(0, 0b1011) == 0
+    assert poly_mul(1, 0b1011) == 0b1011
+
+
+def test_poly_mul_commutative_and_distributive():
+    a, b, c = 0b110101, 0b1011, 0b111
+    assert poly_mul(a, b) == poly_mul(b, a)
+    assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+
+def test_poly_divmod_roundtrip():
+    a, b = 0b110101101, 0b1011
+    q, r = poly_divmod(a, b)
+    assert poly_mul(q, b) ^ r == a
+    assert poly_degree(r) < poly_degree(b)
+
+
+def test_poly_mod_consistent_with_divmod():
+    a, b = 0x1ABCD, 0x11D
+    assert poly_mod(a, b) == poly_divmod(a, b)[1]
+
+
+def test_poly_division_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        poly_mod(0b101, 0)
+    with pytest.raises(ZeroDivisionError):
+        poly_divmod(0b101, 0)
+
+
+def test_poly_mulmod_matches_mul_then_mod():
+    mod = 0x11D
+    for a in (0, 1, 0x53, 0xCA, 0xFF):
+        for b in (0, 1, 0x02, 0xFF):
+            assert poly_mulmod(a, b, mod) == poly_mod(poly_mul(a, b), mod)
+
+
+def test_poly_powmod_small_cases():
+    mod = 0x13  # x^4 + x + 1, primitive for GF(16)
+    # x^15 == 1 in GF(2^4)
+    assert poly_powmod(0b10, 15, mod) == 1
+    assert poly_powmod(0b10, 0, mod) == 1
+    assert poly_powmod(0b10, 1, mod) == 0b10
+
+
+def test_poly_gcd():
+    # gcd((x+1)^2, (x+1)x) = x+1
+    assert poly_gcd(0b101, 0b110) == 0b11
+    assert poly_gcd(0, 0b101) == 0b101
+    assert poly_gcd(0b101, 0) == 0b101
+
+
+def test_known_irreducibles():
+    assert is_irreducible(0b111)  # x^2 + x + 1
+    assert is_irreducible(0b1011)  # x^3 + x + 1
+    assert is_irreducible(0x13)
+    assert is_irreducible(0x11D)
+
+
+def test_known_reducibles():
+    assert not is_irreducible(0b101)  # x^2 + 1 = (x+1)^2
+    assert not is_irreducible(0b110)  # x^2 + x = x(x+1)
+    assert not is_irreducible(1)  # degree 0
+    assert not is_irreducible(0)
+
+
+def test_default_polynomials_are_primitive():
+    """Every shipped defining polynomial must be verified primitive."""
+    for w, poly in DEFAULT_POLYNOMIALS.items():
+        assert poly_degree(poly) == w
+        assert is_primitive(poly, w), f"default polynomial for w={w} is not primitive"
+
+
+def test_irreducible_but_not_primitive():
+    # x^4 + x^3 + x^2 + x + 1 is irreducible but x has order 5, not 15.
+    p = 0b11111
+    assert is_irreducible(p)
+    assert not is_primitive(p, 4)
+
+
+def test_is_primitive_rejects_wrong_degree():
+    assert not is_primitive(0x13, 8)
+
+
+def test_default_polynomial_unknown_width():
+    with pytest.raises(ValueError):
+        default_polynomial(12)
+    assert default_polynomial(8) == 0x11D

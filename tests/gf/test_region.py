@@ -1,0 +1,159 @@
+"""Unit tests for region operations and the mult_XORs op counter."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gf import GF, OpCounter, RegionOps
+
+ALL_W = [4, 8, 16, 32]
+
+
+@pytest.fixture(params=ALL_W, ids=lambda w: f"w{w}")
+def ops(request):
+    return RegionOps(GF(request.param))
+
+
+def region(field, n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, field.order + 1, size=n).astype(field.dtype)
+
+
+def test_mul_region_matches_field_mul(ops):
+    f = ops.field
+    src = region(f)
+    for a in (0, 1, 2, 7, f.order):
+        assert np.array_equal(ops.mul_region(src, a), f.mul(f.dtype.type(a), src))
+
+
+def test_mul_region_out_aliasing(ops):
+    f = ops.field
+    src = region(f, seed=1)
+    expected = f.mul(f.dtype.type(3), src)
+    out = ops.mul_region(src, 3, out=src)
+    assert out is src
+    assert np.array_equal(src, expected)
+
+
+def test_mul_region_not_counted(ops):
+    ops.mul_region(region(ops.field), 5)
+    assert ops.counter.mult_xors == 0
+
+
+def test_mult_xors_semantics(ops):
+    f = ops.field
+    src = region(f, seed=2)
+    dst = region(f, seed=3)
+    expected = dst ^ f.mul(f.dtype.type(9), src)
+    result = ops.mult_xors(src, dst, 9)
+    assert result is dst
+    assert np.array_equal(dst, expected)
+
+
+def test_mult_xors_counts(ops):
+    src = region(ops.field, n=32)
+    dst = np.zeros_like(src)
+    ops.mult_xors(src, dst, 2)
+    ops.mult_xors(src, dst, 1)
+    assert ops.counter.mult_xors == 2
+    assert ops.counter.xor_only == 1
+    assert ops.counter.symbols == 64
+
+
+def test_mult_xors_zero_coefficient_rejected(ops):
+    src = region(ops.field)
+    with pytest.raises(ValueError):
+        ops.mult_xors(src, np.zeros_like(src), 0)
+
+
+def test_mult_xors_shape_mismatch(ops):
+    f = ops.field
+    with pytest.raises(ValueError):
+        ops.mult_xors(f.zeros(4), f.zeros(8), 1)
+
+
+def test_region_dtype_checked(ops):
+    wrong = np.zeros(8, dtype=np.float64)
+    with pytest.raises(TypeError):
+        ops.mult_xors(wrong, wrong.copy(), 1)
+
+
+def test_linear_combination(ops):
+    f = ops.field
+    regions = [region(f, seed=s) for s in range(4)]
+    coeffs = np.array([3, 0, 1, 5], dtype=f.dtype)
+    out = ops.linear_combination(coeffs, regions)
+    expected = (
+        f.mul(f.dtype.type(3), regions[0])
+        ^ regions[2]
+        ^ f.mul(f.dtype.type(5), regions[3])
+    )
+    assert np.array_equal(out, expected)
+    # zero coefficient not counted
+    assert ops.counter.mult_xors == 3
+
+
+def test_linear_combination_reuses_out(ops):
+    f = ops.field
+    regions = [region(f, seed=9)]
+    out = f.zeros(64)
+    got = ops.linear_combination(np.array([1], dtype=f.dtype), regions, out=out)
+    assert got is out
+    assert np.array_equal(out, regions[0])
+
+
+def test_linear_combination_validates(ops):
+    with pytest.raises(ValueError):
+        ops.linear_combination(np.array([1], dtype=ops.field.dtype), [])
+    with pytest.raises(ValueError):
+        ops.linear_combination(np.array([], dtype=ops.field.dtype), [])
+
+
+def test_matrix_apply_cost_is_nonzero_count(ops):
+    f = ops.field
+    matrix = np.array([[1, 0, 2], [0, 0, 1]], dtype=f.dtype)
+    regions = [region(f, seed=s) for s in range(3)]
+    outs = ops.matrix_apply(matrix, regions)
+    assert len(outs) == 2
+    assert ops.counter.mult_xors == 3  # u(matrix)
+    assert np.array_equal(outs[1], regions[2])
+
+
+def test_matrix_apply_validates_shape(ops):
+    with pytest.raises(ValueError):
+        ops.matrix_apply(ops.field.zeros((2, 2)), [ops.field.zeros(4)])
+
+
+def test_counter_reset_snapshot():
+    c = OpCounter()
+    c.record(3, 100, xor_only=1)
+    assert c.snapshot() == (3, 1, 100)
+    c.reset()
+    assert c.snapshot() == (0, 0, 0)
+
+
+def test_counter_thread_safety():
+    c = OpCounter()
+
+    def work():
+        for _ in range(1000):
+            c.record(1, 10)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.mult_xors == 4000
+    assert c.symbols == 40000
+
+
+def test_shared_counter_between_ops():
+    c = OpCounter()
+    a = RegionOps(GF(8), c)
+    b = RegionOps(GF(8), c)
+    src = region(GF(8))
+    a.mult_xors(src, np.zeros_like(src), 2)
+    b.mult_xors(src, np.zeros_like(src), 3)
+    assert c.mult_xors == 2

@@ -1,0 +1,148 @@
+"""Unit + property tests for XOR scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF
+from repro.gf.bitmatrix import expand_matrix, xor_count
+from repro.gf.schedule import (
+    execute_schedule,
+    naive_schedule,
+    pair_reuse_schedule,
+    schedule_cost,
+)
+
+
+def reference_apply(bitmatrix, inputs):
+    out = []
+    for row in bitmatrix:
+        acc = np.zeros_like(inputs[0])
+        for j in np.nonzero(row)[0]:
+            acc = acc ^ inputs[int(j)]
+        out.append(acc)
+    return out
+
+
+def random_bitmatrix(rows, cols, density=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.random((rows, cols)) < density).astype(np.uint8)
+
+
+def random_packets(count, size=16, seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=size).astype(np.uint8) for _ in range(count)]
+
+
+def test_naive_schedule_cost_matches_xor_count():
+    m = random_bitmatrix(6, 8, seed=2)
+    assert schedule_cost(naive_schedule(m)) == xor_count(m)
+
+
+def test_naive_schedule_correct():
+    m = random_bitmatrix(5, 7, seed=3)
+    packets = random_packets(7, seed=4)
+    got = execute_schedule(naive_schedule(m), packets)
+    want = reference_apply(m, packets)
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+
+
+def test_zero_row_produces_zero_packet():
+    m = np.zeros((2, 3), dtype=np.uint8)
+    m[1, 0] = 1
+    packets = random_packets(3, seed=5)
+    out = execute_schedule(naive_schedule(m), packets)
+    assert not out[0].any()
+    assert np.array_equal(out[1], packets[0])
+
+
+def test_pair_reuse_correct_and_no_worse():
+    m = random_bitmatrix(8, 10, density=0.6, seed=6)
+    packets = random_packets(10, seed=7)
+    naive = naive_schedule(m)
+    optimised = pair_reuse_schedule(m)
+    got = execute_schedule(optimised, packets)
+    want = execute_schedule(naive, packets)
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+    assert schedule_cost(optimised) <= schedule_cost(naive)
+
+
+def test_pair_reuse_saves_on_shared_pairs():
+    # three rows all containing the pair (0, 1): naive 6 xors, reuse 4
+    m = np.array(
+        [
+            [1, 1, 1, 0],
+            [1, 1, 0, 1],
+            [1, 1, 1, 1],
+        ],
+        dtype=np.uint8,
+    )
+    naive = naive_schedule(m)
+    optimised = pair_reuse_schedule(m)
+    assert schedule_cost(naive) == 2 + 2 + 3
+    assert schedule_cost(optimised) < schedule_cost(naive)
+    packets = random_packets(4, seed=8)
+    for g, w in zip(
+        execute_schedule(optimised, packets), execute_schedule(naive, packets)
+    ):
+        assert np.array_equal(g, w)
+
+
+def test_max_rounds_limits_optimisation():
+    m = random_bitmatrix(8, 10, density=0.7, seed=9)
+    limited = pair_reuse_schedule(m, max_rounds=1)
+    unlimited = pair_reuse_schedule(m)
+    assert schedule_cost(unlimited) <= schedule_cost(limited)
+    packets = random_packets(10, seed=10)
+    for g, w in zip(
+        execute_schedule(limited, packets), execute_schedule(unlimited, packets)
+    ):
+        assert np.array_equal(g, w)
+
+
+def test_execute_validates_inputs():
+    m = random_bitmatrix(2, 3, seed=11)
+    sched = naive_schedule(m)
+    with pytest.raises(ValueError):
+        execute_schedule(sched, random_packets(2))
+    empty = naive_schedule(np.zeros((1, 0), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        execute_schedule(empty, [])
+
+
+def test_on_real_coding_matrix():
+    """Scheduling a real SD decode bit-matrix reduces XORs and stays exact."""
+    from repro.codes import SDCode
+    from repro.core import plan_decode
+
+    code = SDCode(6, 4, 2, 2)
+    from repro.stripes import worst_case_sd
+
+    scen = worst_case_sd(code, z=1, rng=0)
+    plan = plan_decode(code, scen.faulty_blocks)
+    w_matrix = plan.groups[0].weights.array
+    expanded = expand_matrix(code.field, w_matrix)
+    naive = naive_schedule(expanded)
+    optimised = pair_reuse_schedule(expanded)
+    assert schedule_cost(optimised) < schedule_cost(naive)
+    packets = random_packets(expanded.shape[1], seed=12)
+    for g, w in zip(
+        execute_schedule(optimised, packets), execute_schedule(naive, packets)
+    ):
+        assert np.array_equal(g, w)
+
+
+@given(st.integers(0, 10_000), st.integers(2, 7), st.integers(2, 9))
+@settings(max_examples=40)
+def test_property_schedules_agree(seed, rows, cols):
+    m = random_bitmatrix(rows, cols, density=0.5, seed=seed)
+    packets = random_packets(cols, seed=seed + 1)
+    naive = execute_schedule(naive_schedule(m), packets)
+    optimised = execute_schedule(pair_reuse_schedule(m), packets)
+    reference = reference_apply(m, packets)
+    for a, b, c in zip(naive, optimised, reference):
+        assert np.array_equal(a, c)
+        assert np.array_equal(b, c)

@@ -1,0 +1,73 @@
+"""Unit tests for per-constant SPLIT multiplication tables (w = 16, 32)."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF
+from repro.gf.split import mul_region_split, split_tables
+
+
+@pytest.fixture(params=[16, 32], ids=lambda w: f"w{w}")
+def field(request):
+    return GF(request.param)
+
+
+def test_table_count_and_shape(field):
+    tables = split_tables(field, 0x1234)
+    assert len(tables) == field.w // 8
+    for t in tables:
+        assert t.shape == (256,)
+        assert t.dtype == field.dtype
+        assert not t.flags.writeable
+
+
+def test_tables_cached(field):
+    assert split_tables(field, 77) is split_tables(field, 77)
+
+
+def test_table_entries(field):
+    a = field.dtype.type(0xAB)
+    tables = split_tables(field, int(a))
+    for i, t in enumerate(tables):
+        for b in (0, 1, 0x7F, 0xFF):
+            x = field.dtype.type(b << (8 * i))
+            assert t[b] == field.mul(a, x)
+
+
+def test_mul_region_split_matches_field(field):
+    rng = np.random.default_rng(5)
+    src = rng.integers(0, field.order + 1, size=257).astype(field.dtype)
+    for a in (1, 2, 0xFF, field.order - 1):
+        got = mul_region_split(field, src, a)
+        want = field.mul(field.dtype.type(a), src)
+        assert np.array_equal(got, want)
+
+
+def test_mul_region_split_out_param(field):
+    rng = np.random.default_rng(6)
+    src = rng.integers(0, field.order + 1, size=64).astype(field.dtype)
+    out = np.empty_like(src)
+    got = mul_region_split(field, src, 3, out=out)
+    assert got is out
+    assert np.array_equal(out, field.mul(field.dtype.type(3), src))
+
+
+def test_mul_region_split_aliasing_out(field):
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, field.order + 1, size=64).astype(field.dtype)
+    expected = field.mul(field.dtype.type(9), src)
+    mul_region_split(field, src, 9, out=src)
+    assert np.array_equal(src, expected)
+
+
+def test_split_rejected_for_w8():
+    with pytest.raises(ValueError):
+        split_tables(GF(8), 3)
+
+
+def test_multidimensional_regions(field):
+    rng = np.random.default_rng(8)
+    src = rng.integers(0, field.order + 1, size=(4, 16)).astype(field.dtype)
+    got = mul_region_split(field, src, 5)
+    assert got.shape == src.shape
+    assert np.array_equal(got, field.mul(field.dtype.type(5), src))

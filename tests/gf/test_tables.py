@@ -1,0 +1,79 @@
+"""Unit tests for GF table construction."""
+
+import numpy as np
+import pytest
+
+from repro.gf.tables import build_logexp, build_mul8, dtype_for
+
+
+def test_dtype_for():
+    assert dtype_for(4) == np.uint8
+    assert dtype_for(8) == np.uint8
+    assert dtype_for(16) == np.uint16
+    assert dtype_for(32) == np.uint32
+    with pytest.raises(ValueError):
+        dtype_for(64)
+
+
+@pytest.mark.parametrize("w", [4, 8, 16])
+def test_logexp_roundtrip(w):
+    t = build_logexp(w)
+    order = (1 << w) - 1
+    assert t.order == order
+    values = np.arange(1, 1 << w)
+    # exp(log(v)) == v for every nonzero element
+    assert np.array_equal(t.exp[t.log[values]], values.astype(t.exp.dtype))
+    # log is a bijection on nonzero elements
+    assert len(set(t.log[values].tolist())) == order
+
+
+@pytest.mark.parametrize("w", [4, 8, 16])
+def test_exp_is_doubled_plus_sentinel_slot(w):
+    t = build_logexp(w)
+    order = (1 << w) - 1
+    assert len(t.exp) == 2 * order + 1
+    assert np.array_equal(t.exp[:order], t.exp[order : 2 * order])
+    assert t.exp[2 * order] == 0  # both-operands-zero sentinel slot
+    assert t.log[0] == order
+
+
+def test_logexp_rejects_unsupported_width():
+    with pytest.raises(ValueError):
+        build_logexp(32)
+
+
+def test_logexp_rejects_non_primitive_polynomial():
+    # 0x11B (the AES polynomial) is irreducible but x is not a generator.
+    with pytest.raises(ValueError):
+        build_logexp(8, polynomial=0x11B)
+    with pytest.raises(ValueError):
+        build_logexp(8, polynomial=0x101)  # x^8 + 1 is reducible
+
+
+def test_logexp_cached():
+    assert build_logexp(8) is build_logexp(8)
+
+
+def test_mul8_table_basics():
+    m = build_mul8()
+    assert m.shape == (256, 256)
+    assert m.dtype == np.uint8
+    assert np.all(m[0] == 0) and np.all(m[:, 0] == 0)
+    assert np.array_equal(m[1], np.arange(256, dtype=np.uint8))
+    assert np.array_equal(m, m.T)  # commutativity
+    # known products under 0x11D: 2*128 = 0x11D ^ 0x100 = 0x1D
+    assert m[2, 128] == 0x1D
+    assert m[2, 2] == 4
+
+
+def test_mul8_rows_are_permutations():
+    m = build_mul8()
+    for a in (1, 2, 37, 255):
+        assert sorted(m[a].tolist()) == list(range(256))
+
+
+def test_mul8_readonly_and_cached():
+    m = build_mul8()
+    assert m is build_mul8()
+    with pytest.raises(ValueError):
+        m[1, 1] = 0

@@ -1,0 +1,74 @@
+"""Hypothesis property tests: LRC end-to-end decode invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import LRCCode, is_decodable
+from repro.core import PPMDecoder, TraditionalDecoder, plan_decode
+from repro.stripes import Stripe, StripeLayout
+
+
+@st.composite
+def lrc_and_faults(draw):
+    k = draw(st.integers(4, 12))
+    l = draw(st.integers(2, min(4, k)))
+    g = draw(st.integers(1, 2))
+    code = LRCCode(k, l, g)
+    count = draw(st.integers(1, l + g))
+    faults = draw(
+        st.lists(
+            st.integers(0, code.n - 1), min_size=count, max_size=count, unique=True
+        )
+    )
+    return code, tuple(sorted(faults))
+
+
+@given(lrc_and_faults(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_lrc_roundtrip_all_decoders(params, seed):
+    code, faults = params
+    if not is_decodable(code, faults):
+        return
+    stripe = Stripe.random(StripeLayout.of_code(code), code.field, 8, rng=seed)
+    TraditionalDecoder().encode_into(code, stripe)
+    truth = stripe.copy()
+    stripe.erase(faults)
+    for decoder in (TraditionalDecoder(), PPMDecoder(threads=2)):
+        recovered = decoder.decode(code, stripe, faults)
+        for b in faults:
+            assert np.array_equal(recovered[b], truth.get(b))
+
+
+@given(lrc_and_faults())
+@settings(max_examples=60, deadline=None)
+def test_lrc_locality_invariant(params):
+    """Every data-block fault with an intact group decodes locally.
+
+    If a faulty data block's group has no other fault (data or local
+    parity), PPM must recover it in the parallel phase from its group
+    alone — the locality guarantee LRC exists for.
+    """
+    code, faults = params
+    if not is_decodable(code, faults):
+        return
+    plan = plan_decode(code, faults)
+    fault_set = set(faults)
+    independent = set(plan.partition.independent_faulty_ids)
+    for b in faults:
+        if b >= code.k:
+            continue
+        group = code.group_of(b)
+        members = set(code.groups[group]) | {code.local_parity_id(group)}
+        if len(members & fault_set) == 1:
+            assert b in independent, (b, faults)
+
+
+@given(lrc_and_faults())
+@settings(max_examples=60, deadline=None)
+def test_lrc_cost_never_exceeds_c1(params):
+    code, faults = params
+    if not is_decodable(code, faults):
+        return
+    plan = plan_decode(code, faults)
+    assert plan.predicted_cost <= plan.costs.c1

@@ -1,0 +1,70 @@
+"""Hypothesis property tests for GF matrix algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF
+from repro.matrix import GFMatrix, invert, is_invertible, rank, u
+
+
+@st.composite
+def square_matrix(draw, max_n=6):
+    w = draw(st.sampled_from([8, 16]))
+    n = draw(st.integers(1, max_n))
+    f = GF(w)
+    data = draw(
+        st.lists(
+            st.lists(st.integers(0, f.order), min_size=n, max_size=n),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return GFMatrix(f, np.array(data, dtype=f.dtype))
+
+
+@given(square_matrix())
+@settings(max_examples=80)
+def test_inverse_roundtrip_when_invertible(m):
+    if not is_invertible(m):
+        return
+    identity = GFMatrix.identity(m.field, m.rows)
+    assert (m @ invert(m)) == identity
+    assert (invert(m) @ m) == identity
+
+
+@given(square_matrix())
+@settings(max_examples=80)
+def test_rank_bounds(m):
+    r = rank(m)
+    assert 0 <= r <= m.rows
+    assert (r == m.rows) == is_invertible(m)
+    # rank of the transpose matches
+    assert rank(m.T) == r
+
+
+@given(square_matrix(), square_matrix())
+@settings(max_examples=60)
+def test_u_subadditive_under_product(a, b):
+    """u(A@B) <= rows*cols; and matmul preserves the field."""
+    if a.field is not b.field or a.cols != b.rows:
+        return
+    p = a @ b
+    assert 0 <= u(p) <= p.rows * p.cols
+    assert p.field is a.field
+
+
+@given(square_matrix())
+@settings(max_examples=60)
+def test_addition_self_inverse(m):
+    assert (m + m) == GFMatrix.zeros(m.field, m.rows, m.cols)
+
+
+@given(square_matrix())
+@settings(max_examples=60)
+def test_matmul_distributes_over_addition(m):
+    f = m.field
+    rng = np.random.default_rng(42)
+    b = GFMatrix(f, rng.integers(0, f.order + 1, size=(m.cols, 3)).astype(f.dtype))
+    c = GFMatrix(f, rng.integers(0, f.order + 1, size=(m.cols, 3)).astype(f.dtype))
+    assert (m @ (b + c)) == ((m @ b) + (m @ c))

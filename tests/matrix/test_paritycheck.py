@@ -1,0 +1,78 @@
+"""Unit tests for the F/S split and column compaction."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF
+from repro.matrix import GFMatrix, nonzero_columns, split_fs
+
+
+@pytest.fixture
+def field():
+    return GF(8)
+
+
+def example_h(field):
+    # 3x6 matrix with a deliberate zero column at global id 4
+    data = np.array(
+        [
+            [1, 1, 1, 0, 0, 0],
+            [0, 2, 0, 4, 0, 0],
+            [1, 0, 3, 0, 0, 9],
+        ],
+        dtype=field.dtype,
+    )
+    return GFMatrix(field, data)
+
+
+def test_split_basic(field):
+    h = example_h(field)
+    split = split_fs(h, faulty=[1, 3])
+    assert split.faulty_ids == (1, 3)
+    assert np.array_equal(split.F.array, h.array[:, [1, 3]])
+    # survivors: 0, 2, 5 (column 4 is all-zero and dropped)
+    assert split.survivor_ids == (0, 2, 5)
+    assert np.array_equal(split.S.array, h.array[:, [0, 2, 5]])
+
+
+def test_split_keeps_zero_columns_when_asked(field):
+    h = example_h(field)
+    split = split_fs(h, faulty=[1], drop_zero_survivor_columns=False)
+    assert split.survivor_ids == (0, 2, 3, 4, 5)
+    assert split.S.cols == 5
+
+
+def test_split_preserves_faulty_order(field):
+    h = example_h(field)
+    split = split_fs(h, faulty=[3, 1])
+    # F columns follow the matrix's column order, labelled by global id
+    assert split.faulty_ids == (1, 3)
+
+
+def test_split_with_column_ids(field):
+    h = example_h(field)
+    ids = [10, 11, 12, 13, 14, 15]
+    split = split_fs(h, faulty=[11, 99], column_ids=ids)
+    # 99 is not a column of this sub-matrix and is ignored
+    assert split.faulty_ids == (11,)
+    assert 14 not in split.survivor_ids  # zero column dropped
+    assert split.survivor_ids == (10, 12, 13, 15)
+
+
+def test_split_validates_column_ids_length(field):
+    with pytest.raises(ValueError):
+        split_fs(example_h(field), faulty=[0], column_ids=[1, 2])
+
+
+def test_split_no_faulty(field):
+    h = example_h(field)
+    split = split_fs(h, faulty=[])
+    assert split.F.cols == 0
+    assert split.F.rows == 3
+
+
+def test_nonzero_columns(field):
+    h = example_h(field)
+    assert nonzero_columns(h, [0]) == [0, 1, 2]
+    assert nonzero_columns(h, [1, 2]) == [0, 1, 2, 3, 5]
+    assert nonzero_columns(h, []) == []

@@ -1,0 +1,47 @@
+"""Unit tests for nonzero-structure analysis (the u(M) cost unit)."""
+
+import numpy as np
+
+from repro.gf import GF
+from repro.matrix import GFMatrix, column_weights, density, row_support, row_weights, u
+
+
+def sample():
+    f = GF(8)
+    return GFMatrix(
+        f,
+        np.array(
+            [
+                [1, 0, 2],
+                [0, 0, 0],
+                [3, 4, 5],
+            ],
+            dtype=f.dtype,
+        ),
+    )
+
+
+def test_u():
+    assert u(sample()) == 5
+    assert u(GFMatrix.zeros(GF(8), 2, 2)) == 0
+    assert u(GFMatrix.identity(GF(8), 7)) == 7
+
+
+def test_row_weights():
+    assert row_weights(sample()).tolist() == [2, 0, 3]
+
+
+def test_column_weights():
+    assert column_weights(sample()).tolist() == [2, 1, 2]
+
+
+def test_row_support():
+    m = sample()
+    assert row_support(m, 0) == (0, 2)
+    assert row_support(m, 1) == ()
+    assert row_support(m, 2) == (0, 1, 2)
+
+
+def test_density():
+    assert density(sample()) == 5 / 9
+    assert density(GFMatrix.zeros(GF(8), 0, 5)) == 0.0

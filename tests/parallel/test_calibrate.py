@@ -1,0 +1,47 @@
+"""Unit tests for host calibration."""
+
+import pytest
+
+from repro.parallel import (
+    E5_2603,
+    host_profile,
+    measure_spawn_overhead,
+    measure_throughput,
+    scaled_paper_profile,
+)
+
+
+def test_measure_throughput_positive():
+    tput = measure_throughput(w=8, region_symbols=1 << 14, repeats=3)
+    assert tput > 1e5  # even a slow interpreter beats 100k symbol-ops/s
+
+
+def test_measure_spawn_overhead_positive():
+    overhead = measure_spawn_overhead(threads=2, repeats=2)
+    assert 0 < overhead < 1.0
+
+
+def test_host_profile_cached():
+    a = host_profile(w=8)
+    b = host_profile(w=8)
+    assert a is b
+    assert a.cores >= 1
+    assert a.base_throughput > 0
+
+
+def test_host_profile_refresh():
+    a = host_profile(w=8)
+    b = host_profile(w=8, refresh=True)
+    assert b is host_profile(w=8)
+    assert b.name == a.name
+
+
+def test_scaled_paper_profile():
+    host = host_profile(w=8)
+    scaled = scaled_paper_profile(E5_2603, host)
+    assert scaled.cores == E5_2603.cores
+    assert scaled.ghz == E5_2603.ghz
+    assert scaled.name == E5_2603.name
+    # per-GHz base comes from the host measurement
+    assert scaled.base_throughput == pytest.approx(host.base_throughput / host.ghz)
+    assert scaled.spawn_overhead_s == host.spawn_overhead_s

@@ -1,0 +1,83 @@
+"""Unit tests for the distributed-repair network model."""
+
+import pytest
+
+from repro.codes import LRCCode, RSCode
+from repro.core import plan_decode
+from repro.parallel import (
+    E5_2603,
+    NetworkModel,
+    compare_repair_bills,
+    default_placement,
+    repair_bill,
+)
+
+SECTOR = 1 << 20  # 1 MB blocks
+
+
+def test_default_placement_one_node_per_disk():
+    lrc = LRCCode(6, 2, 2)
+    placement = default_placement(lrc)
+    assert placement == {b: b for b in range(lrc.n)}  # r == 1
+
+
+def test_lrc_local_repair_bill():
+    lrc = LRCCode(12, 4, 2)
+    plan = plan_decode(lrc, [0])
+    bill = repair_bill(lrc, plan, SECTOR, E5_2603)
+    # group 0 = {0,1,2} + local parity: 3 remote blocks from 3 nodes
+    assert bill.network_bytes == 3 * SECTOR
+    assert bill.remote_nodes == 3
+    assert bill.transfer_seconds > 0
+    assert bill.compute_seconds > 0
+
+
+def test_rs_repair_ships_more():
+    rs = RSCode(16, 12, r=1)
+    lrc = LRCCode(12, 4, 2)
+    bills = compare_repair_bills(
+        [
+            ("rs", rs, plan_decode(rs, [0])),
+            ("lrc", lrc, plan_decode(lrc, [0])),
+        ],
+        SECTOR,
+        E5_2603,
+    )
+    assert bills["rs"].network_bytes > bills["lrc"].network_bytes
+    assert bills["rs"].total_seconds > bills["lrc"].total_seconds
+
+
+def test_local_blocks_are_free():
+    """Survivors on the repair node itself cost no network."""
+    lrc = LRCCode(12, 4, 2)
+    plan = plan_decode(lrc, [0])
+    # co-locate everything on the repair node
+    placement = {b: 99 for b in range(lrc.n)}
+    bill = repair_bill(lrc, plan, SECTOR, E5_2603, placement=placement, repair_node=99)
+    assert bill.network_bytes == 0
+    assert bill.remote_nodes == 0
+    assert bill.transfer_seconds == 0.0
+
+
+def test_parallel_fetch_waves():
+    lrc = LRCCode(12, 4, 2)
+    plan = plan_decode(lrc, [0])
+    serial_net = NetworkModel(parallel_fetch=1)
+    wide_net = NetworkModel(parallel_fetch=8)
+    slow = repair_bill(lrc, plan, SECTOR, E5_2603, network=serial_net)
+    fast = repair_bill(lrc, plan, SECTOR, E5_2603, network=wide_net)
+    # 3 remote nodes: 3 latency waves vs 1
+    assert slow.transfer_seconds > fast.transfer_seconds
+
+
+def test_bandwidth_scales_transfer():
+    lrc = LRCCode(12, 4, 2)
+    plan = plan_decode(lrc, [0])
+    fast = repair_bill(
+        lrc, plan, SECTOR, E5_2603, network=NetworkModel(bandwidth_bytes_per_s=1e10)
+    )
+    slow = repair_bill(
+        lrc, plan, SECTOR, E5_2603, network=NetworkModel(bandwidth_bytes_per_s=1e8)
+    )
+    assert slow.transfer_seconds > fast.transfer_seconds
+    assert slow.network_bytes == fast.network_bytes

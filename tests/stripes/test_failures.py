@@ -1,0 +1,106 @@
+"""Unit tests for failure-scenario generation (the paper's methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import LRCCode, SDCode, is_decodable
+from repro.stripes import (
+    FailureScenario,
+    StripeLayout,
+    lrc_scenario,
+    random_scenario,
+    worst_case_sd,
+)
+
+
+@pytest.fixture
+def code():
+    return SDCode(6, 4, 2, 2)
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        FailureScenario(faulty_blocks=(3, 1))  # unsorted
+    with pytest.raises(ValueError):
+        FailureScenario(faulty_blocks=(1, 1))  # duplicate
+    s = FailureScenario(faulty_blocks=(1, 3), sector_faults=(1, 3))
+    assert s.num_faults == 2
+
+
+def test_worst_case_shape(code):
+    scen = worst_case_sd(code, z=1, rng=0)
+    assert len(scen.failed_disks) == code.m
+    assert len(scen.sector_faults) == code.s
+    assert scen.num_faults == code.m * code.r + code.s
+    layout = StripeLayout.of_code(code)
+    assert scen.z(layout) == 1
+    # all disk blocks of the failed disks are faulty
+    for d in scen.failed_disks:
+        for b in layout.blocks_of_disk(d):
+            assert b in scen.faulty_blocks
+    # sector faults avoid failed disks
+    for b in scen.sector_faults:
+        assert layout.disk_of(b) not in scen.failed_disks
+
+
+@pytest.mark.parametrize("z", [1, 2])
+def test_worst_case_z_rows(code, z):
+    layout = StripeLayout.of_code(code)
+    for seed in range(10):
+        scen = worst_case_sd(code, z=z, rng=seed)
+        assert scen.z(layout) == z
+
+
+def test_worst_case_unconstrained_z(code):
+    scen = worst_case_sd(code, z=None, rng=3)
+    layout = StripeLayout.of_code(code)
+    assert 1 <= scen.z(layout) <= code.s
+
+
+def test_worst_case_decodable(code):
+    for seed in range(20):
+        scen = worst_case_sd(code, z=1, rng=seed)
+        assert is_decodable(code, scen.faulty_blocks)
+
+
+def test_worst_case_deterministic(code):
+    a = worst_case_sd(code, z=1, rng=11)
+    b = worst_case_sd(code, z=1, rng=11)
+    assert a == b
+
+
+def test_worst_case_z_validation(code):
+    with pytest.raises(ValueError):
+        worst_case_sd(code, z=3, rng=0)  # z > s
+    with pytest.raises(ValueError):
+        worst_case_sd(code, z=0, rng=0)
+
+
+def test_worst_case_requires_m():
+    with pytest.raises(TypeError):
+        worst_case_sd(LRCCode(4, 2, 2), rng=0)
+
+
+def test_random_scenario(code):
+    scen = random_scenario(code, 3, rng=5)
+    assert scen.num_faults == 3
+    assert is_decodable(code, scen.faulty_blocks)
+
+
+def test_lrc_scenario():
+    lrc = LRCCode(8, 2, 2)
+    scen = lrc_scenario(lrc, local_failures=2, extra_failures=1, rng=9)
+    assert scen.num_faults == 3
+    assert is_decodable(lrc, scen.faulty_blocks)
+    with pytest.raises(ValueError):
+        lrc_scenario(lrc, local_failures=3, rng=0)
+    with pytest.raises(TypeError):
+        lrc_scenario(SDCode(6, 4, 2, 2), local_failures=1, rng=0)
+
+
+def test_describe(code):
+    scen = worst_case_sd(code, z=1, rng=0)
+    layout = StripeLayout.of_code(code)
+    text = scen.describe(layout)
+    assert "faulty blocks" in text
+    assert "z=1" in text

@@ -1,0 +1,56 @@
+"""Unit tests for stripe geometry."""
+
+import pytest
+
+from repro.codes import SDCode
+from repro.stripes import StripeLayout
+
+
+@pytest.fixture
+def layout():
+    return StripeLayout(n=4, r=4)
+
+
+def test_paper_numbering(layout):
+    """Column i*n + j is the sector in row i, disk j (paper, Step 1)."""
+    assert layout.block_id(0, 0) == 0
+    assert layout.block_id(0, 3) == 3
+    assert layout.block_id(1, 0) == 4
+    assert layout.block_id(3, 2) == 14
+    assert layout.position(14) == (3, 2)
+    assert layout.num_blocks == 16
+
+
+def test_bounds(layout):
+    with pytest.raises(IndexError):
+        layout.block_id(4, 0)
+    with pytest.raises(IndexError):
+        layout.block_id(0, 4)
+    with pytest.raises(IndexError):
+        layout.position(-1)
+    with pytest.raises(IndexError):
+        layout.position(16)
+    with pytest.raises(ValueError):
+        StripeLayout(0, 4)
+
+
+def test_disk_and_row_views(layout):
+    assert layout.blocks_of_disk(1) == (1, 5, 9, 13)
+    assert layout.blocks_of_row(2) == (8, 9, 10, 11)
+    with pytest.raises(IndexError):
+        layout.blocks_of_disk(4)
+    with pytest.raises(IndexError):
+        layout.blocks_of_row(4)
+
+
+def test_touched(layout):
+    assert layout.rows_touched([2, 6, 10, 13, 14]) == (0, 1, 2, 3)
+    assert layout.rows_touched([13, 14]) == (3,)
+    assert layout.disks_touched([2, 6, 10]) == (2,)
+    assert layout.rows_touched([]) == ()
+
+
+def test_of_code():
+    code = SDCode(6, 4, 2, 2)
+    layout = StripeLayout.of_code(code)
+    assert (layout.n, layout.r) == (6, 4)

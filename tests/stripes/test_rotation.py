@@ -1,0 +1,87 @@
+"""Unit tests for rotated parity placement."""
+
+import pytest
+
+from repro.codes import SDCode
+from repro.core import PPMDecoder, TraditionalDecoder
+from repro.stripes import (
+    RotatedDiskArray,
+    logical_disk,
+    parity_load,
+    physical_disk,
+)
+
+
+def test_rotation_roundtrip():
+    n = 7
+    for stripe_index in range(10):
+        for logical in range(n):
+            phys = physical_disk(logical, stripe_index, n)
+            assert logical_disk(phys, stripe_index, n) == logical
+
+
+def test_parity_load_fixed_layout_is_skewed():
+    code = SDCode(6, 4, 2, 2)
+    load = parity_load(code, num_stripes=12, rotated=False)
+    # fixed layout: parity concentrated on the coding disks
+    assert load[4] > 0 and load[5] > 0
+    assert load[0] in (0, 12)  # disk 0 holds no disk-parity (maybe sectors)
+    assert max(load) - min(load) > 0
+
+
+def test_parity_load_rotation_balances():
+    code = SDCode(6, 4, 2, 2)
+    stripes = 6 * 5  # a multiple of n gives perfect balance
+    rotated = parity_load(code, num_stripes=stripes, rotated=True)
+    assert max(rotated) - min(rotated) == 0
+    fixed = parity_load(code, num_stripes=stripes, rotated=False)
+    assert max(fixed) - min(fixed) > max(rotated) - min(rotated)
+    assert sum(rotated) == sum(fixed) == stripes * len(code.parity_block_ids)
+
+
+def make_array(num_stripes=5):
+    code = SDCode(6, 4, 2, 2)
+    array = RotatedDiskArray(code, num_stripes=num_stripes, sector_symbols=16, rng=0)
+    encoder = TraditionalDecoder()
+    for stripe, truth in zip(array.stripes, array._truth):
+        encoder.encode_into(code, stripe)
+        for b in range(code.num_blocks):
+            truth.put(b, stripe.get(b))
+    return array
+
+
+def test_physical_failure_hits_different_logical_columns():
+    array = make_array()
+    array.fail_disk(2)
+    logical_columns = set()
+    for stripe_index, stripe in enumerate(array.stripes):
+        erased_disks = {array.layout.disk_of(b) for b in stripe.erased_ids}
+        assert len(erased_disks) == 1
+        logical_columns.update(erased_disks)
+        # and the erased column maps back to physical disk 2
+        (ld,) = erased_disks
+        assert physical_disk(ld, stripe_index, array.code.n) == 2
+    assert len(logical_columns) == min(5, array.code.n)
+
+
+def test_rotated_rebuild():
+    array = make_array()
+    array.fail_disk(0)
+    array.fail_disk(3)
+    repaired = array.rebuild(PPMDecoder(threads=2))
+    assert repaired == 2 * array.code.r * array.num_stripes
+    assert array.fully_intact()
+
+
+def test_physical_of():
+    array = make_array(num_stripes=3)
+    block = array.layout.block_id(0, 4)
+    assert array.physical_of(0, block) == 4
+    assert array.physical_of(1, block) == 5
+    assert array.physical_of(2, block) == 0
+
+
+def test_fail_disk_bounds():
+    array = make_array(num_stripes=1)
+    with pytest.raises(IndexError):
+        array.fail_disk(6)

@@ -1,0 +1,93 @@
+"""Unit tests for the in-memory stripe store."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF
+from repro.stripes import Stripe, StripeLayout
+
+
+@pytest.fixture
+def layout():
+    return StripeLayout(4, 2)
+
+
+@pytest.fixture
+def field():
+    return GF(8)
+
+
+def test_random_stripe_full(layout, field):
+    stripe = Stripe.random(layout, field, 32, rng=0)
+    assert stripe.present_ids == tuple(range(8))
+    assert stripe.erased_ids == ()
+    assert stripe.get(3).shape == (32,)
+    assert stripe.nbytes == 8 * 32
+
+
+def test_random_deterministic(layout, field):
+    a = Stripe.random(layout, field, 16, rng=7)
+    b = Stripe.random(layout, field, 16, rng=7)
+    assert a.equals_on(b, range(8))
+
+
+def test_zeros(layout, field):
+    stripe = Stripe.zeros(layout, field, 8)
+    assert not stripe.get(0).any()
+
+
+def test_put_copies(layout, field):
+    stripe = Stripe(layout, field, 4)
+    region = np.arange(4, dtype=field.dtype)
+    stripe.put(0, region)
+    region[0] = 99
+    assert stripe.get(0)[0] == 0
+
+
+def test_put_validation(layout, field):
+    stripe = Stripe(layout, field, 4)
+    with pytest.raises(TypeError):
+        stripe.put(0, np.zeros(4, dtype=np.float32))
+    with pytest.raises(ValueError):
+        stripe.put(0, np.zeros(5, dtype=field.dtype))
+    with pytest.raises(IndexError):
+        stripe.put(8, np.zeros(4, dtype=field.dtype))
+    with pytest.raises(ValueError):
+        Stripe(layout, field, 0)
+
+
+def test_erase_and_get(layout, field):
+    stripe = Stripe.random(layout, field, 4, rng=1)
+    stripe.erase([2, 5])
+    assert stripe.erased_ids == (2, 5)
+    assert not stripe.has(2)
+    with pytest.raises(KeyError):
+        stripe.get(2)
+    # erasing an already-erased block is fine
+    stripe.erase([2])
+    with pytest.raises(IndexError):
+        stripe.erase([99])
+
+
+def test_gather(layout, field):
+    stripe = Stripe.random(layout, field, 4, rng=2)
+    regions = stripe.gather([3, 0])
+    assert np.array_equal(regions[0], stripe.get(3))
+    assert np.array_equal(regions[1], stripe.get(0))
+
+
+def test_copy_is_deep(layout, field):
+    stripe = Stripe.random(layout, field, 4, rng=3)
+    clone = stripe.copy()
+    clone.get(0)[0] ^= 1
+    assert not np.array_equal(clone.get(0), stripe.get(0))
+
+
+def test_equals_on(layout, field):
+    a = Stripe.random(layout, field, 4, rng=4)
+    b = a.copy()
+    assert a.equals_on(b, [0, 1, 2])
+    b.get(1)[0] ^= 1
+    assert not a.equals_on(b, [0, 1])
+    b.erase([0])
+    assert not a.equals_on(b, [0])

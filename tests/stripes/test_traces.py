@@ -1,0 +1,84 @@
+"""Unit tests for synthetic failure traces and lifetime simulation."""
+
+import pytest
+
+from repro.codes import SDCode
+from repro.stripes import (
+    StripeLayout,
+    TraceConfig,
+    TraceEvent,
+    generate_trace,
+    iter_repair_batches,
+    simulate_lifetime,
+)
+
+
+@pytest.fixture
+def layout():
+    return StripeLayout(n=8, r=16)
+
+
+def test_trace_is_time_ordered_and_bounded(layout):
+    config = TraceConfig(years=2.0, disk_afr=0.5, lse_rate=1.0, seed=1)
+    events = generate_trace(layout, num_stripes=16, config=config)
+    assert events, "rates high enough to produce events"
+    days = [e.day for e in events]
+    assert days == sorted(days)
+    assert all(0 < d <= 2.0 * 365 for d in days)
+    for e in events:
+        assert 0 <= e.disk < layout.n
+        if e.kind == "lse":
+            assert 0 <= e.stripe < 16
+            assert 0 <= e.row < layout.r
+        else:
+            assert e.stripe is None
+
+
+def test_trace_deterministic(layout):
+    config = TraceConfig(years=1.0, disk_afr=0.3, lse_rate=0.5, seed=9)
+    assert generate_trace(layout, 8, config) == generate_trace(layout, 8, config)
+
+
+def test_trace_rates_scale(layout):
+    low = TraceConfig(years=1.0, disk_afr=0.05, lse_rate=0.05, seed=3)
+    high = TraceConfig(years=1.0, disk_afr=2.0, lse_rate=2.0, seed=3)
+    n_low = len(generate_trace(layout, 8, low))
+    n_high = len(generate_trace(layout, 8, high))
+    assert n_high > n_low
+
+
+def test_iter_repair_batches():
+    events = [
+        TraceEvent(day=1.0, kind="disk", disk=0),
+        TraceEvent(day=1.5, kind="disk", disk=1),
+        TraceEvent(day=10.0, kind="disk", disk=2),
+    ]
+    batches = list(iter_repair_batches(events, window_days=1.0))
+    assert [len(b) for b in batches] == [2, 1]
+    assert list(iter_repair_batches([], window_days=1.0)) == []
+
+
+def test_simulate_lifetime_accounts_everything():
+    code = SDCode(8, 8, 2, 2)
+    config = TraceConfig(years=2.0, disk_afr=0.4, lse_rate=0.8, seed=5)
+    report = simulate_lifetime(code, num_stripes=8, config=config)
+    assert report.events_processed == report.disk_failures + report.lse_events
+    assert report.events_processed > 0
+    assert report.mult_xors["C1"] >= report.mult_xors["PPM"] > 0
+    assert report.improvement() >= 0
+
+
+def test_simulate_lifetime_detects_unrecoverable():
+    """Rates far above the code's tolerance produce data-loss events."""
+    code = SDCode(6, 4, 1, 1)
+    config = TraceConfig(years=1.0, disk_afr=40.0, lse_rate=40.0, seed=6)
+    report = simulate_lifetime(code, num_stripes=4, config=config, repair_window_days=30.0)
+    assert report.unrecoverable_stripes > 0
+
+
+def test_quiet_trace_is_free():
+    code = SDCode(6, 4, 2, 2)
+    config = TraceConfig(years=0.01, disk_afr=0.001, lse_rate=0.001, seed=7)
+    report = simulate_lifetime(code, num_stripes=4, config=config)
+    assert report.stripes_repaired == 0
+    assert report.improvement() == 0.0

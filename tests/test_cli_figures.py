@@ -1,0 +1,38 @@
+"""CLI coverage for the multi-figure commands (with a slimmed registry)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def slim_figures(monkeypatch):
+    import repro.bench as bench_pkg
+    import repro.bench.figures as figures_mod
+
+    slim = {5: figures_mod.figure5, 6: figures_mod.figure6}
+    monkeypatch.setattr(figures_mod, "FIGURES", slim)
+    monkeypatch.setattr(bench_pkg, "FIGURES", slim)
+    return slim
+
+
+def test_figures_command(slim_figures, capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "Figure 6" in out
+
+
+def test_reproduce_with_extras(slim_figures, tmp_path, monkeypatch, capsys):
+    import repro.bench as bench_pkg
+    import repro.bench.extras as extras_mod
+
+    slim_extras = {"degraded-read-io": extras_mod.degraded_read_io}
+    monkeypatch.setattr(extras_mod, "EXTRAS", slim_extras)
+    monkeypatch.setattr(bench_pkg, "EXTRAS", slim_extras)
+    out_dir = tmp_path / "res"
+    assert main(["reproduce", "--out", str(out_dir), "--extras"]) == 0
+    assert (out_dir / "figure5.txt").exists()
+    assert (out_dir / "figure6.csv").exists()
+    assert (out_dir / "extra_degraded_read_io.txt").exists()
+    capsys.readouterr()
