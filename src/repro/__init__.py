@@ -24,6 +24,8 @@ Quick start::
 See ``examples/quickstart.py`` for a complete runnable walk-through.
 """
 
+from __future__ import annotations
+
 from .gf import GF, OpCounter, RegionOps
 
 __version__ = "1.0.0"

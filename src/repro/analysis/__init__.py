@@ -1,6 +1,8 @@
 """Numerical analysis: the paper's closed-form cost model and the
 predicted-improvement calculators built on it."""
 
+from __future__ import annotations
+
 from .costmodel import PAPER_RANGES, SDConfig, c1_minus_c4, c3_minus_c2, sd_costs
 from .energy import (
     EnergyBill,

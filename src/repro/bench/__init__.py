@@ -1,6 +1,8 @@
 """Benchmark harness: workload builders, measured decode experiments and
 the per-figure drivers that regenerate the paper's evaluation section."""
 
+from __future__ import annotations
+
 from .extras import EXTRAS, run_extra
 from .figures import FIGURES, run_figure
 from .sweeps import SweepStats, c4_over_c1_sweep, paper_average_report, sweep_stats

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..analysis import sd_costs
-from ..core import SequencePolicy, plan_decode
+from ..core import SequencePolicy, TraditionalDecoder
 from ..parallel import (
     E5_2603,
     PAPER_CPUS,
@@ -34,7 +34,6 @@ from .workloads import (
     sd_workload,
     sector_symbols_for,
 )
-from ..core import PPMDecoder, TraditionalDecoder
 
 #: paper x-axis ticks for the n sweeps
 N_SWEEP_FULL = (6, 11, 16, 21)

@@ -9,6 +9,7 @@ paper-example   walk through the Section II-B/III-B worked example
 calibrate       print this host's measured GF-kernel profile
 demo            encode/fail/decode a stripe and verify, with both decoders
 list-codes      show the registered erasure-code constructions
+verify          static verification sweep of decode plans + XOR schedules
 verify-code     Monte-Carlo decodability verification of a code instance
 search          search SD coefficient sets (the SD authors' pipeline)
 io-compare      degraded-read I/O bill of LRC vs RS vs SD
@@ -161,6 +162,43 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             with open(base + ".txt", "w") as fh:
                 fh.write(report.format_table() + "\n")
             print(f"extra {name}: {base}.txt")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .codes import get_code
+    from .verify import sweep_all, sweep_code
+
+    if args.all or not args.kind:
+        results = sweep_all(
+            samples=args.samples,
+            seed=args.seed,
+            check_schedules=not args.no_schedules,
+        )
+    else:
+        params = dict(pair.split("=", 1) for pair in args.param)
+        code = get_code(args.kind, **{k: int(v) for k, v in params.items()})
+        results = [
+            sweep_code(
+                code,
+                samples=args.samples,
+                seed=args.seed,
+                check_schedules=not args.no_schedules,
+            )
+        ]
+    failed = 0
+    for result in results:
+        print(result.summary())
+        if result.report.findings:
+            for finding in result.report.findings:
+                print(f"    {finding.format()}")
+        if not result.ok:
+            failed += 1
+    total = sum(r.scenarios for r in results)
+    if failed:
+        print(f"FAIL: {failed} of {len(results)} code(s) produced invalid plans")
+        return 1
+    print(f"all plans verified: {len(results)} code(s), {total} scenario(s)")
     return 0
 
 
@@ -329,6 +367,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--full", action="store_true")
     p_rep.add_argument("--extras", action="store_true", help="also run the extra experiments")
     p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_vfy = sub.add_parser(
+        "verify",
+        help="statically verify decode plans (and XOR schedules) across codes",
+    )
+    p_vfy.add_argument("--all", action="store_true", help="sweep every registered kind")
+    p_vfy.add_argument("kind", nargs="?", help="registry name, e.g. sd (default: --all)")
+    p_vfy.add_argument("param", nargs="*", help="constructor params, e.g. n=6 r=4 m=2 s=2")
+    p_vfy.add_argument("--samples", type=int, default=50, help="scenarios per code")
+    p_vfy.add_argument("--seed", type=int, default=2015)
+    p_vfy.add_argument(
+        "--no-schedules", action="store_true", help="skip XOR-schedule verification"
+    )
+    p_vfy.set_defaults(func=_cmd_verify)
 
     p_ver = sub.add_parser("verify-code", help="Monte-Carlo decodability check")
     p_ver.add_argument("kind", help="registry name, e.g. sd")

@@ -7,6 +7,8 @@ parity-check matrix ``H`` over GF(2^w) and slot into the shared decode
 machinery in :mod:`repro.core`.
 """
 
+from __future__ import annotations
+
 from .base import CodeConstructionError, ErasureCode
 from .evenodd import EvenOddCode
 from .lrc import LRCCode

@@ -20,7 +20,7 @@ from typing import Iterable
 
 import numpy as np
 
-from ..matrix import is_invertible, split_fs
+from ..matrix import split_fs
 from .base import CodeConstructionError, ErasureCode
 from .lrc import LRCCode
 from .sd import SDCode

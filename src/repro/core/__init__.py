@@ -6,6 +6,8 @@ choice) -> :class:`PPMDecoder` execution (parallel groups + rest merge).
 :class:`TraditionalDecoder` is the baseline whole-matrix method.
 """
 
+from __future__ import annotations
+
 from .bitdecoder import BitMatrixDecoder
 from .decoder import DecodeStats, PPMDecoder, TraditionalDecoder
 from .executor import PhaseTiming, run_group, run_groups_parallel, run_groups_serial

@@ -46,13 +46,28 @@ class DecodeStats:
 
 
 class _PlanningDecoder:
-    """Shared plan construction, caching and block plumbing."""
+    """Shared plan construction, caching and block plumbing.
 
-    def __init__(self, policy: SequencePolicy, counter: OpCounter | None = None):
+    ``verify=True`` statically certifies every plan against the
+    parity-check matrix before it executes (see
+    :func:`repro.verify.verify_plan`), raising
+    :class:`repro.verify.PlanVerificationError` on any violated
+    invariant.  Certification is cached per plan, so the amortised cost
+    across stripes sharing a failure geometry is zero.
+    """
+
+    def __init__(
+        self,
+        policy: SequencePolicy,
+        counter: OpCounter | None = None,
+        verify: bool = False,
+    ):
         self.policy = policy
         self.counter = counter if counter is not None else OpCounter()
+        self.verify = verify
         self._plan_cache: dict[tuple, DecodePlan] = {}
         self._ops_cache: dict[int, RegionOps] = {}
+        self._verified_plans: set[int] = set()
 
     def ops_for(self, field: GF) -> RegionOps:
         key = id(field)
@@ -62,14 +77,28 @@ class _PlanningDecoder:
             self._ops_cache[key] = ops
         return ops
 
-    def plan(self, source: ErasureCode | GFMatrix, faulty: Sequence[int]) -> DecodePlan:
-        """Build (or fetch) the plan for a scenario under this policy."""
+    def plan(
+        self,
+        source: ErasureCode | GFMatrix,
+        faulty: Sequence[int],
+        verify: bool | None = None,
+    ) -> DecodePlan:
+        """Build (or fetch) the plan for a scenario under this policy.
+
+        ``verify`` overrides the decoder-level default; when enabled the
+        plan is statically certified once and the result cached.
+        """
         h = source.H if isinstance(source, ErasureCode) else source
         key = (id(h), tuple(sorted(set(faulty))), self.policy)
         plan = self._plan_cache.get(key)
         if plan is None:
             plan = plan_decode(h, faulty, policy=self.policy)
             self._plan_cache[key] = plan
+        if (self.verify if verify is None else verify) and id(plan) not in self._verified_plans:
+            from ..verify import assert_plan_valid  # deferred: verify imports core
+
+            assert_plan_valid(plan, h)
+            self._verified_plans.add(id(plan))
         return plan
 
     @staticmethod
@@ -85,19 +114,28 @@ class _PlanningDecoder:
         code: ErasureCode,
         stripe: Stripe | Mapping[int, np.ndarray],
         faulty: Sequence[int],
+        verify: bool | None = None,
     ) -> dict[int, np.ndarray]:
-        """Recover the faulty blocks of one stripe."""
-        return self.decode_with_stats(code, stripe, faulty)[0]
+        """Recover the faulty blocks of one stripe.
+
+        ``verify=True`` statically certifies the decode plan before any
+        region op runs (raises
+        :class:`repro.verify.PlanVerificationError` if an invariant is
+        violated); ``None`` defers to the decoder's construction-time
+        default.
+        """
+        return self.decode_with_stats(code, stripe, faulty, verify=verify)[0]
 
     def decode_with_stats(
         self,
         code: ErasureCode | GFMatrix,
         stripe: Stripe | Mapping[int, np.ndarray],
         faulty: Sequence[int],
+        verify: bool | None = None,
     ) -> tuple[dict[int, np.ndarray], DecodeStats]:
         """Recover faulty blocks and report op counts / timings."""
         field = code.field  # both ErasureCode and GFMatrix carry their field
-        plan = self.plan(code, faulty)
+        plan = self.plan(code, faulty, verify=verify)
         blocks = self._blocks_of(stripe)
         ops = self.ops_for(field)
         before = ops.counter.snapshot()
@@ -184,14 +222,19 @@ class TraditionalDecoder(_PlanningDecoder):
     the generator-matrix method).
     """
 
-    def __init__(self, sequence: str = "normal", counter: OpCounter | None = None):
+    def __init__(
+        self,
+        sequence: str = "normal",
+        counter: OpCounter | None = None,
+        verify: bool = False,
+    ):
         policies = {
             "normal": SequencePolicy.NORMAL,
             "matrix_first": SequencePolicy.MATRIX_FIRST,
         }
         if sequence not in policies:
             raise ValueError(f"sequence must be one of {sorted(policies)}, got {sequence!r}")
-        super().__init__(policies[sequence], counter)
+        super().__init__(policies[sequence], counter, verify=verify)
         self.sequence = sequence
 
     def execute(self, plan, blocks, ops):
@@ -221,10 +264,11 @@ class PPMDecoder(_PlanningDecoder):
         policy: SequencePolicy = SequencePolicy.PAPER,
         parallel: bool = True,
         counter: OpCounter | None = None,
+        verify: bool = False,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
-        super().__init__(policy, counter)
+        super().__init__(policy, counter, verify=verify)
         self.threads = threads
         self.parallel = parallel
 

@@ -18,10 +18,13 @@ which the test suite asserts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..matrix import GFMatrix, SingularMatrixError, select_independent_rows
 from .logtable import LogTableEntry, build_log_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (codes -> core)
+    from ..codes.sd import SDCode
 
 
 @dataclass(frozen=True)
@@ -121,7 +124,7 @@ def partition(
     )
 
 
-def partition_sd(code, faulty: Sequence[int]) -> Partition:
+def partition_sd(code: "SDCode", faulty: Sequence[int]) -> Partition:
     """SD fast path (Algorithm 1): partition by per-stripe-row fault count.
 
     For each stripe row ``i`` with ``c`` faults: ``c == 0`` discards the

@@ -1,5 +1,7 @@
 """File-level encode/decode tools (the shape of Plank's SD encoder/decoder)."""
 
+from __future__ import annotations
+
 from .codec import FileCodecMeta, decode_file, encode_file, repair_files
 
 __all__ = ["FileCodecMeta", "decode_file", "encode_file", "repair_files"]

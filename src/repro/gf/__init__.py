@@ -9,6 +9,8 @@ Public surface:
   default defining polynomials.
 """
 
+from __future__ import annotations
+
 from .bitmatrix import (
     apply_bitmatrix,
     bitmatrix_multiply,

@@ -95,7 +95,7 @@ def build_mul8(polynomial: int | None = None) -> np.ndarray:
     if cached is not None:
         return cached
     t = build_logexp(8, poly)
-    a = np.arange(256)
+    a = np.arange(256, dtype=np.intp)
     # exp[log[a] + log[b]] with rows/cols for zero forced to zero.
     table = t.exp[t.log[a][:, None] + t.log[a][None, :]].astype(np.uint8)
     table[0, :] = 0

@@ -6,6 +6,8 @@ Public surface: :class:`GFMatrix`, Gaussian tools (:func:`invert`,
 (:func:`split_fs`, :class:`FSSplit`) and sparsity analysis (:func:`u`).
 """
 
+from __future__ import annotations
+
 from .gfmatrix import GFMatrix
 from .paritycheck import FSSplit, nonzero_columns, split_fs
 from .solve import (

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..gf import GF
 from .gfmatrix import GFMatrix
 
 

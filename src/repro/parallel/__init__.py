@@ -3,6 +3,8 @@ this package provides the calibrated decode-time model used to evaluate
 multi-core behaviour (this host has one core — DESIGN.md, substitutions).
 """
 
+from __future__ import annotations
+
 from .assignment import assign_lpt, assign_round_robin, lpt_advantage, makespan
 from .network import (
     NetworkModel,

@@ -6,6 +6,8 @@ experimental methodology (:func:`worst_case_sd`, :func:`lrc_scenario`,
 :func:`random_scenario`).
 """
 
+from __future__ import annotations
+
 from .array import DiskArray
 from .failures import (
     FailureScenario,

@@ -15,7 +15,7 @@ never run on an undecodable pattern.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,56 @@
+"""Static verification of decode plans, XOR schedules and repo style.
+
+Three analyzers, all purely symbolic (no block data touched):
+
+- :func:`verify_plan` / :func:`assert_plan_valid` — certify a
+  :class:`~repro.core.planner.DecodePlan` against the parity-check
+  matrix: partition soundness, GF-rank independence, weight equations,
+  phase ordering and C1..C4 cost recomputation.
+- :func:`verify_schedule` / :func:`assert_schedule_valid` — symbolically
+  execute an :class:`~repro.gf.schedule.XorSchedule` over GF(2) symbol
+  sets and prove each output equals its bit-matrix row.
+- :func:`run_lint` (and ``tools/lint_repro.py``) — AST lint enforcing
+  repo invariants (see :mod:`repro.verify.lint`).
+
+:func:`sweep_code` / :func:`sweep_all` drive the verifiers across the
+code registry under random failure scenarios; the ``ppm verify`` CLI
+subcommand is a thin wrapper over them.  See ``docs/VERIFICATION.md``.
+"""
+
+from __future__ import annotations
+
+from .findings import (
+    Finding,
+    PlanVerificationError,
+    ScheduleVerificationError,
+    Severity,
+    VerificationFailure,
+    VerificationReport,
+)
+from .lint import RULES, LintFinding, LintRule, register_rule, run_lint
+from .plan import assert_plan_valid, verify_plan
+from .schedule import assert_schedule_valid, verify_schedule
+from .sweep import DEFAULT_INSTANCES, SweepResult, iter_scenarios, sweep_all, sweep_code
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "VerificationReport",
+    "VerificationFailure",
+    "PlanVerificationError",
+    "ScheduleVerificationError",
+    "verify_plan",
+    "assert_plan_valid",
+    "verify_schedule",
+    "assert_schedule_valid",
+    "LintRule",
+    "LintFinding",
+    "RULES",
+    "register_rule",
+    "run_lint",
+    "DEFAULT_INSTANCES",
+    "SweepResult",
+    "iter_scenarios",
+    "sweep_code",
+    "sweep_all",
+]

@@ -1,0 +1,392 @@
+"""Repo-specific AST lint: invariants generic linters cannot express.
+
+The rules encode conventions this codebase's correctness and
+performance story depend on:
+
+- **PPM001** every module opts into ``from __future__ import
+  annotations`` (uniform typing semantics across Python versions);
+- **PPM002** plan-shaped dataclasses are frozen — decode plans, XOR
+  schedules and partitions are shared across threads and cached by
+  identity, so mutation would corrupt concurrent decodes;
+- **PPM003** no Python-level per-element XOR loops in the ``gf``/``core``
+  hot paths — bulk data must flow through the vectorised
+  :class:`~repro.gf.region.RegionOps` primitives;
+- **PPM004** NumPy array constructors in GF code (``gf``/``matrix``)
+  must pass an explicit ``dtype=`` — an implicit ``np.int64`` silently
+  breaks the uint8/uint16 table gathers;
+- **PPM005** ``np.bitwise_xor`` on regions is reserved to ``gf``/
+  ``matrix`` — elsewhere it would bypass the ``mult_XORs`` op counter
+  and falsify every cost measurement;
+- **PPM006** no bare ``except:`` — it swallows ``SingularMatrixError``
+  and ``KeyboardInterrupt`` alike.
+
+Each rule is a :class:`LintRule` subclass registered in :data:`RULES`;
+``docs/VERIFICATION.md`` documents how to add one.  The CLI entry point
+is ``tools/lint_repro.py`` (also wired into CI).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Class-name suffixes that mark a dataclass as "plan-shaped" pure data.
+PLAN_SUFFIXES = (
+    "Plan",
+    "Schedule",
+    "Costs",
+    "Partition",
+    "Group",
+    "Split",
+    "Scenario",
+    "Finding",
+    "Entry",
+)
+
+#: Packages whose modules are bulk-data hot paths (PPM003 scope).
+HOT_PACKAGES = ("gf", "core")
+
+#: Packages holding GF coefficient code (PPM004/PPM005 scope).
+GF_PACKAGES = ("gf", "matrix")
+
+#: NumPy constructors that default to ``np.int64`` without ``dtype=``.
+_NP_CONSTRUCTORS = frozenset(
+    {"array", "zeros", "ones", "empty", "full", "arange"}
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.rule}] {self.message}"
+
+
+class LintRule:
+    """Base class: subclass, set ``code``/``name``/``explanation``,
+    implement :meth:`check`, and register with :func:`register_rule`."""
+
+    code: str = "PPM000"
+    name: str = "abstract"
+    explanation: str = ""
+
+    def applies_to(self, relpath: Path) -> bool:
+        """Whether the rule runs on this module (default: every module)."""
+        return True
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(self, relpath: Path, node: ast.AST, message: str) -> LintFinding:
+        return LintFinding(
+            path=str(relpath),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+
+RULES: dict[str, LintRule] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the registry (keyed by code)."""
+    rule = cls()
+    if rule.code in RULES:
+        raise ValueError(f"duplicate lint rule code {rule.code}")
+    RULES[rule.code] = rule
+    return cls
+
+
+def _in_packages(relpath: Path, packages: tuple[str, ...]) -> bool:
+    return any(part in packages for part in relpath.parts[:-1])
+
+
+def _is_numpy_call(node: ast.Call, names: frozenset[str]) -> str | None:
+    """Return the attribute name for ``np.<name>(...)`` calls, else None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+        and func.attr in names
+    ):
+        return func.attr
+    return None
+
+
+@register_rule
+class FutureAnnotationsRule(LintRule):
+    code = "PPM001"
+    name = "future-annotations"
+    explanation = "every module must `from __future__ import annotations`"
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        if not tree.body:
+            return
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "__future__":
+                if any(alias.name == "annotations" for alias in stmt.names):
+                    return
+        yield self.finding(
+            relpath,
+            tree.body[0],
+            "module is missing `from __future__ import annotations`",
+        )
+
+
+@register_rule
+class FrozenPlanDataclassRule(LintRule):
+    code = "PPM002"
+    name = "frozen-plan-dataclass"
+    explanation = (
+        "dataclasses named *Plan/*Schedule/*Costs/... are shared pure "
+        "data and must be @dataclass(frozen=True)"
+    )
+
+    @staticmethod
+    def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
+        for dec in cls.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if isinstance(target, ast.Name) and target.id == "dataclass":
+                return dec
+            if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+                return dec
+        return None
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith(PLAN_SUFFIXES):
+                continue
+            dec = self._dataclass_decorator(node)
+            if dec is None:
+                continue  # plain classes manage their own invariants
+            frozen = isinstance(dec, ast.Call) and any(
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in dec.keywords
+            )
+            if not frozen:
+                yield self.finding(
+                    relpath,
+                    node,
+                    f"dataclass {node.name} looks plan-shaped "
+                    f"(suffix match on {PLAN_SUFFIXES}) and must be "
+                    "declared @dataclass(frozen=True)",
+                )
+
+
+@register_rule
+class NoPythonXorLoopRule(LintRule):
+    code = "PPM003"
+    name = "no-python-xor-loop"
+    explanation = (
+        "per-element `a[i] ^ b[i]` loops in gf/ or core/ hot paths must "
+        "use RegionOps / vectorised numpy instead"
+    )
+
+    def applies_to(self, relpath: Path) -> bool:
+        return _in_packages(relpath, HOT_PACKAGES)
+
+    @staticmethod
+    def _elementwise_xor(node: ast.AST) -> bool:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitXor):
+            return isinstance(node.left, ast.Subscript) and isinstance(
+                node.right, ast.Subscript
+            )
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.BitXor):
+            return isinstance(node.target, ast.Subscript) and isinstance(
+                node.value, ast.Subscript
+            )
+        return False
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if self._elementwise_xor(node):
+                    yield self.finding(
+                        relpath,
+                        node,
+                        "Python-level per-element XOR inside a loop; hot "
+                        "paths must use RegionOps.mult_xors / "
+                        "np.bitwise_xor over whole regions",
+                    )
+
+
+@register_rule
+class ExplicitDtypeRule(LintRule):
+    code = "PPM004"
+    name = "explicit-dtype"
+    explanation = (
+        "np.array/zeros/ones/empty/full/arange in gf/ or matrix/ must "
+        "pass dtype= (implicit int64 breaks GF table gathers)"
+    )
+
+    def applies_to(self, relpath: Path) -> bool:
+        return _in_packages(relpath, GF_PACKAGES)
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = _is_numpy_call(node, _NP_CONSTRUCTORS)
+            if ctor is None:
+                continue
+            if not any(kw.arg == "dtype" for kw in node.keywords):
+                yield self.finding(
+                    relpath,
+                    node,
+                    f"np.{ctor}(...) without an explicit dtype= defaults "
+                    "to np.int64; GF code must pin the symbol dtype",
+                )
+
+
+@register_rule
+class RegionXorOutsideGfRule(LintRule):
+    code = "PPM005"
+    name = "region-xor-outside-gf"
+    explanation = (
+        "np.bitwise_xor outside gf//matrix/ bypasses the mult_XORs "
+        "counter and falsifies cost measurements"
+    )
+
+    def applies_to(self, relpath: Path) -> bool:
+        return not _in_packages(relpath, GF_PACKAGES)
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _is_numpy_call(
+                node, frozenset({"bitwise_xor"})
+            ):
+                yield self.finding(
+                    relpath,
+                    node,
+                    "np.bitwise_xor on bulk data outside gf//matrix/; "
+                    "route region XORs through RegionOps so they are "
+                    "counted",
+                )
+
+
+@register_rule
+class NoBareExceptRule(LintRule):
+    code = "PPM006"
+    name = "no-bare-except"
+    explanation = "bare `except:` swallows SingularMatrixError and KeyboardInterrupt"
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    relpath,
+                    node,
+                    "bare `except:`; catch a specific exception type",
+                )
+
+
+def lint_source(
+    source: str, relpath: Path, rules: Iterable[LintRule] | None = None
+) -> list[LintFinding]:
+    """Lint one module's source text with the given (default: all) rules."""
+    try:
+        tree = ast.parse(source, filename=str(relpath))
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                path=str(relpath),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="PPM999",
+                rule="syntax-error",
+                message=f"cannot parse module: {exc.msg}",
+            )
+        ]
+    findings: list[LintFinding] = []
+    for rule in RULES.values() if rules is None else rules:
+        if rule.applies_to(relpath):
+            findings.extend(rule.check(tree, relpath))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if not p.exists():
+            # a typo'd path must not become a silent "lint clean" in CI
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[LintFinding]:
+    """Lint every ``*.py`` under ``paths``; returns all findings sorted."""
+    active = [
+        rule
+        for code, rule in sorted(RULES.items())
+        if (select is None or code in select) and (ignore is None or code not in ignore)
+    ]
+    findings: list[LintFinding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_source(path.read_text(), path, active))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI used by ``tools/lint_repro.py`` and CI."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="repo-specific AST lint for the PPM codebase",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument("--select", help="comma-separated rule codes to run")
+    parser.add_argument("--ignore", help="comma-separated rule codes to skip")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code, rule in sorted(RULES.items()):
+            print(f"{code} {rule.name}: {rule.explanation}")
+        return 0
+    try:
+        findings = run_lint(
+            args.paths or ["src"],
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for f in findings:
+        print(f.format())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print(f"lint clean ({len(RULES)} rules)")
+    return 0

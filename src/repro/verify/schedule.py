@@ -1,0 +1,225 @@
+"""Static verification of :class:`~repro.gf.schedule.XorSchedule`.
+
+An XOR schedule is a straight-line program over a packet pool; over
+GF(2) a packet's value is fully described by the *set of input packets
+whose XOR it holds*.  The verifier executes the schedule symbolically on
+those sets — no packet bytes involved — and proves that every output
+slot ends up holding exactly its intended bit-matrix row:
+
+- ``output i  ==  { j : bitmatrix[i, j] == 1 }``
+
+Along the way it flags structural defects:
+
+- reads of never-written pool slots (use-before-def);
+- writes that clobber input packets;
+- ops whose result can never reach an output (dead code, via a backward
+  liveness pass);
+- XORs that cannot change their destination (empty source, self-XOR).
+
+Because the symbol-set semantics *is* the GF(2) semantics, a clean
+report is a proof that :func:`~repro.gf.schedule.execute_schedule`
+computes the same bits as the naive row-by-row evaluation, for every
+possible packet content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gf.schedule import XorSchedule
+from .findings import ScheduleVerificationError, Severity, VerificationReport
+
+
+def _symbolic_run(
+    schedule: XorSchedule, report: VerificationReport
+) -> list[frozenset[int] | None]:
+    """Execute the ops over symbol sets, reporting structural defects."""
+    pool: list[frozenset[int] | None] = [None] * schedule.pool_size
+    for i in range(min(schedule.num_inputs, schedule.pool_size)):
+        pool[i] = frozenset([i])
+    for oi, (kind, dst, src) in enumerate(schedule.ops):
+        context = f"op[{oi}]"
+        if kind not in ("copy", "zero", "xor"):
+            report.add(
+                "schedule/unknown-op",
+                f"unknown op kind {kind!r}; executors would raise mid-decode",
+                context,
+            )
+            continue
+        if not (0 <= dst < schedule.pool_size):
+            report.add(
+                "schedule/slot-out-of-range",
+                f"destination slot {dst} outside pool of {schedule.pool_size}",
+                context,
+            )
+            continue
+        if dst < schedule.num_inputs:
+            report.add(
+                "schedule/input-overwrite",
+                f"op {kind!r} writes slot {dst}, which is input packet "
+                f"{dst}; schedules must never clobber their inputs",
+                context,
+            )
+            continue
+        if kind == "zero":
+            pool[dst] = frozenset()
+            continue
+        if not (0 <= src < schedule.pool_size):
+            report.add(
+                "schedule/slot-out-of-range",
+                f"source slot {src} outside pool of {schedule.pool_size}",
+                context,
+            )
+            continue
+        value = pool[src]
+        if value is None:
+            report.add(
+                "schedule/use-before-def",
+                f"op {kind!r} reads slot {src} before anything wrote it; "
+                "the executor would XOR uninitialised memory",
+                context,
+            )
+            continue
+        if kind == "copy":
+            pool[dst] = value
+            continue
+        # xor
+        if src == dst:
+            report.add(
+                "schedule/self-xor",
+                f"slot {dst} XORed into itself always yields zero",
+                context,
+            )
+            pool[dst] = frozenset()
+            continue
+        current = pool[dst]
+        if current is None:
+            report.add(
+                "schedule/use-before-def",
+                f"xor accumulates into slot {dst} before it was "
+                "initialised with copy or zero",
+                context,
+            )
+            pool[dst] = value
+            continue
+        if not value:
+            report.add(
+                "schedule/redundant-xor",
+                f"xor of slot {src} (symbolically zero) into {dst} can "
+                "never change it",
+                context,
+                severity=Severity.WARNING,
+            )
+        pool[dst] = current ^ value
+    return pool
+
+
+def _dead_ops(schedule: XorSchedule) -> list[int]:
+    """Indices of ops whose effect can never reach an output (backward pass)."""
+    live = set(schedule.outputs)
+    dead: list[int] = []
+    for oi in range(len(schedule.ops) - 1, -1, -1):
+        kind, dst, src = schedule.ops[oi]
+        if kind not in ("copy", "zero", "xor") or not (0 <= dst < schedule.pool_size):
+            continue  # structurally broken; reported elsewhere
+        if dst not in live:
+            dead.append(oi)
+            continue
+        if kind in ("copy", "zero"):
+            live.discard(dst)  # fully redefines dst: earlier writes are dead
+        if kind in ("copy", "xor") and 0 <= src < schedule.pool_size:
+            live.add(src)
+    dead.reverse()
+    return dead
+
+
+def verify_schedule(
+    schedule: XorSchedule, bitmatrix: np.ndarray
+) -> VerificationReport:
+    """Prove a schedule computes ``bitmatrix`` over GF(2), or say why not.
+
+    Returns a report; an empty one certifies that every output packet
+    equals the XOR of the input packets selected by its bit-matrix row,
+    for all possible input contents.
+    """
+    bm = np.asarray(bitmatrix)
+    report = VerificationReport(
+        subject=f"XorSchedule({len(schedule.ops)} ops, {bm.shape[0]} outputs)"
+    )
+    if bm.ndim != 2:
+        report.add("schedule/bad-bitmatrix", f"bitmatrix must be 2-D, got {bm.ndim}-D")
+        return report
+    rows, cols = bm.shape
+    if schedule.num_inputs != cols:
+        report.add(
+            "schedule/input-arity",
+            f"schedule declares {schedule.num_inputs} inputs but the "
+            f"bit-matrix has {cols} columns",
+        )
+        return report
+    if len(schedule.outputs) != rows:
+        report.add(
+            "schedule/output-arity",
+            f"schedule produces {len(schedule.outputs)} outputs but the "
+            f"bit-matrix has {rows} rows",
+        )
+        return report
+    if schedule.pool_size < schedule.num_inputs:
+        report.add(
+            "schedule/pool-too-small",
+            f"pool of {schedule.pool_size} cannot hold {schedule.num_inputs} inputs",
+        )
+        return report
+
+    pool = _symbolic_run(schedule, report)
+
+    for i, slot in enumerate(schedule.outputs):
+        if not (0 <= slot < schedule.pool_size):
+            report.add(
+                "schedule/slot-out-of-range",
+                f"output {i} maps to slot {slot} outside the pool",
+                f"output[{i}]",
+            )
+            continue
+        value = pool[slot]
+        if value is None:
+            report.add(
+                "schedule/output-undefined",
+                f"output {i} reads slot {slot} which no op ever wrote",
+                f"output[{i}]",
+            )
+            continue
+        want = frozenset(int(c) for c in np.nonzero(bm[i])[0])
+        if value != want:
+            missing = sorted(want - value)
+            extra = sorted(value - want)
+            detail = []
+            if missing:
+                detail.append(f"missing inputs {missing}")
+            if extra:
+                detail.append(f"spurious inputs {extra}")
+            report.add(
+                "schedule/output-mismatch",
+                f"output {i} computes XOR of inputs "
+                f"{sorted(value)} but its bit-matrix row requires "
+                f"{sorted(want)} ({'; '.join(detail)})",
+                f"output[{i}]",
+            )
+
+    for oi in _dead_ops(schedule):
+        kind, dst, _src = schedule.ops[oi]
+        report.add(
+            "schedule/dead-op",
+            f"op {kind!r} writing slot {dst} never reaches any output "
+            "and wastes work",
+            f"op[{oi}]",
+            severity=Severity.WARNING,
+        )
+    return report
+
+
+def assert_schedule_valid(schedule: XorSchedule, bitmatrix: np.ndarray) -> None:
+    """Raise :class:`ScheduleVerificationError` unless the schedule verifies."""
+    report = verify_schedule(schedule, bitmatrix)
+    if not report.ok:
+        raise ScheduleVerificationError(report)

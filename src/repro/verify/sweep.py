@@ -1,0 +1,162 @@
+"""Scenario sweeps: verify plans and schedules across codes and failures.
+
+``ppm verify`` calls into this module: for every registered code (or one
+chosen instance) it draws random erasure patterns up to the code's
+decodable tolerance, builds the decode plan for each, and runs the
+static plan verifier on it; optionally it also expands the traditional
+decode matrix to a bit-matrix, builds both the naive and pair-reuse XOR
+schedules, and runs the schedule verifier.  Everything is symbolic — no
+stripe data is ever allocated — so a full sweep is fast enough for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..codes import available_codes, get_code, is_decodable
+from ..codes.base import ErasureCode
+from ..core.planner import plan_decode
+from ..core.sequences import SequencePolicy
+from ..gf.bitmatrix import expand_matrix
+from ..gf.schedule import naive_schedule, pair_reuse_schedule
+from ..matrix import SingularMatrixError
+from .findings import VerificationReport
+from .plan import verify_plan
+from .schedule import verify_schedule
+
+#: Small, representative default instance per registry kind, used when a
+#: sweep is asked to cover "every registered code" without parameters.
+DEFAULT_INSTANCES: dict[str, dict[str, int]] = {
+    "sd": {"n": 6, "r": 4, "m": 2, "s": 2},
+    "pmds": {"n": 6, "r": 4, "m": 2, "s": 2},
+    "lrc": {"k": 8, "l": 2, "g": 2},
+    "rs": {"n": 8, "k": 6},
+    "evenodd": {"p": 5},
+    "rdp": {"p": 5},
+    "star": {"p": 5},
+}
+
+
+@dataclass
+class SweepResult:
+    """Aggregate outcome of one code's scenario sweep."""
+
+    code: str
+    scenarios: int = 0
+    skipped_undecodable: int = 0
+    schedules: int = 0
+    report: VerificationReport = field(
+        default_factory=lambda: VerificationReport(subject="sweep")
+    )
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.report.errors)} error(s)"
+        return (
+            f"{self.code}: {self.scenarios} scenario(s) verified, "
+            f"{self.schedules} schedule(s), "
+            f"{self.skipped_undecodable} undecodable draw(s) skipped -> {status}"
+        )
+
+
+def iter_scenarios(
+    code: ErasureCode,
+    samples: int,
+    seed: int,
+    max_faults: int | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Yield decodable random erasure patterns, 1 fault up to tolerance.
+
+    Fault-count tolerance defaults to the number of parity constraints
+    (``H.rows``) — the information-theoretic ceiling; draws whose ``F``
+    is rank-deficient are not decodable by *any* planner and are skipped
+    by the caller via :func:`~repro.codes.is_decodable`.
+    """
+    rng = np.random.default_rng(seed)
+    h = code.H
+    ceiling = h.rows if max_faults is None else min(max_faults, h.rows)
+    num_blocks = code.num_blocks
+    # deterministic ramp: cycle fault counts 1..ceiling across the samples
+    for draw in range(samples):
+        t = 1 + draw % ceiling
+        picks = rng.choice(num_blocks, size=t, replace=False)
+        yield tuple(sorted(int(b) for b in picks))
+
+
+def sweep_code(
+    code: ErasureCode,
+    samples: int = 50,
+    seed: int = 2015,
+    policies: Sequence[SequencePolicy] = (SequencePolicy.PAPER, SequencePolicy.AUTO),
+    check_schedules: bool = True,
+    max_faults: int | None = None,
+) -> SweepResult:
+    """Plan + statically verify random failure scenarios on one code."""
+    result = SweepResult(code=code.describe())
+    result.report.subject = f"sweep of {code.kind}"
+    scheduled = 0
+    for faulty in iter_scenarios(code, samples, seed, max_faults):
+        if not is_decodable(code, faulty):
+            result.skipped_undecodable += 1
+            continue
+        for policy in policies:
+            try:
+                plan = plan_decode(code, faulty, policy=policy)
+            except SingularMatrixError as exc:
+                result.report.add(
+                    "sweep/planner-rejected-decodable",
+                    f"scenario {list(faulty)} is decodable (F full rank) "
+                    f"but the planner raised: {exc}",
+                    f"faulty={list(faulty)}",
+                )
+                continue
+            sub = verify_plan(plan, code)
+            if sub.findings:
+                sub.subject = f"faulty={list(faulty)} policy={policy.value}"
+                result.report.merge(sub)
+        result.scenarios += 1
+        if check_schedules and scheduled < 2:
+            # expand the traditional decode matrix and certify both
+            # schedule constructions against it (2 scenarios is plenty:
+            # schedule bugs are construction bugs, not data-dependent)
+            plan = plan_decode(code, faulty, policy=SequencePolicy.PAPER)
+            bm = expand_matrix(code.field, plan.traditional.weights.array)
+            for name, build in (
+                ("naive", naive_schedule),
+                ("pair_reuse", pair_reuse_schedule),
+            ):
+                sub = verify_schedule(build(bm), bm)
+                if sub.findings:
+                    sub.subject = f"{name} schedule, faulty={list(faulty)}"
+                    result.report.merge(sub)
+                result.schedules += 1
+            scheduled += 1
+    return result
+
+
+def sweep_all(
+    samples: int = 50,
+    seed: int = 2015,
+    check_schedules: bool = True,
+    instances: Mapping[str, dict[str, int]] | None = None,
+) -> list[SweepResult]:
+    """Run :func:`sweep_code` over every registered code kind."""
+    chosen = DEFAULT_INSTANCES if instances is None else instances
+    results: list[SweepResult] = []
+    for kind in available_codes():
+        params = chosen.get(kind)
+        if params is None:
+            continue  # custom-registered kind without a default instance
+        code = get_code(kind, **params)
+        results.append(
+            sweep_code(
+                code, samples=samples, seed=seed, check_schedules=check_schedules
+            )
+        )
+    return results

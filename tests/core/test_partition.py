@@ -191,3 +191,52 @@ def test_lrc_partition():
     assert part.p >= 2
     recovered = set(part.independent_faulty_ids)
     assert {0, 4} <= recovered | set(part.rest_faulty_ids)
+
+
+def test_algorithm1_typo_regression_c_le_m():
+    """Pin the `c <= m` reading of Algorithm 1 against the printed typo.
+
+    The paper's Algorithm 1 as printed says a stripe row becomes an
+    independent group when ``c > m`` — a typo: the worked example,
+    Figure 3 and the surrounding text all recover rows with ``c <= m``
+    faults independently and send rows with *more* faults than disk
+    parities to H_rest (see the `core/partition.py` module docstring).
+    This regression test pins the implemented behaviour at both sides of
+    the boundary so a future "fix" toward the printed text fails loudly.
+    """
+    code = SDCode(6, 4, 2, 2)
+    # row 0 loses exactly c == m == 2 blocks, row 1 loses c == 3 > m
+    faulty = [0, 1, 6, 7, 8]
+    part = partition_sd(code, faulty)
+    # c == m: independent group, recovered in the parallel phase...
+    assert [g.faulty_ids for g in part.groups] == [(0, 1)]
+    # ...and c > m: the whole row goes to H_rest (the printed `c > m`
+    # reading would have grouped row 1 and restd row 0 instead)
+    assert part.rest_faulty_ids == (6, 7, 8)
+    # row 1's disk-parity rows feed H_rest, none are discarded
+    row1_parity = set(range(code.m * 1, code.m * 1 + code.m))
+    assert row1_parity <= set(part.rest_row_ids)
+    # the general log-table partition agrees on SD scenarios (the
+    # equivalence the module docstring promises)
+    general = partition(code.H, faulty)
+    assert sorted(g.faulty_ids for g in part.groups) == sorted(
+        g.faulty_ids for g in general.groups
+    )
+    assert part.rest_faulty_ids == general.rest_faulty_ids
+
+
+def test_algorithm1_typo_regression_boundary_sweep():
+    """Every c in 0..r-fault ladder lands on the documented side."""
+    code = SDCode(8, 4, 2, 2)
+    for c in range(0, code.n - 1):
+        faulty = list(range(c))  # c faults in stripe row 0
+        if not faulty:
+            continue
+        part = partition_sd(code, faulty)
+        if c <= code.m:
+            assert part.p == 1, f"c={c} <= m must form an independent group"
+            assert part.groups[0].faulty_ids == tuple(range(c))
+            assert part.rest_faulty_ids == ()
+        else:
+            assert part.p == 0, f"c={c} > m must fall through to H_rest"
+            assert part.rest_faulty_ids == tuple(range(c))

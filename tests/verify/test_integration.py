@@ -1,0 +1,96 @@
+"""Verification wired into the decoder and the CLI.
+
+``decode(..., verify=True)`` certifies plans before executing them (and
+raises on a corrupted plan injected into the cache); ``ppm verify``
+sweeps the registry and exits 0 on the shipped codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.codes import SDCode
+from repro.core import ExecutionMode, PPMDecoder, TraditionalDecoder
+from repro.stripes import Stripe, StripeLayout
+from repro.verify import PlanVerificationError
+
+CODE = SDCode(4, 4, 1, 1, 8)
+FAULTY = [2, 6, 10, 13, 14]
+
+
+def _encoded_stripe():
+    stripe = Stripe.random(StripeLayout.of_code(CODE), CODE.field, 64, rng=0)
+    TraditionalDecoder().encode_into(CODE, stripe)
+    return stripe
+
+
+@pytest.mark.parametrize(
+    "decoder",
+    [
+        TraditionalDecoder(verify=True),
+        PPMDecoder(parallel=False, verify=True),
+    ],
+)
+def test_decode_with_verification_round_trips(decoder):
+    stripe = _encoded_stripe()
+    truth = stripe.copy()
+    stripe.erase(FAULTY)
+    recovered = decoder.decode(CODE, stripe, FAULTY)
+    for b in FAULTY:
+        assert np.array_equal(recovered[b], truth.get(b))
+
+
+def test_decode_verify_kwarg_overrides_default():
+    stripe = _encoded_stripe()
+    truth = stripe.copy()
+    stripe.erase(FAULTY)
+    decoder = PPMDecoder(parallel=False)  # verification off by default
+    recovered = decoder.decode(CODE, stripe, FAULTY, verify=True)
+    for b in FAULTY:
+        assert np.array_equal(recovered[b], truth.get(b))
+
+
+def test_corrupted_cached_plan_is_rejected_before_execution():
+    decoder = PPMDecoder(parallel=False, verify=True)
+    good = decoder.plan(CODE, FAULTY)
+    # poison the cache with a plan whose mode contradicts its costs
+    wrong = next(m for m in ExecutionMode if m is not good.mode)
+    (key,) = decoder._plan_cache
+    decoder._plan_cache[key] = replace(good, mode=wrong)
+    stripe = _encoded_stripe()
+    stripe.erase(FAULTY)
+    with pytest.raises(PlanVerificationError, match="plan/mode-mismatch"):
+        decoder.decode(CODE, stripe, FAULTY)
+
+
+def test_verification_is_cached_per_plan():
+    decoder = PPMDecoder(parallel=False, verify=True)
+    plan = decoder.plan(CODE, FAULTY)
+    assert id(plan) in decoder._verified_plans
+    # second planning call reuses both the plan and its certificate
+    again = decoder.plan(CODE, FAULTY)
+    assert again is plan
+    assert len(decoder._verified_plans) == 1
+
+
+def test_cli_verify_all_exits_zero(capsys):
+    assert cli.main(["verify", "--all", "--samples", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "all plans verified" in out
+
+
+def test_cli_verify_single_code(capsys):
+    rc = cli.main(["verify", "sd", "n=4", "r=4", "m=1", "s=1", "--samples", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scenario(s) verified" in out
+
+
+def test_cli_verify_no_schedules_flag(capsys):
+    assert cli.main(["verify", "--all", "--samples", "2", "--no-schedules"]) == 0
+    out = capsys.readouterr().out
+    assert "0 schedule(s)" in out

@@ -1,0 +1,162 @@
+"""Lint engine: each rule catches its target pattern; the repo is clean.
+
+``lint_source`` is exercised with minimal violating snippets per rule,
+then the whole shipped ``src`` tree is linted as a self-check — the same
+invocation CI runs via ``tools/lint_repro.py src``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.verify import RULES, run_lint
+from repro.verify.lint import LintRule, lint_source, register_rule
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def codes_of(source: str, relpath: str) -> set[str]:
+    return {f.code for f in lint_source(source, Path(relpath))}
+
+
+def test_rule_registry_is_populated():
+    assert {"PPM001", "PPM002", "PPM003", "PPM004", "PPM005", "PPM006"} <= set(RULES)
+    for rule in RULES.values():
+        assert rule.explanation, f"{rule.code} has no explanation"
+
+
+def test_ppm001_missing_future_annotations():
+    assert "PPM001" in codes_of("import os\n", "repro/x.py")
+    assert "PPM001" not in codes_of(
+        "from __future__ import annotations\nimport os\n", "repro/x.py"
+    )
+    # empty modules are exempt
+    assert "PPM001" not in codes_of("", "repro/empty.py")
+
+
+def test_ppm002_unfrozen_plan_dataclass():
+    bad = (
+        "from __future__ import annotations\n"
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class RepairPlan:\n    x: int\n"
+    )
+    assert "PPM002" in codes_of(bad, "repro/x.py")
+    good = bad.replace("@dataclass\n", "@dataclass(frozen=True)\n")
+    assert "PPM002" not in codes_of(good, "repro/x.py")
+    # non-plan-shaped mutable dataclasses are fine
+    stats = bad.replace("RepairPlan", "RepairStats")
+    assert "PPM002" not in codes_of(stats, "repro/x.py")
+
+
+def test_ppm003_python_xor_loop_in_hot_path():
+    bad = (
+        "from __future__ import annotations\n"
+        "def f(a, b):\n"
+        "    for i in range(len(a)):\n"
+        "        a[i] = a[i] ^ b[i]\n"
+    )
+    assert "PPM003" in codes_of(bad, "repro/gf/x.py")
+    assert "PPM003" in codes_of(bad, "repro/core/x.py")
+    # same code outside the hot packages is not this rule's business
+    assert "PPM003" not in codes_of(bad, "repro/bench/x.py")
+    aug = (
+        "from __future__ import annotations\n"
+        "def f(a, b):\n"
+        "    for i in range(len(a)):\n"
+        "        a[i] ^= b[i]\n"
+    )
+    assert "PPM003" in codes_of(aug, "repro/gf/x.py")
+    # vectorised xor on whole arrays is the sanctioned idiom
+    ok = (
+        "from __future__ import annotations\n"
+        "import numpy as np\n"
+        "def f(a, b):\n"
+        "    np.bitwise_xor(a, b, out=a)\n"
+    )
+    assert "PPM003" not in codes_of(ok, "repro/gf/x.py")
+
+
+def test_ppm004_implicit_dtype_in_gf_code():
+    bad = (
+        "from __future__ import annotations\n"
+        "import numpy as np\n"
+        "x = np.zeros((4, 4))\n"
+    )
+    assert "PPM004" in codes_of(bad, "repro/gf/x.py")
+    assert "PPM004" in codes_of(bad, "repro/matrix/x.py")
+    assert "PPM004" not in codes_of(bad, "repro/bench/x.py")
+    good = bad.replace("np.zeros((4, 4))", "np.zeros((4, 4), dtype=np.uint8)")
+    assert "PPM004" not in codes_of(good, "repro/gf/x.py")
+
+
+def test_ppm005_region_xor_outside_gf():
+    bad = (
+        "from __future__ import annotations\n"
+        "import numpy as np\n"
+        "def f(a, b):\n"
+        "    np.bitwise_xor(a, b, out=a)\n"
+    )
+    assert "PPM005" in codes_of(bad, "repro/stripes/x.py")
+    assert "PPM005" not in codes_of(bad, "repro/gf/x.py")
+    assert "PPM005" not in codes_of(bad, "repro/matrix/x.py")
+
+
+def test_ppm006_bare_except():
+    bad = (
+        "from __future__ import annotations\n"
+        "try:\n    x = 1\nexcept:\n    pass\n"
+    )
+    assert "PPM006" in codes_of(bad, "repro/x.py")
+    good = bad.replace("except:", "except ValueError:")
+    assert "PPM006" not in codes_of(good, "repro/x.py")
+
+
+def test_syntax_errors_reported_not_raised():
+    findings = lint_source("def f(:\n", Path("repro/broken.py"))
+    assert [f.code for f in findings] == ["PPM999"]
+
+
+def test_select_and_ignore_filtering(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("import os\ntry:\n    x = 1\nexcept:\n    pass\n")
+    all_codes = {f.code for f in run_lint([str(tmp_path)])}
+    assert {"PPM001", "PPM006"} <= all_codes
+    only = {f.code for f in run_lint([str(tmp_path)], select=["PPM006"])}
+    assert only == {"PPM006"}
+    without = {f.code for f in run_lint([str(tmp_path)], ignore=["PPM006"])}
+    assert "PPM006" not in without
+
+
+def test_register_rule_rejects_duplicate_codes():
+    import pytest
+
+    with pytest.raises(ValueError, match="duplicate"):
+
+        @register_rule
+        class Clone(LintRule):  # pragma: no cover - registration fails
+            code = "PPM001"
+            name = "clone"
+
+
+def test_finding_format_is_clickable():
+    (finding,) = lint_source("import os\n", Path("repro/x.py"))
+    assert finding.format().startswith("repro/x.py:1:1: PPM001 [future-annotations]")
+
+
+def test_nonexistent_path_errors_instead_of_passing_vacuously(capsys):
+    """A typo'd path in CI must not report "lint clean"."""
+    import pytest
+
+    from repro.verify.lint import main
+
+    with pytest.raises(FileNotFoundError, match="does not exist"):
+        run_lint(["/no/such/dir"])
+    assert main(["/no/such/dir"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_shipped_src_tree_is_lint_clean():
+    """The invariant CI enforces: `python tools/lint_repro.py src` is clean."""
+    findings = run_lint([str(REPO_SRC)])
+    assert findings == [], "\n".join(f.format() for f in findings)

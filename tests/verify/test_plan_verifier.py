@@ -1,0 +1,228 @@
+"""Plan verifier: clean plans certify; corrupted plans are rejected.
+
+The mutation tests take a *valid* plan, apply one surgical corruption
+via ``dataclasses.replace`` (plans are frozen), and assert the verifier
+reports the specific check id and an actionable message — not a generic
+failure.  Each corruption models a realistic planner bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.codes import SDCode
+from repro.core import ExecutionMode, SequencePolicy, plan_decode
+from repro.matrix import GFMatrix
+from repro.verify import PlanVerificationError, assert_plan_valid, verify_plan
+
+CODE = SDCode(4, 4, 1, 1, 8)
+FAULTY = [2, 6, 10, 13, 14]  # the paper's Section III-B worked example
+
+DISK_CODE = SDCode(6, 4, 2, 2)
+# two whole-disk failures + one sector: rows 0..3 each lose c = m = 2
+DISK_FAULTY = sorted([r * 6 + d for r in range(4) for d in (0, 1)])
+
+
+@pytest.fixture()
+def plan():
+    return plan_decode(CODE, FAULTY, SequencePolicy.PAPER)
+
+
+@pytest.fixture()
+def disk_plan():
+    return plan_decode(DISK_CODE, DISK_FAULTY, SequencePolicy.PAPER)
+
+
+def test_valid_plan_verifies_clean(plan):
+    report = verify_plan(plan, CODE)
+    assert report.ok and not report.findings, report.format()
+
+
+def test_valid_disk_plan_verifies_clean(disk_plan):
+    report = verify_plan(disk_plan, DISK_CODE)
+    assert report.ok and not report.findings, report.format()
+
+
+def test_assert_plan_valid_passes_and_raises(plan):
+    assert_plan_valid(plan, CODE)  # no raise on a clean plan
+    bad = replace(plan, mode=ExecutionMode.TRADITIONAL_NORMAL)
+    with pytest.raises(PlanVerificationError) as excinfo:
+        assert_plan_valid(bad, CODE)
+    assert "plan/mode-mismatch" in str(excinfo.value)
+
+
+# -- mutation 1: a dropped weight row (planner truncated W_i) ------------
+
+
+def test_mutation_dropped_weight_row_is_caught(plan):
+    group = plan.groups[0]
+    truncated = group.weights.take_rows(range(group.weights.rows - 1))
+    bad = replace(plan, groups=(replace(group, weights=truncated),) + plan.groups[1:])
+    report = verify_plan(bad, CODE)
+    assert report.has("plan/weights-shape")
+    (finding,) = [f for f in report.findings if f.check == "plan/weights-shape"]
+    assert "dropped" in finding.message and "group[0]" in finding.context
+
+
+# -- mutation 2: one corrupted decode coefficient ------------------------
+
+
+def test_mutation_swapped_coefficient_is_caught(plan):
+    group = plan.groups[0]
+    arr = group.weights.array.copy()
+    i, j = np.argwhere(arr != 0)[0]
+    arr[i, j] ^= 0x5A  # flip bits of one nonzero coefficient
+    bad_w = GFMatrix(group.weights.field, arr)
+    bad = replace(plan, groups=(replace(group, weights=bad_w),) + plan.groups[1:])
+    report = verify_plan(bad, CODE)
+    assert report.has("plan/group-weights")
+    (finding,) = [f for f in report.findings if f.check == "plan/group-weights"]
+    assert "F @ W != S" in finding.message
+    assert "coefficient is corrupt" in finding.message
+
+
+# -- mutation 3: a faulty block recovered twice --------------------------
+
+
+def test_mutation_duplicated_faulty_id_is_caught(plan):
+    dup = plan.groups[0].faulty_ids[0]
+    assert plan.rest is not None
+    bad_rest = replace(plan.rest, faulty_ids=plan.rest.faulty_ids + (dup,))
+    report = verify_plan(replace(plan, rest=bad_rest), CODE)
+    assert report.has("plan/duplicate-recovery")
+    (finding,) = [f for f in report.findings if f.check == "plan/duplicate-recovery"]
+    assert f"block {dup}" in finding.message
+    assert "group[0]" in finding.message and "rest" in finding.message
+
+
+# -- mutation 4: a faulty block nobody recovers --------------------------
+
+
+def test_mutation_missing_coverage_is_caught(plan):
+    assert plan.rest is not None and len(plan.rest.faulty_ids) >= 1
+    dropped = plan.rest.faulty_ids[-1]
+    bad_rest = replace(plan.rest, faulty_ids=plan.rest.faulty_ids[:-1])
+    report = verify_plan(replace(plan, rest=bad_rest), CODE)
+    assert report.has("plan/coverage-missing")
+    (finding,) = [f for f in report.findings if f.check == "plan/coverage-missing"]
+    assert str(dropped) in finding.message and "leave them lost" in finding.message
+
+
+# -- mutation 5: tampered cost report ------------------------------------
+
+
+def test_mutation_tampered_costs_are_caught(plan):
+    bad_costs = replace(plan.costs, c4=plan.costs.c4 + 7)
+    report = verify_plan(replace(plan, costs=bad_costs), CODE)
+    assert report.has("plan/cost-mismatch")
+    finding = next(f for f in report.findings if f.check == "plan/cost-mismatch")
+    assert "C4" in finding.message and str(plan.costs.c4) in finding.message
+
+
+# -- mutation 6: execution mode contradicting the policy -----------------
+
+
+def test_mutation_wrong_mode_is_caught(plan):
+    correct = plan.costs.choose(plan.policy)
+    wrong = next(m for m in ExecutionMode if m is not correct)
+    report = verify_plan(replace(plan, mode=wrong), CODE)
+    assert report.has("plan/mode-mismatch")
+    finding = next(f for f in report.findings if f.check == "plan/mode-mismatch")
+    assert wrong.value in finding.message and correct.value in finding.message
+
+
+# -- mutation 7: a group reading a faulty block (phase-order break) -------
+
+
+def test_mutation_group_reads_faulty_block_is_caught(plan):
+    group = plan.groups[0]
+    other_faulty = next(b for b in plan.faulty_ids if b not in group.faulty_ids)
+    survivors = (other_faulty,) + group.survivor_ids[1:]
+    bad = replace(plan, groups=(replace(group, survivor_ids=survivors),) + plan.groups[1:])
+    report = verify_plan(bad, CODE)
+    assert report.has("plan/phase-order")
+    finding = next(f for f in report.findings if f.check == "plan/phase-order")
+    assert str(other_faulty) in finding.message
+    assert "true" in finding.message and "survivors" in finding.message
+
+
+# -- mutation 8: a rank-deficient "independent" group --------------------
+
+
+def test_mutation_rank_deficient_group_is_caught(disk_plan):
+    group = next(g for g in disk_plan.groups if len(g.faulty_ids) == 2)
+    gi = disk_plan.groups.index(group)
+    dup_rows = (group.row_ids[0], group.row_ids[0])  # same parity row twice
+    groups = list(disk_plan.groups)
+    groups[gi] = replace(group, row_ids=dup_rows)
+    report = verify_plan(replace(disk_plan, groups=tuple(groups)), DISK_CODE)
+    assert report.has("plan/group-rank")
+    finding = next(f for f in report.findings if f.check == "plan/group-rank")
+    assert "GF-rank" in finding.message and "not an" in finding.message
+
+
+# -- structural checks beyond the core mutations --------------------------
+
+
+def test_faulty_out_of_range_rejected(plan):
+    report = verify_plan(replace(plan, faulty_ids=plan.faulty_ids + (999,)), CODE)
+    assert report.has("plan/faulty-out-of-range")
+
+
+def test_rest_reading_unrecovered_block_rejected(plan):
+    assert plan.rest is not None
+    # make the rest phase depend on a block that nothing recovers
+    ghost = plan.rest.faulty_ids[0]
+    bad_rest = replace(
+        plan.rest,
+        faulty_ids=plan.rest.faulty_ids[1:],
+        survivor_ids=plan.rest.survivor_ids + (ghost,),
+    )
+    report = verify_plan(replace(plan, rest=bad_rest), CODE)
+    assert report.has("plan/rest-reads-unrecovered")
+
+
+def test_shared_row_between_phases_rejected(disk_plan):
+    g0, g1 = disk_plan.groups[0], disk_plan.groups[1]
+    stolen = (g0.row_ids[0],) + g1.row_ids[1:]
+    groups = (disk_plan.groups[0], replace(g1, row_ids=stolen)) + disk_plan.groups[2:]
+    report = verify_plan(replace(disk_plan, groups=groups), DISK_CODE)
+    assert report.has("plan/row-shared")
+
+
+def test_distinct_diagnostics_across_mutations(plan, disk_plan):
+    """The six headline corruptions produce six *different* check ids."""
+    checks = set()
+    # 1 dropped row
+    g = plan.groups[0]
+    bad = replace(plan, groups=(replace(g, weights=g.weights.take_rows([])),) + plan.groups[1:])
+    checks.update(f.check for f in verify_plan(bad, CODE).findings if f.check.startswith("plan/weights"))
+    # 2 swapped coefficient
+    arr = g.weights.array.copy()
+    i, j = np.argwhere(arr != 0)[0]
+    arr[i, j] ^= 1
+    bad = replace(plan, groups=(replace(g, weights=GFMatrix(g.weights.field, arr)),) + plan.groups[1:])
+    checks.update(f.check for f in verify_plan(bad, CODE).findings)
+    # 3 duplicate recovery
+    bad = replace(plan, rest=replace(plan.rest, faulty_ids=plan.rest.faulty_ids + (g.faulty_ids[0],)))
+    checks.update(f.check for f in verify_plan(bad, CODE).findings)
+    # 4 missing coverage
+    bad = replace(plan, rest=replace(plan.rest, faulty_ids=plan.rest.faulty_ids[:-1]))
+    checks.update(f.check for f in verify_plan(bad, CODE).findings)
+    # 5 tampered costs
+    bad = replace(plan, costs=replace(plan.costs, c1=0))
+    checks.update(f.check for f in verify_plan(bad, CODE).findings)
+    # 6 wrong mode
+    bad = replace(plan, mode=ExecutionMode.TRADITIONAL_NORMAL)
+    checks.update(f.check for f in verify_plan(bad, CODE).findings)
+    assert {
+        "plan/weights-shape",
+        "plan/group-weights",
+        "plan/duplicate-recovery",
+        "plan/coverage-missing",
+        "plan/cost-mismatch",
+        "plan/mode-mismatch",
+    } <= checks

@@ -1,0 +1,167 @@
+"""Schedule verifier: symbolic GF(2) execution certifies XOR programs.
+
+Valid schedules (naive and pair-reuse, over real expanded decode
+matrices) verify clean; surgically corrupted schedules — an op removed,
+reordered, duplicated, or redirected — are each rejected with a
+specific diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.codes import SDCode
+from repro.core import SequencePolicy, plan_decode
+from repro.gf import GF, expand_matrix, naive_schedule, pair_reuse_schedule
+from repro.verify import (
+    ScheduleVerificationError,
+    assert_schedule_valid,
+    verify_schedule,
+)
+
+BM = np.array(
+    [
+        [1, 1, 0, 0],
+        [0, 1, 1, 0],
+        [1, 1, 1, 0],
+        [1, 1, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+
+@pytest.mark.parametrize("build", [naive_schedule, pair_reuse_schedule])
+def test_valid_schedules_verify_clean(build):
+    schedule = build(BM)
+    report = verify_schedule(schedule, BM)
+    assert report.ok and not report.findings, report.format()
+
+
+@pytest.mark.parametrize("build", [naive_schedule, pair_reuse_schedule])
+def test_real_decode_matrices_verify_clean(build):
+    code = SDCode(6, 4, 2, 2)
+    plan = plan_decode(code, [0, 6, 12, 18, 3, 9], SequencePolicy.PAPER)
+    bm = expand_matrix(GF(8), plan.traditional.weights.array)
+    report = verify_schedule(build(bm), bm)
+    assert report.ok and not report.findings, report.format()
+
+
+def test_zero_row_schedule_verifies():
+    bm = np.array([[0, 0], [1, 1]], dtype=np.uint8)
+    report = verify_schedule(naive_schedule(bm), bm)
+    assert report.ok and not report.findings, report.format()
+
+
+# -- mutations -----------------------------------------------------------
+
+
+def test_mutation_removed_xor_op_is_caught():
+    schedule = naive_schedule(BM)
+    removed = next(i for i, op in enumerate(schedule.ops) if op[0] == "xor")
+    bad = replace(schedule, ops=schedule.ops[:removed] + schedule.ops[removed + 1 :])
+    report = verify_schedule(bad, BM)
+    assert report.has("schedule/output-mismatch")
+    finding = next(f for f in report.findings if f.check == "schedule/output-mismatch")
+    assert "missing inputs" in finding.message
+
+
+def test_mutation_removed_copy_op_is_caught():
+    schedule = naive_schedule(BM)
+    removed = next(i for i, op in enumerate(schedule.ops) if op[0] == "copy")
+    bad = replace(schedule, ops=schedule.ops[:removed] + schedule.ops[removed + 1 :])
+    report = verify_schedule(bad, BM)
+    assert report.has("schedule/use-before-def")
+    finding = next(f for f in report.findings if f.check == "schedule/use-before-def")
+    assert "before" in finding.message
+
+
+def test_mutation_reordered_ops_are_caught():
+    """Pair-reuse schedules define shared packets before use; swapping a
+    definition past its first use must be flagged."""
+    schedule = pair_reuse_schedule(BM)
+    # the first op defines the most-shared pair packet; move it to the end
+    bad = replace(schedule, ops=schedule.ops[1:] + schedule.ops[:1])
+    report = verify_schedule(bad, BM)
+    assert report.has("schedule/use-before-def") or report.has(
+        "schedule/output-mismatch"
+    )
+    assert not report.ok
+
+
+def test_mutation_duplicated_xor_cancels_and_is_caught():
+    schedule = naive_schedule(BM)
+    dup = next(i for i, op in enumerate(schedule.ops) if op[0] == "xor")
+    bad = replace(
+        schedule, ops=schedule.ops[: dup + 1] + (schedule.ops[dup],) + schedule.ops[dup + 1 :]
+    )
+    report = verify_schedule(bad, BM)
+    # XOR-ing the same source twice cancels over GF(2): wrong output bits
+    assert report.has("schedule/output-mismatch")
+    finding = next(f for f in report.findings if f.check == "schedule/output-mismatch")
+    assert "missing inputs" in finding.message
+
+
+def test_mutation_write_to_input_slot_is_caught():
+    schedule = naive_schedule(BM)
+    kind, _dst, src = next(op for op in schedule.ops if op[0] == "xor")
+    bad_ops = tuple(
+        ("xor", 0, src) if op == (kind, _dst, src) else op for op in schedule.ops
+    )
+    report = verify_schedule(replace(schedule, ops=bad_ops), BM)
+    assert report.has("schedule/input-overwrite")
+    finding = next(f for f in report.findings if f.check == "schedule/input-overwrite")
+    assert "input packet" in finding.message
+
+
+def test_mutation_rewired_output_is_caught():
+    schedule = naive_schedule(BM)
+    outputs = list(schedule.outputs)
+    outputs[0], outputs[1] = outputs[1], outputs[0]
+    report = verify_schedule(replace(schedule, outputs=tuple(outputs)), BM)
+    assert report.has("schedule/output-mismatch")
+
+
+def test_dead_op_is_flagged_as_warning():
+    schedule = naive_schedule(BM)
+    dead_slot = schedule.pool_size
+    bad = replace(
+        schedule,
+        pool_size=schedule.pool_size + 1,
+        ops=schedule.ops + (("copy", dead_slot, 0),),
+    )
+    report = verify_schedule(bad, BM)
+    assert report.has("schedule/dead-op")
+    assert report.ok  # dead code is waste, not wrongness
+
+
+def test_self_xor_is_caught():
+    schedule = naive_schedule(BM)
+    slot = schedule.outputs[0]
+    bad = replace(schedule, ops=schedule.ops + (("xor", slot, slot),))
+    report = verify_schedule(bad, BM)
+    assert report.has("schedule/self-xor")
+
+
+def test_unknown_op_is_caught():
+    schedule = naive_schedule(BM)
+    bad = replace(schedule, ops=schedule.ops + (("frobnicate", schedule.outputs[0], 0),))
+    report = verify_schedule(bad, BM)
+    assert report.has("schedule/unknown-op")
+
+
+def test_arity_mismatches_are_caught():
+    schedule = naive_schedule(BM)
+    assert verify_schedule(schedule, BM[:, :3]).has("schedule/input-arity")
+    assert verify_schedule(schedule, BM[:3, :]).has("schedule/output-arity")
+
+
+def test_assert_schedule_valid_raises():
+    schedule = naive_schedule(BM)
+    assert_schedule_valid(schedule, BM)  # clean: no raise
+    bad = replace(schedule, ops=schedule.ops[:-1])
+    with pytest.raises(ScheduleVerificationError) as excinfo:
+        assert_schedule_valid(bad, BM)
+    assert "schedule/" in str(excinfo.value)

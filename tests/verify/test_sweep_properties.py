@@ -1,0 +1,93 @@
+"""Property sweep: every registered code yields verifiable plans.
+
+For each kind in :mod:`repro.codes.registry` (via the sweep's default
+instances) we draw seeded-random erasure patterns from one fault up to
+the code's decodable tolerance and assert that *every* plan the planner
+produces — under both the paper policy and AUTO — passes static
+verification.  This is the ``ppm verify``-style sweep as a regression
+test: any future planner change that breaks an invariant fails here
+with the verifier's diagnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import available_codes, get_code, is_decodable
+from repro.core import SequencePolicy, plan_decode
+from repro.verify import DEFAULT_INSTANCES, iter_scenarios, sweep_all, sweep_code, verify_plan
+
+SAMPLES = 24
+SEED = 2015
+
+
+def test_every_registry_kind_has_a_sweep_instance():
+    assert set(available_codes()) <= set(DEFAULT_INSTANCES)
+
+
+@pytest.mark.parametrize("kind", sorted(DEFAULT_INSTANCES))
+def test_random_erasures_up_to_tolerance_verify(kind):
+    code = get_code(kind, **DEFAULT_INSTANCES[kind])
+    verified = 0
+    for faulty in iter_scenarios(code, samples=SAMPLES, seed=SEED):
+        if not is_decodable(code, faulty):
+            continue
+        for policy in (SequencePolicy.PAPER, SequencePolicy.AUTO):
+            plan = plan_decode(code, faulty, policy=policy)
+            report = verify_plan(plan, code)
+            assert report.ok and not report.findings, (
+                f"{kind} faulty={list(faulty)} policy={policy.value}\n"
+                + report.format()
+            )
+        verified += 1
+    assert verified > 0, f"{kind}: every draw was undecodable — sweep is vacuous"
+
+
+def test_scenarios_cover_the_full_fault_range():
+    code = get_code("sd", **DEFAULT_INSTANCES["sd"])
+    sizes = {len(f) for f in iter_scenarios(code, samples=40, seed=0)}
+    assert min(sizes) == 1
+    assert max(sizes) == code.H.rows  # up to the parity-constraint ceiling
+
+
+def test_scenarios_are_deterministic_per_seed():
+    code = get_code("rs", **DEFAULT_INSTANCES["rs"])
+    a = list(iter_scenarios(code, samples=10, seed=7))
+    b = list(iter_scenarios(code, samples=10, seed=7))
+    assert a == b
+    c = list(iter_scenarios(code, samples=10, seed=8))
+    assert a != c
+
+
+def test_sweep_code_counts_and_passes():
+    code = get_code("sd", **DEFAULT_INSTANCES["sd"])
+    result = sweep_code(code, samples=12, seed=SEED)
+    assert result.ok, result.report.format()
+    assert result.scenarios + result.skipped_undecodable == 12
+    assert result.schedules == 4  # 2 scenarios x (naive + pair_reuse)
+    assert "OK" in result.summary()
+
+
+def test_sweep_all_is_clean_on_shipped_codebase():
+    results = sweep_all(samples=6, seed=SEED, check_schedules=False)
+    assert len(results) == len(available_codes())
+    for result in results:
+        assert result.ok, result.summary() + "\n" + result.report.format()
+
+
+def test_worst_case_disk_failures_verify():
+    """Whole-disk failures (the rebuild workload) at full tolerance."""
+    for kind in sorted(DEFAULT_INSTANCES):
+        code = get_code(kind, **DEFAULT_INSTANCES[kind])
+        rng = np.random.default_rng(1)
+        tolerable = max(1, len(code.parity_block_ids) // code.r // 2)
+        disks = rng.choice(code.n, size=min(tolerable, code.n), replace=False)
+        faulty = sorted(
+            code.block_id(row, int(d)) for d in disks for row in range(code.r)
+        )
+        if not is_decodable(code, faulty):
+            continue
+        plan = plan_decode(code, faulty, policy=SequencePolicy.PAPER)
+        report = verify_plan(plan, code)
+        assert report.ok and not report.findings, f"{kind}: " + report.format()

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Repo-specific AST lint runner: ``python tools/lint_repro.py src``.
+
+Thin shim over :mod:`repro.verify.lint` that works from a plain checkout
+(no install needed): it puts ``<repo>/src`` on ``sys.path`` and
+delegates.  Exit status 1 when any finding is reported, 0 when clean.
+Run with ``--list-rules`` to see the registry.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.verify.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
