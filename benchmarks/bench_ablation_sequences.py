@@ -11,8 +11,8 @@ from repro.bench import sd_workload
 from repro.core import PPMDecoder, SequencePolicy, TraditionalDecoder
 
 POLICIES = {
-    "always_normal": TraditionalDecoder("normal"),
-    "always_matrix_first": TraditionalDecoder("matrix_first"),
+    "always_normal": TraditionalDecoder(policy="normal"),
+    "always_matrix_first": TraditionalDecoder(policy="matrix_first"),
     "fixed_c4": PPMDecoder(policy=SequencePolicy.PPM_NORMAL_REST, parallel=False),
     "paper_chooser": PPMDecoder(policy=SequencePolicy.PAPER, parallel=False),
 }

@@ -12,7 +12,7 @@ COSTS = [1.1, 1.4, 1.7]
 def test_lrc_traditional(benchmark, make_decode_setup, cost):
     workload = lrc_workload(cost, fixed="stripe", stripe_bytes=1 << 21)
     code, blocks, faulty = make_decode_setup(workload)
-    decoder = TraditionalDecoder("normal")
+    decoder = TraditionalDecoder(policy="normal")
     decoder.plan(code, faulty)
     benchmark(lambda: decoder.decode(code, blocks, faulty))
 

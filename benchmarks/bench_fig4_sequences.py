@@ -14,8 +14,8 @@ from repro.core import PPMDecoder, SequencePolicy, TraditionalDecoder
 STRIPE = 1 << 21  # 2 MB
 
 SEQUENCES = {
-    "C1_normal": TraditionalDecoder("normal"),
-    "C2_matrix_first": TraditionalDecoder("matrix_first"),
+    "C1_normal": TraditionalDecoder(policy="normal"),
+    "C2_matrix_first": TraditionalDecoder(policy="matrix_first"),
     "C3_ppm_mf_rest": PPMDecoder(policy=SequencePolicy.PPM_MATRIX_FIRST_REST, parallel=False),
     "C4_ppm_normal_rest": PPMDecoder(policy=SequencePolicy.PPM_NORMAL_REST, parallel=False),
 }

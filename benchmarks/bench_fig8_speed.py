@@ -16,7 +16,7 @@ N, R, M, S = 11, 16, 2, 2
 def test_sd_traditional(benchmark, make_decode_setup):
     workload = sd_workload(N, R, M, S, z=1, stripe_bytes=STRIPE)
     code, blocks, faulty = make_decode_setup(workload)
-    decoder = TraditionalDecoder("normal")
+    decoder = TraditionalDecoder(policy="normal")
     decoder.plan(code, faulty)
     benchmark(lambda: decoder.decode(code, blocks, faulty))
 
@@ -33,6 +33,6 @@ def test_sd_ppm(benchmark, make_decode_setup):
 def test_rs_m_plus_1(benchmark, make_decode_setup, w):
     workload = rs_workload(N, N - (M + 1), r=R, w=w, stripe_bytes=STRIPE)
     code, blocks, faulty = make_decode_setup(workload)
-    decoder = TraditionalDecoder("normal")
+    decoder = TraditionalDecoder(policy="normal")
     decoder.plan(code, faulty)
     benchmark(lambda: decoder.decode(code, blocks, faulty))

@@ -1,0 +1,48 @@
+"""Acceptance benchmark for the batched decode pipeline.
+
+Runs the shared :func:`repro.bench.pipeline.run_pipeline_bench`
+experiment — SD(n=10, m=2, s=2), 64 stripes sharing one worst-case
+erasure pattern — and writes the full result to ``BENCH_pipeline.json``
+at the repo root.  The assertions encode the acceptance bar: the
+batched pipeline must beat a per-stripe ``PPMDecoder.decode`` loop by
+at least 2x stripes/sec with a plan-cache hit rate above 90%.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py``
+or via ``ppm pipeline-bench``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.pipeline import run_pipeline_bench
+from repro.pipeline import DecodePipeline
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def test_pipeline_speedup_and_cache():
+    result = run_pipeline_bench(
+        n=10, r=8, m=2, s=2, num_stripes=64, sector_symbols=512, workers=4
+    )
+    OUT.write_text(json.dumps(result, indent=2) + "\n")
+    assert result["results_match"]
+    assert result["speedup"] >= 2.0, (
+        f"batched pipeline only {result['speedup']:.2f}x vs per-stripe loop"
+    )
+    assert result["plan_cache_hit_rate"] > 0.90, (
+        f"plan-cache hit rate {result['plan_cache_hit_rate']:.1%} <= 90%"
+    )
+
+
+def test_batched_decode_kernel(benchmark):
+    """Microbenchmark: one fused 64-stripe batch through the thread pool."""
+    from repro.bench.pipeline import build_batch
+    from repro.codes import SDCode
+    from repro.stripes import worst_case_sd
+
+    code = SDCode(10, 8, 2, 2)
+    faulty = list(worst_case_sd(code, z=1, rng=2015).faulty_blocks)
+    stripes = build_batch(code, 64, 512)
+    with DecodePipeline(workers=4, pool="thread") as pipe:
+        pipe.decode_batch(code, stripes, faulty)  # warm plan cache + pool
+        benchmark(lambda: pipe.decode_batch(code, stripes, faulty))

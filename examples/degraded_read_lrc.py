@@ -38,7 +38,7 @@ def main() -> None:
     group = code.group_of(victim)
     truth_region = array._truth[0].get(victim).copy()
     array.corrupt_sector(0, victim)
-    decoder = TraditionalDecoder(sequence="matrix_first")
+    decoder = TraditionalDecoder(policy="matrix_first")
     value = array.degraded_read(decoder, 0, victim)
     assert np.array_equal(value, truth_region)
     plan = plan_decode(code, [victim])
@@ -56,7 +56,7 @@ def main() -> None:
     print(f"\nmulti failure: blocks {list(scenario.faulty_blocks)}")
 
     for name, dec in [
-        ("traditional", TraditionalDecoder("normal")),
+        ("traditional", TraditionalDecoder(policy="normal")),
         ("ppm", PPMDecoder(threads=4)),
     ]:
         target = scenario.faulty_blocks[0]

@@ -42,12 +42,12 @@ def main() -> None:
     # 4. decode with both methods
     results = {}
     for name, decoder in [
-        ("traditional", TraditionalDecoder("normal")),
+        ("traditional", TraditionalDecoder(policy="normal")),
         ("ppm", PPMDecoder(threads=4)),
     ]:
-        recovered, stats = decoder.decode_with_stats(
-            code, stripe, scenario.faulty_blocks
-        )
+        recovered, stats = decoder.decode(
+            code, stripe, scenario.faulty_blocks,
+            return_stats=True)
         results[name] = recovered
         print(
             f"\n{name}: {stats.mult_xors} mult_XORs over "

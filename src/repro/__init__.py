@@ -13,6 +13,8 @@ Layering (bottom-up):
 - :mod:`repro.core` — the PPM algorithm: log table, partition, calculation
   sequences C1..C4, planner and the traditional/PPM decoders.
 - :mod:`repro.parallel` — thread pool and the calibrated parallel-time model.
+- :mod:`repro.pipeline` — batched decode engine: plan cache, persistent
+  worker pools, pattern-fused batch decode.
 - :mod:`repro.analysis` — the paper's closed-form cost model (Section III-B).
 - :mod:`repro.bench` — drivers that regenerate every evaluation figure.
 
@@ -54,8 +56,11 @@ _LAZY_EXPORTS = {
         "partition",
         "evaluate_costs",
         "SequencePolicy",
+        "get_decoder",
+        "available_decoders",
     ],
     "repro.parallel": ["CPUProfile", "simulate_decode_time", "host_profile"],
+    "repro.pipeline": ["DecodePipeline", "PlanCache", "PipelineMetrics"],
     "repro.analysis": ["sd_costs", "predicted_improvement"],
 }
 

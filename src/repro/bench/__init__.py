@@ -13,6 +13,7 @@ from .measure import (
     measure_improvement,
     measure_wall,
 )
+from .pipeline import build_batch, format_pipeline_report, run_pipeline_bench
 from .report import Report, format_reports
 from .workloads import (
     LRC_COST_FAMILIES,
@@ -39,6 +40,9 @@ __all__ = [
     "measure_decoder",
     "measure_improvement",
     "measure_wall",
+    "build_batch",
+    "format_pipeline_report",
+    "run_pipeline_bench",
     "Report",
     "format_reports",
     "LRC_COST_FAMILIES",

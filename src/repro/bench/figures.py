@@ -223,7 +223,7 @@ def figure8(
                     )
                     rs_speeds.append(
                         measure_decoder(
-                            rs_wl, TraditionalDecoder("normal"), repeats=repeats
+                            rs_wl, TraditionalDecoder(policy="normal"), repeats=repeats
                         ).mb_per_s
                     )
             else:

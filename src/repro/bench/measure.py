@@ -51,7 +51,7 @@ def measure_decoder(
     best = float("inf")
     mult_xors = 0
     for _ in range(repeats):
-        _, stats = decoder.decode_with_stats(workload.code, blocks, faulty)
+        _, stats = decoder.decode(workload.code, blocks, faulty, return_stats=True)
         best = min(best, stats.wall_seconds)
         mult_xors = stats.mult_xors
     return MeasuredDecode(
@@ -82,7 +82,7 @@ def measure_improvement(
     stripe = build_stripe(workload, seed=seed)
     blocks = erased_blocks(workload, stripe)
     trad = measure_decoder(
-        workload, TraditionalDecoder("normal"), repeats, seed, blocks=blocks
+        workload, TraditionalDecoder(policy="normal"), repeats, seed, blocks=blocks
     )
     ppm = measure_decoder(
         workload, PPMDecoder(parallel=False, policy=policy), repeats, seed, blocks=blocks

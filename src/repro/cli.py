@@ -18,6 +18,7 @@ inspect         Figure-3-style dump: matrix, log table, partition, costs
 extra NAME      extra experiments (c2-share, energy, parallel-strategies,
                 rebuild-strategies, degraded-read-io, xor-scheduling,
                 paper-average)
+pipeline-bench  batched DecodePipeline vs per-stripe decode throughput
 encode-file     split + encode a file into per-disk strip files
 decode-file     reconstruct a file from surviving strips (erasure-decoding)
 repair-files    regenerate missing strip files in place
@@ -119,10 +120,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     truth = stripe.copy()
     stripe.erase(scen.faulty_blocks)
     for name, decoder in [
-        ("traditional", TraditionalDecoder("normal")),
+        ("traditional", TraditionalDecoder(policy="normal")),
         ("PPM", PPMDecoder(threads=args.threads)),
     ]:
-        recovered, stats = decoder.decode_with_stats(code, stripe, scen.faulty_blocks)
+        recovered, stats = decoder.decode(code, stripe, scen.faulty_blocks, return_stats=True)
         ok = all(np.array_equal(recovered[b], truth.get(b)) for b in scen.faulty_blocks)
         print(
             f"{name:>12}: {stats.mult_xors} mult_XORs, "
@@ -287,6 +288,32 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.pipeline import format_pipeline_report, run_pipeline_bench
+
+    result = run_pipeline_bench(
+        n=args.n,
+        r=args.r,
+        m=args.m,
+        s=args.s,
+        num_stripes=args.stripes,
+        sector_symbols=args.symbols,
+        workers=args.workers,
+        pool=args.pool,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(format_pipeline_report(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_encode_file(args: argparse.Namespace) -> int:
     from .codes import get_code
     from .filecodec import encode_file
@@ -430,6 +457,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_extra.add_argument("--full", action="store_true")
     p_extra.add_argument("--csv", action="store_true")
     p_extra.set_defaults(func=_cmd_extra)
+
+    p_pipe = sub.add_parser(
+        "pipeline-bench",
+        help="batched DecodePipeline vs per-stripe decode throughput",
+    )
+    p_pipe.add_argument("--n", type=int, default=10)
+    p_pipe.add_argument("--r", type=int, default=8)
+    p_pipe.add_argument("--m", type=int, default=2)
+    p_pipe.add_argument("--s", type=int, default=2)
+    p_pipe.add_argument("--stripes", type=int, default=64)
+    p_pipe.add_argument("--symbols", type=int, default=512)
+    p_pipe.add_argument("--workers", type=int, default=4)
+    p_pipe.add_argument(
+        "--pool", choices=("thread", "process", "serial"), default="thread"
+    )
+    p_pipe.add_argument("--repeats", type=int, default=3)
+    p_pipe.add_argument("--seed", type=int, default=2015)
+    p_pipe.add_argument("--json", help="also write the JSON-ready result to a file")
+    p_pipe.set_defaults(func=_cmd_pipeline_bench)
 
     p_enc = sub.add_parser("encode-file", help="encode a file into strip files")
     p_enc.add_argument("file")

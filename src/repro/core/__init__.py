@@ -14,6 +14,7 @@ from .executor import PhaseTiming, run_group, run_groups_parallel, run_groups_se
 from .logtable import LogTableEntry, build_log_table, format_log_table
 from .partition import IndependentGroup, Partition, partition, partition_sd
 from .procparallel import ProcessParallelDecoder
+from .registry import available_decoders, get_decoder, register_decoder
 from .rowparallel import RowParallelDecoder, simulate_row_parallel_time
 from .segparallel import SegmentParallelDecoder
 from .visualize import inspect, render_matrix, render_partition
@@ -44,6 +45,9 @@ __all__ = [
     "partition",
     "partition_sd",
     "ProcessParallelDecoder",
+    "available_decoders",
+    "get_decoder",
+    "register_decoder",
     "RowParallelDecoder",
     "simulate_row_parallel_time",
     "SegmentParallelDecoder",

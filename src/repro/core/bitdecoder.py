@@ -38,10 +38,12 @@ class BitMatrixDecoder(_PlanningDecoder):
 
     def __init__(
         self,
+        *,
         policy: SequencePolicy = SequencePolicy.PAPER,
         counter: OpCounter | None = None,
+        verify: bool = False,
     ):
-        super().__init__(policy, counter)
+        super().__init__(policy, counter, verify=verify)
         self._bit_cache: dict[tuple, np.ndarray] = {}
 
     def _expanded(self, field: GF, key: tuple, coefficients: np.ndarray) -> np.ndarray:

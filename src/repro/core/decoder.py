@@ -15,6 +15,7 @@ the parity positions (paper, footnote 1).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -107,33 +108,29 @@ class _PlanningDecoder:
             return {b: stripe.get(b) for b in stripe.present_ids}
         return stripe
 
-    # -- public entry points shared by both decoders -----------------------
+    # -- public entry points shared by all decoders -----------------------
 
     def decode(
-        self,
-        code: ErasureCode,
-        stripe: Stripe | Mapping[int, np.ndarray],
-        faulty: Sequence[int],
-        verify: bool | None = None,
-    ) -> dict[int, np.ndarray]:
-        """Recover the faulty blocks of one stripe.
-
-        ``verify=True`` statically certifies the decode plan before any
-        region op runs (raises
-        :class:`repro.verify.PlanVerificationError` if an invariant is
-        violated); ``None`` defers to the decoder's construction-time
-        default.
-        """
-        return self.decode_with_stats(code, stripe, faulty, verify=verify)[0]
-
-    def decode_with_stats(
         self,
         code: ErasureCode | GFMatrix,
         stripe: Stripe | Mapping[int, np.ndarray],
         faulty: Sequence[int],
+        *,
+        return_stats: bool = False,
         verify: bool | None = None,
-    ) -> tuple[dict[int, np.ndarray], DecodeStats]:
-        """Recover faulty blocks and report op counts / timings."""
+    ):
+        """Recover the faulty blocks of one stripe.
+
+        This is the one decode entry point every decoder class shares.
+
+        ``return_stats=True`` additionally returns a
+        :class:`DecodeStats` with op counts and timings (what the
+        deprecated ``decode_with_stats`` used to do).  ``verify=True``
+        statically certifies the decode plan before any region op runs
+        (raises :class:`repro.verify.PlanVerificationError` if an
+        invariant is violated); ``None`` defers to the decoder's
+        construction-time default.
+        """
         field = code.field  # both ErasureCode and GFMatrix carry their field
         plan = self.plan(code, faulty, verify=verify)
         blocks = self._blocks_of(stripe)
@@ -143,6 +140,8 @@ class _PlanningDecoder:
         recovered, phase1, rest_seconds = self.execute(plan, blocks, ops)
         wall = time.perf_counter() - t0
         after = ops.counter.snapshot()
+        if not return_stats:
+            return recovered
         stats = DecodeStats(
             mult_xors=after[0] - before[0],
             symbols=after[2] - before[2],
@@ -152,6 +151,22 @@ class _PlanningDecoder:
             rest_seconds=rest_seconds,
         )
         return recovered, stats
+
+    def decode_with_stats(
+        self,
+        code: ErasureCode | GFMatrix,
+        stripe: Stripe | Mapping[int, np.ndarray],
+        faulty: Sequence[int],
+        verify: bool | None = None,
+    ) -> tuple[dict[int, np.ndarray], DecodeStats]:
+        """Deprecated shim for ``decode(..., return_stats=True)``."""
+        warnings.warn(
+            "decode_with_stats() is deprecated; use "
+            "decode(..., return_stats=True)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.decode(code, stripe, faulty, return_stats=True, verify=verify)
 
     def encode(
         self, code: ErasureCode, stripe: Stripe | Mapping[int, np.ndarray]
@@ -217,25 +232,47 @@ def _run_rest(
 class TraditionalDecoder(_PlanningDecoder):
     """The baseline decoder: one big F/S split, executed serially.
 
-    ``sequence`` selects the calculation order: ``"normal"`` (the paper's
+    ``policy`` selects the calculation order: ``"normal"`` (the paper's
     C1, what the open-source SD decoder does) or ``"matrix_first"`` (C2,
-    the generator-matrix method).
+    the generator-matrix method); the matching
+    :class:`~repro.core.sequences.SequencePolicy` members are accepted
+    too.  ``sequence=`` is a deprecated alias for ``policy=``.
     """
+
+    _POLICIES = {
+        "normal": SequencePolicy.NORMAL,
+        "matrix_first": SequencePolicy.MATRIX_FIRST,
+    }
 
     def __init__(
         self,
-        sequence: str = "normal",
+        *,
+        policy: str | SequencePolicy = "normal",
         counter: OpCounter | None = None,
         verify: bool = False,
+        sequence: str | None = None,
     ):
-        policies = {
-            "normal": SequencePolicy.NORMAL,
-            "matrix_first": SequencePolicy.MATRIX_FIRST,
-        }
-        if sequence not in policies:
-            raise ValueError(f"sequence must be one of {sorted(policies)}, got {sequence!r}")
-        super().__init__(policies[sequence], counter, verify=verify)
-        self.sequence = sequence
+        if sequence is not None:
+            warnings.warn(
+                "TraditionalDecoder(sequence=...) is deprecated; use policy=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = sequence
+        if isinstance(policy, SequencePolicy):
+            resolved = policy
+            if resolved not in self._POLICIES.values():
+                raise ValueError(
+                    f"policy must be one of {sorted(self._POLICIES)}, got {policy!r}"
+                )
+        elif policy in self._POLICIES:
+            resolved = self._POLICIES[policy]
+        else:
+            raise ValueError(
+                f"policy must be one of {sorted(self._POLICIES)}, got {policy!r}"
+            )
+        super().__init__(resolved, counter, verify=verify)
+        self.sequence = resolved.value
 
     def execute(self, plan, blocks, ops):
         recovered = _run_traditional(plan, blocks, ops)
@@ -260,6 +297,7 @@ class PPMDecoder(_PlanningDecoder):
 
     def __init__(
         self,
+        *,
         threads: int = 4,
         policy: SequencePolicy = SequencePolicy.PAPER,
         parallel: bool = True,

@@ -11,7 +11,6 @@ harness can report the makespan and calibrate the parallel-time model
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -19,6 +18,9 @@ import numpy as np
 
 from ..gf import RegionOps
 from .planner import GroupPlan
+
+# imported after .planner so repro.pipeline's lazy init never cycles
+from ..pipeline.pool import ThreadWorkerPool, WorkerPool
 
 
 @dataclass
@@ -61,12 +63,16 @@ def run_groups_parallel(
     blocks: Mapping[int, np.ndarray],
     ops: RegionOps,
     threads: int,
+    pool: WorkerPool | None = None,
 ) -> tuple[dict[int, np.ndarray], PhaseTiming]:
     """Decode groups on ``threads`` workers, group i on worker i mod T.
 
-    A fresh pool is spawned per call so the measured wall time includes
-    thread-creation overhead, as the paper's measurements do ("some
-    additional time is spent on creating multiple threads", §III-C).
+    Without ``pool``, a fresh :class:`ThreadWorkerPool` is spawned per
+    call so the measured wall time includes thread-creation overhead, as
+    the paper's measurements do ("some additional time is spent on
+    creating multiple threads", §III-C).  Passing a persistent pool
+    (see :mod:`repro.pipeline.pool`) amortises that spawn across calls;
+    ``spawn_seconds`` then reports only what this call actually paid.
     """
     threads = max(1, min(threads, len(groups)))
     if threads == 1 or len(groups) <= 1:
@@ -82,21 +88,21 @@ def run_groups_parallel(
             out.update(run_group(group, blocks, ops))
         return out, time.perf_counter() - t0
 
+    owned = pool is None
+    active = ThreadWorkerPool(threads) if pool is None else pool
     wall0 = time.perf_counter()
-    spawn0 = time.perf_counter()
-    pool = ThreadPoolExecutor(max_workers=threads)
-    spawn = time.perf_counter() - spawn0
+    spawn_before = active.spawn_seconds
     try:
-        futures = [pool.submit(worker, bucket) for bucket in buckets]
-        results = [f.result() for f in futures]
+        results = active.run_buckets(worker, buckets)
     finally:
-        pool.shutdown(wait=True)
+        if owned:
+            active.close()
     wall = time.perf_counter() - wall0
     recovered: dict[int, np.ndarray] = {}
     for out, _elapsed in results:
         recovered.update(out)
     return recovered, PhaseTiming(
         thread_seconds=tuple(elapsed for _out, elapsed in results),
-        spawn_seconds=spawn,
+        spawn_seconds=active.spawn_seconds - spawn_before,
         wall_seconds=wall,
     )

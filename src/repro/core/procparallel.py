@@ -9,8 +9,13 @@ weight matrices and survivor regions of its round-robin bucket of
 groups, reconstructs the field from ``(w, polynomial)``, and returns the
 recovered regions.
 
-Trade-off: inputs are serialised to the workers (fork + pickle), so the
-per-decode overhead is far higher than threads — worthwhile only for
+The worker pool is a persistent
+:class:`~repro.pipeline.pool.ProcessWorkerPool`: it is spawned lazily on
+the first parallel decode and *reused across calls*, so a batch of
+stripes pays process-startup cost once rather than per stripe (the
+pool's ``spawn_count`` stays 1 for the whole batch — asserted by the
+regression tests).  Inputs are still serialised to the workers (pickle),
+so per-decode overhead remains higher than threads — worthwhile for
 large sectors on multi-core hosts.  Correctness is identical, which the
 test suite asserts; the op counter accounts the work in the parent by
 construction cost (child counters cannot be shared across processes).
@@ -19,12 +24,13 @@ construction cost (child counters cannot be shared across processes).
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from typing import Mapping
 
 import numpy as np
 
 from ..gf import GF, OpCounter, RegionOps
+from ..pipeline.pool import ProcessWorkerPool
 from .decoder import _PlanningDecoder, _run_rest, _run_traditional
 from .executor import PhaseTiming
 from .sequences import SequencePolicy
@@ -46,29 +52,57 @@ def _decode_bucket(
 
 
 class ProcessParallelDecoder(_PlanningDecoder):
-    """PPM with the parallel phase on a process pool.
+    """PPM with the parallel phase on a persistent process pool.
 
-    ``processes`` plays the role of T; groups are bucketed round-robin
+    ``threads`` plays the role of T; groups are bucketed round-robin
     exactly like the thread executor.  The rest phase runs in the parent
-    (it is serial anyway and needs the recovered regions).
+    (it is serial anyway and needs the recovered regions).  The pool
+    lives until :meth:`close` (the decoder is also a context manager);
+    ``processes=`` is a deprecated alias for ``threads=``.
     """
 
     def __init__(
         self,
-        processes: int = 2,
+        *,
+        threads: int = 2,
         policy: SequencePolicy = SequencePolicy.PAPER,
         counter: OpCounter | None = None,
+        verify: bool = False,
+        processes: int | None = None,
     ):
-        if processes < 1:
-            raise ValueError(f"processes must be >= 1, got {processes}")
-        super().__init__(policy, counter)
-        self.processes = processes
+        if processes is not None:
+            warnings.warn(
+                "ProcessParallelDecoder(processes=...) is deprecated; use threads=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            threads = processes
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        super().__init__(policy, counter, verify=verify)
+        self.threads = threads
+        self.pool = ProcessWorkerPool(threads)
+
+    @property
+    def processes(self) -> int:
+        """Deprecated alias for ``threads``."""
+        return self.threads
+
+    def close(self) -> None:
+        """Shut the worker pool down; a later decode re-spawns it."""
+        self.pool.close()
+
+    def __enter__(self) -> "ProcessParallelDecoder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def execute(self, plan, blocks: Mapping[int, np.ndarray], ops: RegionOps):
         if not plan.uses_partition:
             return _run_traditional(plan, blocks, ops), None, 0.0
         field = ops.field
-        p_eff = max(1, min(self.processes, len(plan.groups)))
+        p_eff = max(1, min(self.threads, len(plan.groups)))
         wall0 = time.perf_counter()
         if p_eff == 1:
             from .executor import run_groups_serial
@@ -84,20 +118,20 @@ class ProcessParallelDecoder(_PlanningDecoder):
                         group.faulty_ids,
                     )
                 )
-            with ProcessPoolExecutor(max_workers=p_eff) as pool:
-                futures = [
-                    pool.submit(_decode_bucket, field.w, field.polynomial, bucket)
-                    for bucket in buckets
-                ]
-                recovered = {}
-                for future in futures:
-                    recovered.update(future.result())
+            futures = [
+                self.pool.submit(_decode_bucket, field.w, field.polynomial, bucket)
+                for bucket in buckets
+            ]
+            recovered = {}
+            for future in futures:
+                recovered.update(future.result())
             # account the children's work in the parent's counter
             sector = len(next(iter(blocks.values())))
             group_ops = sum(g.cost for g in plan.groups)
             ops.counter.record(group_ops, group_ops * sector)
             timing = PhaseTiming(
                 thread_seconds=(),
+                spawn_seconds=self.pool.spawn_seconds,
                 wall_seconds=time.perf_counter() - wall0,
             )
         t0 = time.perf_counter()

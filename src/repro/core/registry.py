@@ -1,0 +1,59 @@
+"""Registry mapping decoder-kind names to constructors.
+
+Mirrors :mod:`repro.codes.registry`: CLI flags and benchmark configs
+name decoders by string — ``get_decoder("ppm", threads=4)`` — and
+extensions register their own kinds.  All registered constructors take
+keyword-only parameters with the uniform vocabulary ``threads=``,
+``policy=``, ``verify=``, ``counter=`` (each where meaningful).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .bitdecoder import BitMatrixDecoder
+from .decoder import PPMDecoder, TraditionalDecoder
+from .procparallel import ProcessParallelDecoder
+from .rowparallel import RowParallelDecoder
+from .segparallel import SegmentParallelDecoder
+
+
+def _pipeline_ctor(**params):
+    """Deferred import: the pipeline engine sits above repro.core."""
+    from ..pipeline import DecodePipeline
+
+    return DecodePipeline(**params)
+
+
+_REGISTRY: dict[str, Callable] = {
+    "traditional": TraditionalDecoder,
+    "ppm": PPMDecoder,
+    "row_parallel": RowParallelDecoder,
+    "segment_parallel": SegmentParallelDecoder,
+    "process_parallel": ProcessParallelDecoder,
+    "bitmatrix": BitMatrixDecoder,
+    "pipeline": _pipeline_ctor,
+}
+
+
+def available_decoders() -> tuple[str, ...]:
+    """Registered decoder kinds, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_decoder(kind: str, **params):
+    """Construct a decoder by registry name with keyword parameters."""
+    try:
+        ctor = _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown decoder kind {kind!r}; available: {', '.join(available_decoders())}"
+        ) from None
+    return ctor(**params)
+
+
+def register_decoder(kind: str, ctor: Callable) -> None:
+    """Register a custom decoder constructor (extension point)."""
+    if kind in _REGISTRY:
+        raise ValueError(f"decoder kind {kind!r} already registered")
+    _REGISTRY[kind] = ctor

@@ -27,12 +27,12 @@ scenarios (``benchmarks/bench_ablation_rowparallel.py``).
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping
 
 import numpy as np
 
 from ..gf import OpCounter, RegionOps
+from ..pipeline.pool import ThreadWorkerPool
 from .decoder import _PlanningDecoder
 from .executor import PhaseTiming
 from .sequences import SequencePolicy
@@ -44,12 +44,26 @@ class RowParallelDecoder(_PlanningDecoder):
     Executes ``W = F^-1 S`` row by row, ``threads`` rows at a time
     (row i on worker i mod T — the same round-robin the paper's
     Algorithm 1 uses for sub-matrices, applied at equation granularity).
+    The strategy is matrix-first by construction, so ``policy`` only
+    accepts :attr:`SequencePolicy.MATRIX_FIRST`.
     """
 
-    def __init__(self, threads: int = 4, counter: OpCounter | None = None):
+    def __init__(
+        self,
+        *,
+        threads: int = 4,
+        policy: SequencePolicy = SequencePolicy.MATRIX_FIRST,
+        counter: OpCounter | None = None,
+        verify: bool = False,
+    ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
-        super().__init__(SequencePolicy.MATRIX_FIRST, counter)
+        if policy is not SequencePolicy.MATRIX_FIRST:
+            raise ValueError(
+                "RowParallelDecoder is matrix-first by construction; "
+                f"policy must be SequencePolicy.MATRIX_FIRST, got {policy!r}"
+            )
+        super().__init__(policy, counter, verify=verify)
         self.threads = threads
 
     def execute(self, plan, blocks: Mapping[int, np.ndarray], ops: RegionOps):
@@ -77,11 +91,8 @@ class RowParallelDecoder(_PlanningDecoder):
             return out, time.perf_counter() - t0
 
         wall0 = time.perf_counter()
-        pool = ThreadPoolExecutor(max_workers=t_eff)
-        try:
-            results = [f.result() for f in [pool.submit(worker, b) for b in buckets]]
-        finally:
-            pool.shutdown(wait=True)
+        with ThreadWorkerPool(t_eff) as pool:
+            results = pool.run_buckets(worker, buckets)
         wall = time.perf_counter() - wall0
         recovered: dict[int, np.ndarray] = {}
         for out, _elapsed in results:

@@ -17,12 +17,12 @@ data-parallelism — for the ablation bench.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping
 
 import numpy as np
 
 from ..gf import OpCounter, RegionOps
+from ..pipeline.pool import ThreadWorkerPool
 from .decoder import _PlanningDecoder, _run_rest, _run_traditional
 from .executor import run_groups_serial
 from .sequences import SequencePolicy
@@ -38,13 +38,15 @@ class SegmentParallelDecoder(_PlanningDecoder):
 
     def __init__(
         self,
+        *,
         threads: int = 4,
         policy: SequencePolicy = SequencePolicy.PAPER,
         counter: OpCounter | None = None,
+        verify: bool = False,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
-        super().__init__(policy, counter)
+        super().__init__(policy, counter, verify=verify)
         self.threads = threads
 
     def _run_whole(self, plan, blocks, ops):
@@ -67,8 +69,8 @@ class SegmentParallelDecoder(_PlanningDecoder):
             segment_blocks = {b: region[lo:hi] for b, region in blocks.items()}
             return self._run_whole(plan, segment_blocks, ops)
 
-        with ThreadPoolExecutor(max_workers=t_eff) as pool:
-            partials = list(pool.map(worker, range(t_eff)))
+        with ThreadWorkerPool(t_eff) as pool:
+            partials = pool.map(worker, range(t_eff))
         recovered: dict[int, np.ndarray] = {}
         for bid in partials[0]:
             recovered[bid] = np.concatenate([part[bid] for part in partials])

@@ -22,6 +22,7 @@ from .calibrate import (
 from .rebuild import (
     HybridRebuilder,
     IntraStripeRebuilder,
+    PipelineRebuilder,
     RebuildResult,
     StripeParallelRebuilder,
     simulate_rebuild_time,
@@ -51,6 +52,7 @@ __all__ = [
     "repair_bill",
     "HybridRebuilder",
     "IntraStripeRebuilder",
+    "PipelineRebuilder",
     "RebuildResult",
     "StripeParallelRebuilder",
     "simulate_rebuild_time",

@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from ..gf import GF, RegionOps
+from ..pipeline.pool import ThreadWorkerPool
 from .simulate import CPUProfile
 
 _HOST_CACHE: dict[int, CPUProfile] = {}
@@ -40,11 +40,10 @@ def measure_spawn_overhead(threads: int = 4, repeats: int = 5) -> float:
     total = 0.0
     for _ in range(repeats):
         t0 = time.perf_counter()
-        pool = ThreadPoolExecutor(max_workers=threads)
-        futures = [pool.submit(lambda: None) for _ in range(threads)]
-        for f in futures:
-            f.result()
-        pool.shutdown(wait=True)
+        with ThreadWorkerPool(threads) as pool:
+            futures = [pool.submit(lambda: None) for _ in range(threads)]
+            for f in futures:
+                f.result()
         total += time.perf_counter() - t0
     return total / (repeats * threads)
 

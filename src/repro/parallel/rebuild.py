@@ -22,12 +22,12 @@ for single-stripe decoding.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.decoder import PPMDecoder, TraditionalDecoder
 from ..core.planner import DecodePlan
+from ..pipeline.pool import ThreadWorkerPool
 from ..stripes.array import DiskArray
 from .simulate import CPUProfile, SimulatedTime, simulate_ppm_time
 
@@ -95,7 +95,7 @@ class StripeParallelRebuilder(_BaseRebuilder):
         # plans are immutable, but the region-op counter is per-decoder
         if self.use_ppm:
             return PPMDecoder(parallel=False)
-        return TraditionalDecoder("normal")
+        return TraditionalDecoder(policy="normal")
 
     def _run(self, array: DiskArray) -> int:
         work = [
@@ -113,8 +113,8 @@ class StripeParallelRebuilder(_BaseRebuilder):
             recovered = decoder.decode(array.code, stripe, faulty)
             return stripe, recovered
 
-        with ThreadPoolExecutor(max_workers=self.threads) as pool:
-            results = list(pool.map(repair, enumerate(work)))
+        with ThreadWorkerPool(self.threads) as pool:
+            results = pool.map(repair, enumerate(work))
         repaired = 0
         for stripe, recovered in results:
             for bid, region in recovered.items():
@@ -130,6 +130,28 @@ class HybridRebuilder(StripeParallelRebuilder):
     def __init__(self, threads: int = 4):
         super().__init__(threads, use_ppm=True)
         self.strategy = "hybrid (stripes x PPM serial)"
+
+
+class PipelineRebuilder(_BaseRebuilder):
+    """Batched rebuild through :class:`repro.pipeline.DecodePipeline`.
+
+    All stripes sharing a failure geometry are fused into one region-op
+    sweep, plans come from the pipeline's LRU cache, and the worker pool
+    is spawned once for the whole rebuild — the throughput-oriented
+    sibling of the per-stripe strategies above.
+    """
+
+    strategy = "pipeline (batched)"
+
+    def __init__(self, threads: int = 4, pool: str = "thread"):
+        super().__init__(threads)
+        self.pool_kind = pool
+
+    def _run(self, array: DiskArray) -> int:
+        from ..pipeline import DecodePipeline  # deferred: engine sits above core
+
+        with DecodePipeline(workers=self.threads, pool=self.pool_kind) as pipe:
+            return array.rebuild(pipe)
 
 
 def simulate_rebuild_time(

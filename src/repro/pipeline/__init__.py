@@ -1,0 +1,66 @@
+"""Throughput-oriented decode pipeline: plan caching + persistent pools.
+
+Single-stripe decoders (:mod:`repro.core`) optimise one decode; this
+package optimises *many* — the multi-stripe shape every array rebuild
+and degraded-read storm produces:
+
+- :mod:`repro.pipeline.pool` — persistent worker pools (the only place
+  executors may be constructed; lint rule PPM007);
+- :mod:`repro.pipeline.plancache` — LRU :class:`PlanCache` with
+  hit/miss counters and optional static certification;
+- :mod:`repro.pipeline.engine` — :class:`DecodePipeline`, which fuses
+  stripes sharing an erasure pattern into one region-op sweep;
+- :mod:`repro.pipeline.metrics` — :class:`PipelineMetrics` snapshots.
+
+Only :mod:`pool` and :mod:`metrics` (dependency-free) are imported
+eagerly; the engine and plan cache load lazily (PEP 562) so that
+low-level modules — :mod:`repro.core.executor` and friends — can depend
+on :mod:`repro.pipeline.pool` without cycling through
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from .metrics import PipelineMetrics
+from .pool import (
+    ProcessWorkerPool,
+    SerialPool,
+    ThreadWorkerPool,
+    WorkerPool,
+    available_pools,
+    make_pool,
+)
+
+__all__ = [
+    "PipelineMetrics",
+    "CacheStats",
+    "PlanCache",
+    "WorkerPool",
+    "SerialPool",
+    "ThreadWorkerPool",
+    "ProcessWorkerPool",
+    "available_pools",
+    "make_pool",
+    "BatchStats",
+    "DecodePipeline",
+]
+
+_LAZY_EXPORTS = {
+    "DecodePipeline": "engine",
+    "BatchStats": "engine",
+    "PlanCache": "plancache",
+    "CacheStats": "plancache",
+}
+
+
+def __getattr__(name: str):
+    """Lazy re-export of modules that import repro.core submodules."""
+    submodule = _LAZY_EXPORTS.get(name)
+    if submodule is not None:
+        import importlib
+
+        module = importlib.import_module(f".{submodule}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.pipeline' has no attribute {name!r}")

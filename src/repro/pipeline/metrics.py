@@ -1,0 +1,95 @@
+"""Observable state of a running decode pipeline.
+
+:class:`PipelineMetrics` is an immutable snapshot — the engine hands one
+out on demand (:meth:`repro.pipeline.DecodePipeline.metrics`) so
+monitoring never races the decode path.  Fields follow the paper's cost
+vocabulary where one exists (``mult_xors``) and standard
+throughput-engine vocabulary where it does not (stripes/sec, busy
+fraction, queue depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PipelineMetrics:
+    """One snapshot of pipeline throughput, cost and utilisation.
+
+    ``worker_busy_fraction[i]`` is worker *i*'s share of the pipeline's
+    decode wall time spent executing tasks; ``queue_depth_peak`` is the
+    largest number of phase-1 tasks ever outstanding at once (how far
+    submission ran ahead of execution).
+    """
+
+    stripes: int = 0
+    batches: int = 0
+    wall_seconds: float = 0.0
+    mult_xors: int = 0
+    symbols: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
+    pool_kind: str = "serial"
+    workers: int = 1
+    pool_spawns: int = 0
+    worker_busy_fraction: tuple[float, ...] = field(default_factory=tuple)
+    queue_depth_peak: int = 0
+
+    @property
+    def stripes_per_sec(self) -> float:
+        """Decode throughput over the pipeline's lifetime (0 when idle)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.stripes / self.wall_seconds
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        lookups = self.plan_cache_hits + self.plan_cache_misses
+        if not lookups:
+            return 0.0
+        return self.plan_cache_hits / lookups
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (CLI/bench output)."""
+        return {
+            "stripes": self.stripes,
+            "batches": self.batches,
+            "wall_seconds": self.wall_seconds,
+            "stripes_per_sec": self.stripes_per_sec,
+            "mult_xors": self.mult_xors,
+            "symbols": self.symbols,
+            "plan_cache": {
+                "hits": self.plan_cache_hits,
+                "misses": self.plan_cache_misses,
+                "evictions": self.plan_cache_evictions,
+                "hit_rate": self.plan_cache_hit_rate,
+            },
+            "pool": {
+                "kind": self.pool_kind,
+                "workers": self.workers,
+                "spawns": self.pool_spawns,
+            },
+            "worker_busy_fraction": list(self.worker_busy_fraction),
+            "queue_depth_peak": self.queue_depth_peak,
+        }
+
+    def format_table(self) -> str:
+        """Human-readable one-metric-per-line rendering."""
+        busy = ", ".join(f"{b:.2f}" for b in self.worker_busy_fraction) or "-"
+        lines = [
+            f"stripes decoded      {self.stripes}",
+            f"batches              {self.batches}",
+            f"wall seconds         {self.wall_seconds:.4f}",
+            f"stripes/sec          {self.stripes_per_sec:.1f}",
+            f"mult_XORs            {self.mult_xors}",
+            f"symbols              {self.symbols}",
+            f"plan-cache hit rate  {self.plan_cache_hit_rate:.1%} "
+            f"({self.plan_cache_hits} hits / {self.plan_cache_misses} misses)",
+            f"pool                 {self.pool_kind} x{self.workers} "
+            f"({self.pool_spawns} spawn(s))",
+            f"worker busy fraction {busy}",
+            f"queue depth (peak)   {self.queue_depth_peak}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""LRU cache of :class:`~repro.core.planner.DecodePlan` objects.
+
+Planning (log table, partition, ``F^-1`` inversion, ``F^-1 @ S``
+products) is the per-scenario fixed cost PPM amortises: a rebuild
+touching thousands of stripes with one failure geometry should plan
+once.  :class:`PlanCache` makes that amortisation explicit and
+observable — an LRU keyed by ``(parity-check matrix, erasure pattern,
+sequence policy)`` with hit/miss/eviction counters that feed
+:class:`~repro.pipeline.metrics.PipelineMetrics`.
+
+When ``verify=True`` every *miss* is statically certified against the
+parity-check matrix via :func:`repro.verify.assert_plan_valid` before it
+enters the cache, so hits hand out already-proven plans for free (the
+PR-1 verification layer, amortised the same way planning is).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..codes.base import ErasureCode
+from ..core.planner import DecodePlan, plan_decode
+from ..core.sequences import SequencePolicy
+from ..matrix.gfmatrix import GFMatrix
+
+#: Cache key: (id of H, sorted erasure pattern, policy).  The matrix
+#: object itself is kept alive inside the entry so the id cannot be
+#: recycled while the entry exists.
+PlanKey = tuple[int, tuple[int, ...], SequencePolicy]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction tallies of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """Bounded LRU of decode plans, keyed by (code, pattern, policy).
+
+    Parameters
+    ----------
+    maxsize:
+        Entry cap; least-recently-used plans are evicted beyond it.
+        Distinct failure geometries per rebuild are few (one per failed
+        disk combination), so the default is generous.
+    verify:
+        Statically certify each freshly planned entry (see
+        :mod:`repro.verify`).  Raises
+        :class:`repro.verify.PlanVerificationError` on a bad plan, so
+        nothing unverified is ever cached.
+    """
+
+    def __init__(self, maxsize: int = 128, verify: bool = False):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.verify = verify
+        self.stats = CacheStats()
+        self._entries: OrderedDict[PlanKey, tuple[GFMatrix, DecodePlan]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_of(
+        source: ErasureCode | GFMatrix,
+        faulty: Sequence[int],
+        policy: SequencePolicy,
+    ) -> PlanKey:
+        h = source.H if isinstance(source, ErasureCode) else source
+        return (id(h), tuple(sorted(set(faulty))), policy)
+
+    def get(
+        self,
+        source: ErasureCode | GFMatrix,
+        faulty: Sequence[int],
+        policy: SequencePolicy = SequencePolicy.PAPER,
+    ) -> DecodePlan:
+        """Fetch (hit) or build-certify-insert (miss) the plan."""
+        h = source.H if isinstance(source, ErasureCode) else source
+        key = (id(h), tuple(sorted(set(faulty))), policy)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[1]
+        self.stats.misses += 1
+        plan = plan_decode(h, faulty, policy=policy)
+        if self.verify:
+            from ..verify import assert_plan_valid  # deferred: verify imports core
+
+            assert_plan_valid(plan, h)
+        self._entries[key] = (h, plan)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; use ``reset_stats`` too)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

@@ -1,0 +1,165 @@
+"""Persistent worker pools — the only module allowed to build executors.
+
+Every other package obtains its parallelism here (lint rule PPM007
+forbids direct ``ThreadPoolExecutor``/``ProcessPoolExecutor``
+construction elsewhere), which is what makes pool lifetime a managed,
+measurable quantity: a :class:`WorkerPool` is created lazily on first
+use, *stays alive across submissions* (the per-call spawn overhead the
+paper measures in §III-C is paid once, not per stripe), and counts how
+many times its underlying executor was actually spawned so tests can
+assert "one pool per batch".
+
+Three implementations share the interface:
+
+- :class:`SerialPool` — runs tasks inline on the caller's thread (the
+  T=1 / parallel-off path, no executor at all);
+- :class:`ThreadWorkerPool` — shared-memory threads (cheap submission,
+  GIL-bound table gathers);
+- :class:`ProcessWorkerPool` — OS processes (GIL-free, inputs pickled).
+
+``make_pool(kind, workers)`` maps the CLI/config names to classes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+
+class WorkerPool:
+    """A lazily-spawned, persistent pool of ``workers`` workers.
+
+    The executor is created on first :meth:`submit` and reused until
+    :meth:`close`; submitting again after a close re-spawns it (and
+    increments :attr:`spawn_count`, which is therefore "number of times
+    worker startup cost was paid").  Usable as a context manager.
+    """
+
+    kind = "serial"
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.spawn_count = 0
+        self.spawn_seconds = 0.0
+        self._executor: Executor | None = None
+        self._lock = threading.Lock()
+
+    # -- executor lifecycle -------------------------------------------------
+
+    def _spawn(self) -> Executor | None:
+        """Build the underlying executor (None for the serial pool)."""
+        return None
+
+    def _ensure(self) -> Executor | None:
+        with self._lock:
+            if self._executor is None:
+                t0 = time.perf_counter()
+                self._executor = self._spawn()
+                self.spawn_seconds += time.perf_counter() - t0
+                self.spawn_count += 1
+            return self._executor
+
+    @property
+    def alive(self) -> bool:
+        """Whether an executor is currently spawned."""
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the executor down; the next submit re-spawns it."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- task submission ----------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        executor = self._ensure()
+        if executor is None:  # serial: run inline, wrap in a done Future
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # propagate via .result(), like a pool
+                future.set_exception(exc)
+            return future
+        return executor.submit(fn, *args, **kwargs)
+
+    def run_buckets(self, fn: Callable[[Any], Any], buckets: Sequence[Any]) -> list[Any]:
+        """Run ``fn`` once per bucket, concurrently; results in bucket order."""
+        futures = [self.submit(fn, bucket) for bucket in buckets]
+        return [f.result() for f in futures]
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Concurrent ``map`` preserving input order."""
+        return self.run_buckets(fn, list(items))
+
+
+class SerialPool(WorkerPool):
+    """Inline execution — the no-parallelism reference implementation.
+
+    ``spawn_count`` stays 0 forever: there is nothing to spawn.
+    """
+
+    kind = "serial"
+
+    def _ensure(self) -> Executor | None:  # no spawn accounting
+        return None
+
+
+class ThreadWorkerPool(WorkerPool):
+    """Persistent :class:`ThreadPoolExecutor` behind the pool interface."""
+
+    kind = "thread"
+
+    def _spawn(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="ppm-pool"
+        )
+
+
+class ProcessWorkerPool(WorkerPool):
+    """Persistent :class:`ProcessPoolExecutor` behind the pool interface.
+
+    Submitted callables and arguments must be picklable (module-level
+    functions, plain data).  Spawning is far more expensive than for
+    threads, which is exactly why keeping the pool alive across stripes
+    matters for throughput.
+    """
+
+    kind = "process"
+
+    def _spawn(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+_POOL_KINDS: dict[str, type[WorkerPool]] = {
+    "serial": SerialPool,
+    "thread": ThreadWorkerPool,
+    "process": ProcessWorkerPool,
+}
+
+
+def available_pools() -> tuple[str, ...]:
+    """Registered pool kinds, sorted."""
+    return tuple(sorted(_POOL_KINDS))
+
+
+def make_pool(kind: str, workers: int = 1) -> WorkerPool:
+    """Construct a pool by name: ``serial``, ``thread`` or ``process``."""
+    try:
+        cls = _POOL_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown pool kind {kind!r}; available: {', '.join(available_pools())}"
+        ) from None
+    return cls(workers)

@@ -103,13 +103,43 @@ class DiskArray:
     # -- repair paths -----------------------------------------------------------
 
     def rebuild(self, decoder: Decoder) -> int:
-        """Recover every erased block of every stripe; returns blocks repaired."""
+        """Recover every erased block of every stripe; returns blocks repaired.
+
+        When the decoder exposes ``decode_batch`` (the
+        :class:`repro.pipeline.DecodePipeline` interface) all damaged
+        stripes go down in one submission, so stripes sharing a failure
+        geometry — the common case after a disk loss — are fused into a
+        single region-op sweep instead of decoded one by one.
+        """
+        decode_batch = getattr(decoder, "decode_batch", None)
+        if decode_batch is not None:
+            return self._rebuild_batched(decode_batch)
         repaired = 0
         for stripe in self.stripes:
             faulty = stripe.erased_ids
             if not faulty:
                 continue
             recovered = decoder.decode(self.code, stripe, faulty)
+            for bid, region in recovered.items():
+                stripe.put(bid, region)
+            repaired += len(recovered)
+        self.failed_disks.clear()
+        return repaired
+
+    def _rebuild_batched(self, decode_batch) -> int:
+        work = [
+            (stripe, stripe.erased_ids)
+            for stripe in self.stripes
+            if stripe.erased_ids
+        ]
+        if not work:
+            self.failed_disks.clear()
+            return 0
+        results = decode_batch(
+            self.code, [s for s, _ in work], [f for _, f in work]
+        )
+        repaired = 0
+        for (stripe, _), recovered in zip(work, results):
             for bid, region in recovered.items():
                 stripe.put(bid, region)
             repaired += len(recovered)

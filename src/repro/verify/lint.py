@@ -18,7 +18,11 @@ performance story depend on:
   ``matrix`` — elsewhere it would bypass the ``mult_XORs`` op counter
   and falsify every cost measurement;
 - **PPM006** no bare ``except:`` — it swallows ``SingularMatrixError``
-  and ``KeyboardInterrupt`` alike.
+  and ``KeyboardInterrupt`` alike;
+- **PPM007** no direct ``ThreadPoolExecutor``/``ProcessPoolExecutor``
+  construction outside :mod:`repro.pipeline` — every executor must come
+  from the :mod:`repro.pipeline.pool` wrappers so spawn cost is
+  accounted and pools can be kept alive across stripes.
 
 Each rule is a :class:`LintRule` subclass registered in :data:`RULES`;
 ``docs/VERIFICATION.md`` documents how to add one.  The CLI entry point
@@ -298,6 +302,42 @@ class NoBareExceptRule(LintRule):
                     relpath,
                     node,
                     "bare `except:`; catch a specific exception type",
+                )
+
+
+@register_rule
+class NoRawExecutorRule(LintRule):
+    code = "PPM007"
+    name = "no-raw-executor"
+    explanation = (
+        "ThreadPoolExecutor/ProcessPoolExecutor outside repro/pipeline/ "
+        "bypasses pool reuse and spawn accounting; use "
+        "repro.pipeline.pool wrappers"
+    )
+
+    _EXECUTORS = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
+
+    def applies_to(self, relpath: Path) -> bool:
+        return "pipeline" not in relpath.parts[:-1]
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in self._EXECUTORS:
+                yield self.finding(
+                    relpath,
+                    node,
+                    f"direct {name}(...) construction; use "
+                    "repro.pipeline.pool (ThreadWorkerPool / "
+                    "ProcessWorkerPool / make_pool) so spawns are "
+                    "accounted and pools persist",
                 )
 
 

@@ -53,7 +53,7 @@ def test_agrees_with_gf_backend(sd_setup):
 def test_all_ops_are_xors(sd_setup):
     code, scen, stripe, _ = sd_setup
     decoder = BitMatrixDecoder()
-    _, stats = decoder.decode_with_stats(code, stripe, scen.faulty_blocks)
+    _, stats = decoder.decode(code, stripe, scen.faulty_blocks, return_stats=True)
     assert stats.mult_xors > 0
     assert decoder.counter.xor_only == decoder.counter.mult_xors
 

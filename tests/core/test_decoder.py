@@ -40,13 +40,13 @@ def check_recovery(code, decoder, faulty, symbols=32, rng=1):
 
 def test_traditional_both_sequences(sd_code):
     scen = worst_case_sd(sd_code, z=1, rng=2)
-    check_recovery(sd_code, TraditionalDecoder("normal"), scen.faulty_blocks)
-    check_recovery(sd_code, TraditionalDecoder("matrix_first"), scen.faulty_blocks)
+    check_recovery(sd_code, TraditionalDecoder(policy="normal"), scen.faulty_blocks)
+    check_recovery(sd_code, TraditionalDecoder(policy="matrix_first"), scen.faulty_blocks)
 
 
 def test_traditional_rejects_unknown_sequence():
     with pytest.raises(ValueError):
-        TraditionalDecoder("fastest")
+        TraditionalDecoder(policy="fastest")
 
 
 @pytest.mark.parametrize("threads", [1, 2, 4, 8])
@@ -82,7 +82,7 @@ def test_stats_costs_match_plan(sd_code):
     stripe = valid_stripe(sd_code, symbols=16, rng=8)
     stripe.erase(scen.faulty_blocks)
     decoder = PPMDecoder(parallel=False)
-    _, stats = decoder.decode_with_stats(sd_code, stripe, scen.faulty_blocks)
+    _, stats = decoder.decode(sd_code, stripe, scen.faulty_blocks, return_stats=True)
     assert stats.mult_xors == stats.plan.predicted_cost
     assert stats.symbols == stats.mult_xors * 16
     assert stats.wall_seconds > 0
@@ -93,12 +93,12 @@ def test_ppm_cheaper_than_traditional(sd_code):
     scen = worst_case_sd(sd_code, z=1, rng=9)
     stripe = valid_stripe(sd_code, symbols=16, rng=10)
     stripe.erase(scen.faulty_blocks)
-    _, t_stats = TraditionalDecoder().decode_with_stats(
-        sd_code, stripe, scen.faulty_blocks
-    )
-    _, p_stats = PPMDecoder(parallel=False).decode_with_stats(
-        sd_code, stripe, scen.faulty_blocks
-    )
+    _, t_stats = TraditionalDecoder().decode(
+        sd_code, stripe, scen.faulty_blocks,
+        return_stats=True)
+    _, p_stats = PPMDecoder(parallel=False).decode(
+        sd_code, stripe, scen.faulty_blocks,
+        return_stats=True)
     assert p_stats.mult_xors < t_stats.mult_xors
 
 
@@ -174,7 +174,7 @@ def test_ppm_falls_back_to_whole_matrix_when_c2_wins(sd_code):
     stripe = valid_stripe(sd_code, rng=22)
     truth = stripe.copy()
     stripe.erase(plan_faulty)
-    recovered, stats = decoder.decode_with_stats(sd_code, stripe, plan_faulty)
+    recovered, stats = decoder.decode(sd_code, stripe, plan_faulty, return_stats=True)
     assert stats.mode is ExecutionMode.TRADITIONAL_MATRIX_FIRST
     for b in plan_faulty:
         assert np.array_equal(recovered[b], truth.get(b))

@@ -85,7 +85,7 @@ def test_round_robin_assignment_matches_algorithm1(setup):
     """Group p lands on worker p mod T (observable via PPMDecoder timing)."""
     code, plan, blocks, truth = setup
     decoder = PPMDecoder(threads=3)
-    recovered, stats = decoder.decode_with_stats(code, blocks, plan.faulty_ids)
+    recovered, stats = decoder.decode(code, blocks, plan.faulty_ids, return_stats=True)
     assert stats.phase1 is not None
     assert len(stats.phase1.thread_seconds) == 3
     for b in plan.partition.independent_faulty_ids:

@@ -87,8 +87,8 @@ def test_decoders_recover_exact_data(code):
     truth = stripe.copy()
     stripe.erase(FAULTY)
     for decoder in (
-        TraditionalDecoder("normal"),
-        TraditionalDecoder("matrix_first"),
+        TraditionalDecoder(policy="normal"),
+        TraditionalDecoder(policy="matrix_first"),
         PPMDecoder(threads=1, parallel=False),
         PPMDecoder(threads=3),
     ):
@@ -104,11 +104,11 @@ def test_measured_op_counts_equal_predictions(code):
     TraditionalDecoder().encode_into(code, stripe)
     stripe.erase(FAULTY)
     expectations = [
-        (TraditionalDecoder("normal"), 35),
-        (TraditionalDecoder("matrix_first"), 31),
+        (TraditionalDecoder(policy="normal"), 35),
+        (TraditionalDecoder(policy="matrix_first"), 31),
         (PPMDecoder(parallel=False), 29),
         (PPMDecoder(policy=SequencePolicy.PPM_MATRIX_FIRST_REST, parallel=False), 37),
     ]
     for decoder, expected in expectations:
-        _, stats = decoder.decode_with_stats(code, stripe, FAULTY)
+        _, stats = decoder.decode(code, stripe, FAULTY, return_stats=True)
         assert stats.mult_xors == expected, type(decoder).__name__

@@ -144,9 +144,9 @@ def test_plan_reuse_across_stripes():
         TraditionalDecoder().encode_into(code, stripe)
         truth = stripe.copy()
         stripe.erase(scen.faulty_blocks)
-        recovered, stats = decoder.decode_with_stats(
-            code, stripe, scen.faulty_blocks
-        )
+        recovered, stats = decoder.decode(
+            code, stripe, scen.faulty_blocks,
+            return_stats=True)
         plans.add(id(stats.plan))
         for b in scen.faulty_blocks:
             assert np.array_equal(recovered[b], truth.get(b))

@@ -19,11 +19,11 @@ def setup():
     return code, scen, stripe, truth
 
 
-@pytest.mark.parametrize("processes", [1, 2])
-def test_recovers_exact_data(setup, processes):
+@pytest.mark.parametrize("threads", [1, 2])
+def test_recovers_exact_data(setup, threads):
     code, scen, stripe, truth = setup
-    decoder = ProcessParallelDecoder(processes=processes)
-    recovered = decoder.decode(code, stripe, scen.faulty_blocks)
+    with ProcessParallelDecoder(threads=threads) as decoder:
+        recovered = decoder.decode(code, stripe, scen.faulty_blocks)
     for b in scen.faulty_blocks:
         assert np.array_equal(recovered[b], truth.get(b))
 
@@ -32,7 +32,8 @@ def test_agrees_with_thread_decoder(setup):
     from repro.core import PPMDecoder
 
     code, scen, stripe, _ = setup
-    a = ProcessParallelDecoder(processes=2).decode(code, stripe, scen.faulty_blocks)
+    with ProcessParallelDecoder(threads=2) as decoder:
+        a = decoder.decode(code, stripe, scen.faulty_blocks)
     b = PPMDecoder(threads=2).decode(code, stripe, scen.faulty_blocks)
     for bid in scen.faulty_blocks:
         assert np.array_equal(a[bid], b[bid])
@@ -41,20 +42,55 @@ def test_agrees_with_thread_decoder(setup):
 def test_op_accounting(setup):
     """Child work is accounted in the parent counter."""
     code, scen, stripe, _ = setup
-    decoder = ProcessParallelDecoder(processes=2)
-    _, stats = decoder.decode_with_stats(code, stripe, scen.faulty_blocks)
+    with ProcessParallelDecoder(threads=2) as decoder:
+        _, stats = decoder.decode(code, stripe, scen.faulty_blocks, return_stats=True)
     assert stats.mult_xors == stats.plan.predicted_cost
 
 
 def test_whole_matrix_fallback(setup):
     code, scen, stripe, truth = setup
-    decoder = ProcessParallelDecoder(processes=2, policy=SequencePolicy.MATRIX_FIRST)
-    recovered, stats = decoder.decode_with_stats(code, stripe, scen.faulty_blocks)
+    with ProcessParallelDecoder(threads=2, policy=SequencePolicy.MATRIX_FIRST) as decoder:
+        recovered, stats = decoder.decode(code, stripe, scen.faulty_blocks, return_stats=True)
     assert stats.plan.mode.value == "traditional_matrix_first"
     for b in scen.faulty_blocks:
         assert np.array_equal(recovered[b], truth.get(b))
 
 
-def test_process_validation():
+def test_thread_validation():
     with pytest.raises(ValueError):
-        ProcessParallelDecoder(processes=0)
+        ProcessParallelDecoder(threads=0)
+
+
+def test_processes_alias_deprecated():
+    """The pre-redesign ``processes=`` keyword still works but warns."""
+    with pytest.warns(DeprecationWarning, match="processes"):
+        decoder = ProcessParallelDecoder(processes=2)
+    assert decoder.threads == 2
+    assert decoder.processes == 2
+    decoder.close()
+
+
+def test_pool_spawned_once_across_batch(setup):
+    """Regression: the worker pool must persist across decode calls.
+
+    The pre-redesign implementation rebuilt a ProcessPoolExecutor inside
+    every ``decode``, paying the fork cost per stripe.
+    """
+    code, scen, stripe, truth = setup
+    with ProcessParallelDecoder(threads=2) as decoder:
+        for _ in range(3):
+            recovered = decoder.decode(code, stripe, scen.faulty_blocks)
+        assert decoder.pool.spawn_count == 1
+    for b in scen.faulty_blocks:
+        assert np.array_equal(recovered[b], truth.get(b))
+
+
+def test_pool_respawns_after_close(setup):
+    code, scen, stripe, _ = setup
+    decoder = ProcessParallelDecoder(threads=2)
+    decoder.decode(code, stripe, scen.faulty_blocks)
+    decoder.close()
+    assert not decoder.pool.alive
+    decoder.decode(code, stripe, scen.faulty_blocks)
+    assert decoder.pool.spawn_count == 2
+    decoder.close()

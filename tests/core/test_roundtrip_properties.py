@@ -53,8 +53,8 @@ def test_all_decoders_recover_exactly(params, seed):
     stripe.erase(faults)
     results = []
     for decoder in (
-        TraditionalDecoder("normal"),
-        TraditionalDecoder("matrix_first"),
+        TraditionalDecoder(policy="normal"),
+        TraditionalDecoder(policy="matrix_first"),
         PPMDecoder(parallel=False),
         PPMDecoder(threads=2),
     ):
@@ -97,7 +97,7 @@ def test_measured_cost_equals_chosen_ci(params):
     TraditionalDecoder().encode_into(code, stripe)
     stripe.erase(faults)
     decoder = PPMDecoder(parallel=False, policy=SequencePolicy.PAPER)
-    _, stats = decoder.decode_with_stats(code, stripe, faults)
+    _, stats = decoder.decode(code, stripe, faults, return_stats=True)
     assert stats.mult_xors == stats.plan.predicted_cost
     assert stats.plan.predicted_cost == min(stats.plan.costs.c2, stats.plan.costs.c4)
 

@@ -39,27 +39,27 @@ def test_cost_is_c2(setup):
     """The baseline always pays the whole-matrix matrix-first cost."""
     code, scen, stripe, _ = setup
     decoder = RowParallelDecoder(threads=2)
-    _, stats = decoder.decode_with_stats(code, stripe, scen.faulty_blocks)
+    _, stats = decoder.decode(code, stripe, scen.faulty_blocks, return_stats=True)
     assert stats.mult_xors == stats.plan.costs.c2
 
 
 def test_no_cost_reduction_vs_ppm(setup):
     """PPM's op count beats the equation-oriented baseline (C4 < C2 here)."""
     code, scen, stripe, _ = setup
-    _, rp_stats = RowParallelDecoder(threads=2).decode_with_stats(
-        code, stripe, scen.faulty_blocks
-    )
-    _, ppm_stats = PPMDecoder(parallel=False).decode_with_stats(
-        code, stripe, scen.faulty_blocks
-    )
+    _, rp_stats = RowParallelDecoder(threads=2).decode(
+        code, stripe, scen.faulty_blocks,
+        return_stats=True)
+    _, ppm_stats = PPMDecoder(parallel=False).decode(
+        code, stripe, scen.faulty_blocks,
+        return_stats=True)
     assert ppm_stats.mult_xors < rp_stats.mult_xors
 
 
 def test_timing_reported(setup):
     code, scen, stripe, _ = setup
-    _, stats = RowParallelDecoder(threads=3).decode_with_stats(
-        code, stripe, scen.faulty_blocks
-    )
+    _, stats = RowParallelDecoder(threads=3).decode(
+        code, stripe, scen.faulty_blocks,
+        return_stats=True)
     assert stats.phase1 is not None
     assert len(stats.phase1.thread_seconds) == 3
 

@@ -38,9 +38,9 @@ def test_pays_same_ops_as_ppm_serial(setup):
     """Data-parallelism composes with PPM's sequence optimisation."""
     code, scen, stripe, _ = setup
     seg = SegmentParallelDecoder(threads=4)
-    _, seg_stats = seg.decode_with_stats(code, stripe, scen.faulty_blocks)
+    _, seg_stats = seg.decode(code, stripe, scen.faulty_blocks, return_stats=True)
     ppm = PPMDecoder(parallel=False)
-    _, ppm_stats = ppm.decode_with_stats(code, stripe, scen.faulty_blocks)
+    _, ppm_stats = ppm.decode(code, stripe, scen.faulty_blocks, return_stats=True)
     # total symbols processed are identical; mult_XORs calls are per
     # segment, so counts scale by the segment count
     assert seg_stats.symbols == ppm_stats.symbols
@@ -50,7 +50,7 @@ def test_pays_same_ops_as_ppm_serial(setup):
 def test_policy_respected(setup):
     code, scen, stripe, truth = setup
     decoder = SegmentParallelDecoder(threads=2, policy=SequencePolicy.MATRIX_FIRST)
-    recovered, stats = decoder.decode_with_stats(code, stripe, scen.faulty_blocks)
+    recovered, stats = decoder.decode(code, stripe, scen.faulty_blocks, return_stats=True)
     assert stats.plan.mode.value == "traditional_matrix_first"
     for b in scen.faulty_blocks:
         assert np.array_equal(recovered[b], truth.get(b))

@@ -81,7 +81,7 @@ def test_four_decoders_agree_on_worst_case():
     stripe.erase(scen.faulty_blocks)
     outputs = []
     for decoder in (
-        TraditionalDecoder("normal"),
+        TraditionalDecoder(policy="normal"),
         PPMDecoder(threads=3),
         RowParallelDecoder(threads=3),
         BitMatrixDecoder(),

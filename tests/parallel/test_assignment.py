@@ -1,7 +1,7 @@
 """Unit + property tests for group-to-thread assignment strategies."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.parallel import assign_lpt, assign_round_robin, lpt_advantage, makespan
@@ -60,13 +60,18 @@ def test_assignments_are_partitions(costs, threads):
     st.integers(1, 8),
 )
 @settings(max_examples=80)
-def test_lpt_never_worse_than_round_robin(costs, threads):
-    rr = makespan(costs, assign_round_robin(costs, threads))
+@example(costs=[2, 3, 2, 3, 5, 3], threads=2)  # LPT=10 > round-robin=9
+def test_lpt_within_list_scheduling_bound(costs, threads):
+    # LPT is not pointwise better than round-robin (the pinned example
+    # loses by 1: {5,3,2} vs {2,2,5}/{3,3,3}); the guarantee it does
+    # carry is Graham's list-scheduling bound, stated here against the
+    # computable quantities: makespan <= mean load + (1 - 1/m) * max cost.
     lpt = makespan(costs, assign_lpt(costs, threads))
-    assert lpt <= rr
+    workers = min(threads, len(costs))
+    assert lpt <= sum(costs) / workers + (1 - 1 / workers) * max(costs) + 1e-9
     # the trivial lower bounds hold
     assert lpt >= max(costs)
-    assert lpt * min(threads, len(costs)) >= sum(costs)
+    assert lpt * workers >= sum(costs)
 
 
 def test_lpt_advantage_on_lrc_like_groups():

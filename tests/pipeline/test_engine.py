@@ -1,0 +1,279 @@
+"""Batched decode engine: correctness, accounting, metrics, integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import SDCode
+from repro.core import PPMDecoder, SequencePolicy, TraditionalDecoder, get_decoder
+from repro.gf import OpCounter
+from repro.pipeline import BatchStats, DecodePipeline, PipelineMetrics, SerialPool
+from repro.stripes import DiskArray, Stripe, StripeLayout, worst_case_sd
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SDCode(6, 6, 2, 2)
+
+
+@pytest.fixture(scope="module")
+def faulty(code):
+    return list(worst_case_sd(code, z=1, rng=0).faulty_blocks)
+
+
+def make_stripes(code, count, symbols=32, rng=1):
+    layout = StripeLayout.of_code(code)
+    gen = np.random.default_rng(rng)
+    encoder = TraditionalDecoder()
+    stripes = []
+    for _ in range(count):
+        stripe = Stripe.random(layout, code.field, symbols, gen)
+        encoder.encode_into(code, stripe)
+        stripes.append(stripe)
+    return stripes
+
+
+def reference_decode(code, stripes, faulty):
+    decoder = PPMDecoder(parallel=False)
+    return [decoder.decode(code, s, faulty) for s in stripes]
+
+
+def assert_results_equal(expected, got):
+    assert len(expected) == len(got)
+    for exp, out in zip(expected, got):
+        assert set(exp) == set(out)
+        for bid in exp:
+            assert np.array_equal(exp[bid], out[bid])
+
+
+@pytest.mark.parametrize("pool", ["serial", "thread", "process"])
+def test_batch_bit_identical_to_uncached_decoder(code, faulty, pool):
+    stripes = make_stripes(code, 5)
+    expected = reference_decode(code, stripes, faulty)
+    with DecodePipeline(workers=2, pool=pool) as pipe:
+        got = pipe.decode_batch(code, stripes, faulty)
+    assert_results_equal(expected, got)
+
+
+def test_mixed_patterns_in_one_batch(code):
+    stripes = make_stripes(code, 4)
+    patterns = [[0, 7], [1, 8], [0, 7], [2, 9]]
+    decoder = PPMDecoder(parallel=False)
+    expected = [
+        decoder.decode(code, s, pat) for s, pat in zip(stripes, patterns)
+    ]
+    with DecodePipeline(workers=2, pool="serial") as pipe:
+        got, stats = pipe.decode_batch(code, stripes, patterns, return_stats=True)
+    assert_results_equal(expected, got)
+    assert stats.patterns == 3
+    assert stats.plan_misses == 3
+    assert stats.plan_hits == 1  # the repeated [0, 7] stripe
+
+
+def test_faulty_none_reads_erased_ids(code, faulty):
+    stripes = make_stripes(code, 3)
+    truths = [s.copy() for s in stripes]
+    for s in stripes:
+        s.erase(faulty)
+    with DecodePipeline(workers=1, pool="serial") as pipe:
+        got = pipe.decode_batch(code, stripes)
+    for truth, out in zip(truths, got):
+        assert set(out) == set(faulty)
+        for bid in faulty:
+            assert np.array_equal(out[bid], truth.get(bid))
+
+
+def test_faulty_none_rejects_plain_mappings(code):
+    blocks = {b: np.zeros(4, dtype=code.field.dtype) for b in range(code.num_blocks)}
+    with DecodePipeline(pool="serial") as pipe:
+        with pytest.raises(TypeError, match="faulty=None requires Stripe"):
+            pipe.decode_batch(code, [blocks])
+
+
+def test_intact_stripes_decode_to_empty(code, faulty):
+    stripes = make_stripes(code, 3)
+    patterns = [list(faulty), [], list(faulty)]
+    with DecodePipeline(pool="serial") as pipe:
+        got, stats = pipe.decode_batch(code, stripes, patterns, return_stats=True)
+    assert got[1] == {}
+    assert set(got[0]) == set(faulty)
+    assert stats.stripes == 3
+    assert stats.patterns == 1
+
+
+def test_pattern_count_mismatch_raises(code, faulty):
+    stripes = make_stripes(code, 2)
+    with DecodePipeline(pool="serial") as pipe:
+        with pytest.raises(ValueError, match="erasure patterns for"):
+            pipe.decode_batch(code, stripes, [faulty])
+
+
+def test_single_decode_protocol(code, faulty):
+    stripe = make_stripes(code, 1)[0]
+    expected = reference_decode(code, [stripe], faulty)[0]
+    with DecodePipeline(pool="serial") as pipe:
+        out = pipe.decode(code, stripe, faulty)
+        out2, stats = pipe.decode(code, stripe, faulty, return_stats=True)
+    assert_results_equal([expected], [out])
+    assert isinstance(stats, BatchStats)
+    assert stats.stripes == 1
+    assert stats.plan_hits == 1  # second decode reused the cached plan
+
+
+def test_counter_matches_batch_stats(code, faulty):
+    """The shared OpCounter and BatchStats tell the same mult_XORs story."""
+    counter = OpCounter()
+    stripes = make_stripes(code, 4)
+    with DecodePipeline(pool="serial", counter=counter) as pipe:
+        _, s1 = pipe.decode_batch(code, stripes, faulty, return_stats=True)
+        _, s2 = pipe.decode_batch(code, stripes, faulty, return_stats=True)
+    mult_xors, _, symbols = counter.snapshot()
+    assert mult_xors == s1.mult_xors + s2.mult_xors
+    assert symbols == s1.symbols + s2.symbols
+    assert pipe.metrics().mult_xors == mult_xors
+
+
+def test_fused_batch_costs_same_region_ops_as_one_stripe(code, faulty):
+    """Fusion: N stripes of one pattern cost the same *op count* as one."""
+    with DecodePipeline(pool="serial") as pipe:
+        _, one = pipe.decode_batch(code, make_stripes(code, 1), faulty, return_stats=True)
+    with DecodePipeline(pool="serial") as pipe:
+        _, many = pipe.decode_batch(code, make_stripes(code, 6), faulty, return_stats=True)
+    assert many.mult_xors == one.mult_xors
+    assert many.symbols == 6 * one.symbols
+
+
+def test_single_stripe_ops_match_serial_ppm(code, faulty):
+    """A batch of one pays exactly the serial PPM decoder's op bill."""
+    stripe = make_stripes(code, 1)[0]
+    _, ref_stats = PPMDecoder(parallel=False).decode(
+        code, stripe, faulty, return_stats=True
+    )
+    with DecodePipeline(pool="serial") as pipe:
+        _, stats = pipe.decode_batch(code, [stripe], faulty, return_stats=True)
+    assert stats.mult_xors == ref_stats.mult_xors
+
+
+def test_process_pool_accounting_matches_thread(code, faulty):
+    stripes = make_stripes(code, 4)
+    with DecodePipeline(workers=2, pool="thread") as pipe:
+        _, t_stats = pipe.decode_batch(code, stripes, faulty, return_stats=True)
+    with DecodePipeline(workers=2, pool="process") as pipe:
+        _, p_stats = pipe.decode_batch(code, stripes, faulty, return_stats=True)
+    assert p_stats.mult_xors == t_stats.mult_xors
+    assert p_stats.symbols == t_stats.symbols
+
+
+def test_policy_flows_into_plans(code, faulty):
+    with DecodePipeline(pool="serial", policy=SequencePolicy.NORMAL) as pipe:
+        _, stats = pipe.decode(code, make_stripes(code, 1)[0], faulty, return_stats=True)
+    plan = pipe.plans.get(code, faulty, SequencePolicy.NORMAL)
+    assert not plan.uses_partition
+    assert stats.mult_xors == plan.predicted_cost
+
+
+def test_verify_mode_certifies_plans(code, faulty):
+    with DecodePipeline(pool="serial", verify=True) as pipe:
+        got = pipe.decode_batch(code, make_stripes(code, 2), faulty)
+    assert all(set(out) == set(faulty) for out in got)
+
+
+def test_round_robin_assignment(code, faulty):
+    stripes = make_stripes(code, 3)
+    expected = reference_decode(code, stripes, faulty)
+    with DecodePipeline(workers=2, pool="thread", assignment="round_robin") as pipe:
+        got = pipe.decode_batch(code, stripes, faulty)
+    assert_results_equal(expected, got)
+
+
+def test_invalid_assignment_rejected():
+    with pytest.raises(ValueError, match="assignment"):
+        DecodePipeline(assignment="random")
+
+
+def test_metrics_snapshot(code, faulty):
+    with DecodePipeline(workers=2, pool="thread") as pipe:
+        assert pipe.metrics().stripes == 0
+        pipe.decode_batch(code, make_stripes(code, 4), faulty)
+        pipe.decode_batch(code, make_stripes(code, 4), faulty)
+        m = pipe.metrics()
+    assert isinstance(m, PipelineMetrics)
+    assert m.stripes == 8
+    assert m.batches == 2
+    assert m.stripes_per_sec > 0
+    assert m.plan_cache_hit_rate == 7 / 8
+    assert m.pool_kind == "thread"
+    assert m.workers == 2
+    assert m.pool_spawns == 1  # persistent across both batches
+    assert len(m.worker_busy_fraction) == 2
+    assert m.queue_depth_peak >= 1
+    as_dict = m.as_dict()
+    assert as_dict["plan_cache"]["hits"] == 7
+    assert as_dict["pool"]["spawns"] == 1
+    assert "stripes/sec" in m.format_table()
+
+
+def test_shared_pool_instance(code, faulty):
+    pool = SerialPool()
+    with DecodePipeline(pool=pool) as pipe:
+        assert pipe.pool is pool
+        assert pipe.workers == pool.workers
+        pipe.decode_batch(code, make_stripes(code, 2), faulty)
+
+
+def test_registry_constructs_pipeline():
+    pipe = get_decoder("pipeline", workers=2, pool="serial")
+    assert isinstance(pipe, DecodePipeline)
+    pipe.close()
+
+
+def valid_array(code, num_stripes=3, symbols=16, rng=0):
+    arr = DiskArray(code, num_stripes=num_stripes, sector_symbols=symbols, rng=rng)
+    encoder = TraditionalDecoder()
+    for stripe, truth in zip(arr.stripes, arr._truth):
+        encoder.encode_into(code, stripe)
+        for b in range(code.num_blocks):
+            truth.put(b, stripe.get(b))
+    return arr
+
+
+def test_array_rebuild_routes_through_decode_batch(code):
+    arr = valid_array(code)
+    arr.fail_disk(2)
+    with DecodePipeline(workers=2, pool="thread") as pipe:
+        repaired = arr.rebuild(pipe)
+    assert repaired == code.r * arr.num_stripes
+    assert arr.fully_intact()
+    # all stripes shared the disk-loss pattern: one miss, rest hits
+    m = pipe.metrics()
+    assert m.plan_cache_misses == 1
+    assert m.plan_cache_hits == arr.num_stripes - 1
+
+
+def test_array_rebuild_nothing_to_do(code):
+    arr = valid_array(code)
+    with DecodePipeline(pool="serial") as pipe:
+        assert arr.rebuild(pipe) == 0
+    assert arr.fully_intact()
+
+
+def test_pipeline_rebuilder_strategy(code):
+    from repro.parallel import PipelineRebuilder
+
+    arr = valid_array(code, rng=5)
+    arr.fail_disk(1)
+    result = PipelineRebuilder(threads=2).rebuild(arr)
+    assert result.blocks_repaired == code.r * arr.num_stripes
+    assert result.strategy == "pipeline (batched)"
+    assert arr.fully_intact()
+
+
+def test_degraded_read_with_pipeline(code, faulty):
+    arr = valid_array(code, rng=7)
+    victim = faulty[0]
+    truth = arr._truth[0].get(victim).copy()
+    arr.corrupt_sector(0, victim)
+    with DecodePipeline(pool="serial") as pipe:
+        value = arr.degraded_read(pipe, 0, victim)
+    assert np.array_equal(value, truth)

@@ -1,0 +1,120 @@
+"""Plan-cache correctness: LRU behaviour, keying, verification, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes import SDCode
+from repro.core import SequencePolicy, plan_decode
+from repro.pipeline import PlanCache
+from repro.stripes import worst_case_sd
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SDCode(6, 6, 2, 2)
+
+
+@pytest.fixture(scope="module")
+def faulty(code):
+    return list(worst_case_sd(code, z=1, rng=0).faulty_blocks)
+
+
+def test_miss_then_hit_returns_same_plan(code, faulty):
+    cache = PlanCache()
+    first = cache.get(code, faulty)
+    second = cache.get(code, faulty)
+    assert first is second
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_cached_plan_matches_direct_planning(code, faulty):
+    cached = PlanCache().get(code, faulty, SequencePolicy.PAPER)
+    direct = plan_decode(code, faulty, SequencePolicy.PAPER)
+    assert cached.mode == direct.mode
+    assert cached.faulty_ids == direct.faulty_ids
+    assert cached.costs == direct.costs
+
+
+def test_pattern_order_and_duplicates_normalised(code, faulty):
+    cache = PlanCache()
+    cache.get(code, faulty)
+    cache.get(code, list(reversed(faulty)))
+    cache.get(code, faulty + [faulty[0]])
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 2
+
+
+def test_policy_is_part_of_the_key(code, faulty):
+    """Changing the sequence policy must not reuse another policy's plan."""
+    cache = PlanCache()
+    paper = cache.get(code, faulty, SequencePolicy.PAPER)
+    normal = cache.get(code, faulty, SequencePolicy.NORMAL)
+    assert cache.stats.misses == 2
+    assert cache.stats.hits == 0
+    assert paper is not normal
+    assert paper is cache.get(code, faulty, SequencePolicy.PAPER)
+
+
+def test_different_patterns_are_distinct_entries(code):
+    cache = PlanCache()
+    cache.get(code, [0, 7])
+    cache.get(code, [1, 8])
+    assert cache.stats.misses == 2
+    assert len(cache) == 2
+
+
+def test_lru_eviction(code):
+    cache = PlanCache(maxsize=2)
+    cache.get(code, [0, 7])
+    cache.get(code, [1, 8])
+    cache.get(code, [0, 7])  # refresh: [1, 8] is now least recent
+    cache.get(code, [2, 9])  # evicts [1, 8]
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+    cache.get(code, [0, 7])
+    assert cache.stats.hits == 2  # survived the eviction
+    cache.get(code, [1, 8])
+    assert cache.stats.misses == 4  # re-planned after eviction
+
+
+def test_maxsize_validation():
+    with pytest.raises(ValueError):
+        PlanCache(maxsize=0)
+
+
+def test_verify_certifies_misses(code, faulty):
+    cache = PlanCache(verify=True)
+    plan = cache.get(code, faulty)
+    assert plan is cache.get(code, faulty)  # hit skips re-verification
+
+
+def test_clear_and_reset_stats(code, faulty):
+    cache = PlanCache()
+    cache.get(code, faulty)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.misses == 1  # counters survive clear()
+    cache.reset_stats()
+    assert cache.stats.lookups == 0
+    assert cache.stats.hit_rate == 0.0
+
+
+def test_stats_as_dict(code, faulty):
+    cache = PlanCache()
+    cache.get(code, faulty)
+    cache.get(code, faulty)
+    assert cache.stats.as_dict() == {
+        "hits": 1,
+        "misses": 1,
+        "evictions": 0,
+        "hit_rate": 0.5,
+    }
+
+
+def test_key_of_matches_get(code, faulty):
+    key = PlanCache.key_of(code, faulty, SequencePolicy.PAPER)
+    assert key == (id(code.H), tuple(sorted(set(faulty))), SequencePolicy.PAPER)

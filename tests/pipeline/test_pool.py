@@ -1,0 +1,111 @@
+"""Worker-pool lifecycle: lazy spawn, persistence, re-spawn, accounting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.pipeline import (
+    ProcessWorkerPool,
+    SerialPool,
+    ThreadWorkerPool,
+    WorkerPool,
+    available_pools,
+    make_pool,
+)
+
+
+def test_available_pools():
+    assert available_pools() == ("process", "serial", "thread")
+
+
+@pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+def test_make_pool(kind):
+    pool = make_pool(kind, workers=2)
+    assert pool.kind == kind
+    assert pool.workers == 2
+    pool.close()
+
+
+def test_make_pool_unknown_kind():
+    with pytest.raises(ValueError, match="unknown pool kind"):
+        make_pool("gpu")
+
+
+@pytest.mark.parametrize("cls", [SerialPool, ThreadWorkerPool, ProcessWorkerPool])
+def test_worker_validation(cls):
+    with pytest.raises(ValueError):
+        cls(0)
+
+
+def test_lazy_spawn_and_persistence():
+    pool = ThreadWorkerPool(2)
+    assert not pool.alive
+    assert pool.spawn_count == 0
+    try:
+        assert pool.submit(int, "7").result() == 7
+        assert pool.alive
+        assert pool.spawn_count == 1
+        # further submissions reuse the same executor
+        for _ in range(5):
+            pool.submit(len, "abc").result()
+        assert pool.spawn_count == 1
+        assert pool.spawn_seconds >= 0.0
+    finally:
+        pool.close()
+
+
+def test_close_then_respawn():
+    pool = ThreadWorkerPool(1)
+    pool.submit(int, "1").result()
+    pool.close()
+    assert not pool.alive
+    assert pool.submit(int, "2").result() == 2
+    assert pool.spawn_count == 2
+    pool.close()
+
+
+def test_serial_pool_never_spawns():
+    pool = SerialPool()
+    assert pool.submit(sum, [1, 2, 3]).result() == 6
+    assert pool.spawn_count == 0
+    assert not pool.alive
+    pool.close()  # no-op, must not raise
+
+
+def test_serial_pool_propagates_exceptions():
+    pool = SerialPool()
+    future = pool.submit(int, "not a number")
+    with pytest.raises(ValueError):
+        future.result()
+
+
+def test_run_buckets_preserves_order():
+    with ThreadWorkerPool(4) as pool:
+        results = pool.run_buckets(lambda bucket: sum(bucket), [[1], [2, 3], [4, 5, 6]])
+    assert results == [1, 5, 15]
+
+
+def test_map_preserves_order():
+    with SerialPool() as pool:
+        assert pool.map(lambda x: x * x, range(5)) == [0, 1, 4, 9, 16]
+
+
+def test_thread_pool_actually_uses_worker_threads():
+    seen = set()
+    with ThreadWorkerPool(2) as pool:
+        pool.map(lambda _: seen.add(threading.current_thread().name), range(8))
+    assert all(name.startswith("ppm-pool") for name in seen)
+
+
+def test_context_manager_closes():
+    with ThreadWorkerPool(1) as pool:
+        pool.submit(int, "3").result()
+        assert pool.alive
+    assert not pool.alive
+
+
+def test_base_pool_is_serial():
+    pool = WorkerPool(1)
+    assert pool.submit(int, "9").result() == 9

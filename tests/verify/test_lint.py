@@ -20,7 +20,15 @@ def codes_of(source: str, relpath: str) -> set[str]:
 
 
 def test_rule_registry_is_populated():
-    assert {"PPM001", "PPM002", "PPM003", "PPM004", "PPM005", "PPM006"} <= set(RULES)
+    assert {
+        "PPM001",
+        "PPM002",
+        "PPM003",
+        "PPM004",
+        "PPM005",
+        "PPM006",
+        "PPM007",
+    } <= set(RULES)
     for rule in RULES.values():
         assert rule.explanation, f"{rule.code} has no explanation"
 
@@ -110,6 +118,29 @@ def test_ppm006_bare_except():
     assert "PPM006" in codes_of(bad, "repro/x.py")
     good = bad.replace("except:", "except ValueError:")
     assert "PPM006" not in codes_of(good, "repro/x.py")
+
+
+def test_ppm007_raw_executor_outside_pipeline():
+    bad = (
+        "from __future__ import annotations\n"
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "pool = ThreadPoolExecutor(max_workers=4)\n"
+    )
+    assert "PPM007" in codes_of(bad, "repro/core/x.py")
+    qualified = (
+        "from __future__ import annotations\n"
+        "import concurrent.futures as cf\n"
+        "pool = cf.ProcessPoolExecutor(2)\n"
+    )
+    assert "PPM007" in codes_of(qualified, "repro/parallel/x.py")
+    # the pipeline package is the one place allowed to build executors
+    assert "PPM007" not in codes_of(bad, "repro/pipeline/pool.py")
+    wrapped = (
+        "from __future__ import annotations\n"
+        "from repro.pipeline.pool import ThreadWorkerPool\n"
+        "pool = ThreadWorkerPool(4)\n"
+    )
+    assert "PPM007" not in codes_of(wrapped, "repro/core/x.py")
 
 
 def test_syntax_errors_reported_not_raised():
