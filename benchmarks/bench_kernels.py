@@ -1,0 +1,32 @@
+"""Acceptance benchmark for the compiled region-program kernels.
+
+Runs the shared :func:`repro.bench.kernels.run_kernel_bench` experiment
+— SD(n=10, r=8, m=2, s=2), one worst-case erasure pattern, 4 KiB
+sectors — and writes the full result to ``BENCH_kernels.json`` at the
+repo root.  The assertions encode the acceptance bar: the compiled
+single-stripe decode must beat the interpreted path by at least 1.5x
+while booking identical model op counts, and the sharded op counter
+must stay exact under threads.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py``
+or via ``ppm kernel-bench --min-speedup 1.5``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.kernels import run_kernel_bench
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def test_compiled_kernel_speedup():
+    result = run_kernel_bench(n=10, r=8, m=2, s=2, sector_symbols=4096)
+    OUT.write_text(json.dumps(result, indent=2) + "\n")
+    assert result["results_match"]
+    assert result["speedup"] >= 1.5, (
+        f"compiled kernels only {result['speedup']:.2f}x vs interpreted decode"
+    )
+    assert result["compiled"]["mult_xors"] == result["interpreted"]["mult_xors"]
+    assert result["program"]["model_mult_xors"] == result["program"]["predicted_cost"]
+    assert result["counter"]["exact"], "sharded counter lost records under threads"

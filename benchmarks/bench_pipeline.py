@@ -29,6 +29,10 @@ def test_pipeline_speedup_and_cache():
     assert result["speedup"] >= 2.0, (
         f"batched pipeline only {result['speedup']:.2f}x vs per-stripe loop"
     )
+    assert result["compiled_speedup"] >= 1.2, (
+        f"compiled pipeline only {result['compiled_speedup']:.2f}x vs the "
+        "interpreted pipeline on the same batch"
+    )
     assert result["plan_cache_hit_rate"] > 0.90, (
         f"plan-cache hit rate {result['plan_cache_hit_rate']:.1%} <= 90%"
     )

@@ -19,6 +19,7 @@ extra NAME      extra experiments (c2-share, energy, parallel-strategies,
                 rebuild-strategies, degraded-read-io, xor-scheduling,
                 paper-average)
 pipeline-bench  batched DecodePipeline vs per-stripe decode throughput
+kernel-bench    compiled region programs vs interpreted decode throughput
 encode-file     split + encode a file into per-disk strip files
 decode-file     reconstruct a file from surviving strips (erasure-decoding)
 repair-files    regenerate missing strip files in place
@@ -175,6 +176,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             samples=args.samples,
             seed=args.seed,
             check_schedules=not args.no_schedules,
+            check_programs=not args.no_programs,
         )
     else:
         params = dict(pair.split("=", 1) for pair in args.param)
@@ -185,6 +187,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 samples=args.samples,
                 seed=args.seed,
                 check_schedules=not args.no_schedules,
+                check_programs=not args.no_programs,
             )
         ]
     failed = 0
@@ -314,6 +317,36 @@ def _cmd_pipeline_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernel_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.kernels import format_kernel_report, run_kernel_bench
+
+    result = run_kernel_bench(
+        n=args.n,
+        r=args.r,
+        m=args.m,
+        s=args.s,
+        sector_symbols=args.symbols,
+        iters=args.iters,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(format_kernel_report(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: compiled speedup {result['speedup']:.2f}x < "
+            f"required {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
 def _cmd_encode_file(args: argparse.Namespace) -> int:
     from .codes import get_code
     from .filecodec import encode_file
@@ -407,6 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_vfy.add_argument(
         "--no-schedules", action="store_true", help="skip XOR-schedule verification"
     )
+    p_vfy.add_argument(
+        "--no-programs",
+        action="store_true",
+        help="skip compiled-program verification",
+    )
     p_vfy.set_defaults(func=_cmd_verify)
 
     p_ver = sub.add_parser("verify-code", help="Monte-Carlo decodability check")
@@ -476,6 +514,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--seed", type=int, default=2015)
     p_pipe.add_argument("--json", help="also write the JSON-ready result to a file")
     p_pipe.set_defaults(func=_cmd_pipeline_bench)
+
+    p_kern = sub.add_parser(
+        "kernel-bench",
+        help="compiled region programs vs interpreted single-stripe decode",
+    )
+    p_kern.add_argument("--n", type=int, default=10)
+    p_kern.add_argument("--r", type=int, default=8)
+    p_kern.add_argument("--m", type=int, default=2)
+    p_kern.add_argument("--s", type=int, default=2)
+    p_kern.add_argument("--symbols", type=int, default=4096)
+    p_kern.add_argument("--iters", type=int, default=20)
+    p_kern.add_argument("--repeats", type=int, default=3)
+    p_kern.add_argument("--seed", type=int, default=2015)
+    p_kern.add_argument("--json", help="also write the JSON-ready result to a file")
+    p_kern.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit nonzero unless the compiled path beats this speedup",
+    )
+    p_kern.set_defaults(func=_cmd_kernel_bench)
 
     p_enc = sub.add_parser("encode-file", help="encode a file into strip files")
     p_enc.add_argument("file")

@@ -42,8 +42,11 @@ class BitMatrixDecoder(_PlanningDecoder):
         policy: SequencePolicy = SequencePolicy.PAPER,
         counter: OpCounter | None = None,
         verify: bool = False,
+        compile: bool = False,
     ):
-        super().__init__(policy, counter, verify=verify)
+        # `compile` is accepted for ctor uniformity but has no compiled
+        # path: this decoder executes bit-planes, not GF region programs.
+        super().__init__(policy, counter, verify=verify, compile=compile)
         self._bit_cache: dict[tuple, np.ndarray] = {}
 
     def _expanded(self, field: GF, key: tuple, coefficients: np.ndarray) -> np.ndarray:

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..codes.base import ErasureCode
 from ..gf import GF, OpCounter, RegionOps
+from ..kernels import CompiledRegionOps, ProgramCache
 from ..matrix import GFMatrix
 from ..stripes.store import Stripe
 from .executor import PhaseTiming, run_groups_parallel, run_groups_serial
@@ -55,6 +56,12 @@ class _PlanningDecoder:
     :class:`repro.verify.PlanVerificationError` on any violated
     invariant.  Certification is cached per plan, so the amortised cost
     across stripes sharing a failure geometry is zero.
+
+    ``compile=True`` (the default) routes region arithmetic through
+    :class:`repro.kernels.CompiledRegionOps`: plans and matrices lower
+    once to cached :class:`~repro.kernels.RegionProgram` kernels with
+    identical results and op counts.  ``compile=False`` is the
+    interpreted escape hatch.
     """
 
     def __init__(
@@ -62,10 +69,13 @@ class _PlanningDecoder:
         policy: SequencePolicy,
         counter: OpCounter | None = None,
         verify: bool = False,
+        compile: bool = True,
     ):
         self.policy = policy
         self.counter = counter if counter is not None else OpCounter()
         self.verify = verify
+        self.compile = compile
+        self.programs: ProgramCache | None = ProgramCache() if compile else None
         self._plan_cache: dict[tuple, DecodePlan] = {}
         self._ops_cache: dict[int, RegionOps] = {}
         self._verified_plans: set[int] = set()
@@ -74,7 +84,10 @@ class _PlanningDecoder:
         key = id(field)
         ops = self._ops_cache.get(key)
         if ops is None:
-            ops = RegionOps(field, self.counter)
+            if self.compile:
+                ops = CompiledRegionOps(field, self.counter, programs=self.programs)
+            else:
+                ops = RegionOps(field, self.counter)
             self._ops_cache[key] = ops
         return ops
 
@@ -204,8 +217,7 @@ def _run_traditional(
     if plan.mode is ExecutionMode.TRADITIONAL_MATRIX_FIRST:
         outs = ops.matrix_apply(tp.weights.array, regions)
     else:
-        intermediate = ops.matrix_apply(tp.s.array, regions)
-        outs = ops.matrix_apply(tp.f_inv.array, intermediate)
+        outs = ops.matrix_chain_apply((tp.s.array, tp.f_inv.array), regions)
     return dict(zip(tp.faulty_ids, outs))
 
 
@@ -224,9 +236,21 @@ def _run_rest(
     if plan.mode is ExecutionMode.PPM_REST_MATRIX_FIRST:
         outs = ops.matrix_apply(rest.weights.array, regions)
     else:
-        intermediate = ops.matrix_apply(rest.s.array, regions)
-        outs = ops.matrix_apply(rest.f_inv.array, intermediate)
+        outs = ops.matrix_chain_apply((rest.s.array, rest.f_inv.array), regions)
     return dict(zip(rest.faulty_ids, outs))
+
+
+def _fused(plan: DecodePlan, blocks: Mapping[int, np.ndarray], ops: RegionOps):
+    """The whole plan as one compiled program, or None when not compiled.
+
+    Falls back (returns None) for multi-dimensional regions, which the
+    program executor does not handle.
+    """
+    if not isinstance(ops, CompiledRegionOps):
+        return None
+    if any(region.ndim != 1 for region in blocks.values()):
+        return None
+    return ops.run_plan(plan, blocks)
 
 
 class TraditionalDecoder(_PlanningDecoder):
@@ -250,6 +274,7 @@ class TraditionalDecoder(_PlanningDecoder):
         policy: str | SequencePolicy = "normal",
         counter: OpCounter | None = None,
         verify: bool = False,
+        compile: bool = True,
         sequence: str | None = None,
     ):
         if sequence is not None:
@@ -271,11 +296,13 @@ class TraditionalDecoder(_PlanningDecoder):
             raise ValueError(
                 f"policy must be one of {sorted(self._POLICIES)}, got {policy!r}"
             )
-        super().__init__(resolved, counter, verify=verify)
+        super().__init__(resolved, counter, verify=verify, compile=compile)
         self.sequence = resolved.value
 
     def execute(self, plan, blocks, ops):
-        recovered = _run_traditional(plan, blocks, ops)
+        recovered = _fused(plan, blocks, ops)
+        if recovered is None:
+            recovered = _run_traditional(plan, blocks, ops)
         return recovered, None, 0.0
 
 
@@ -303,22 +330,35 @@ class PPMDecoder(_PlanningDecoder):
         parallel: bool = True,
         counter: OpCounter | None = None,
         verify: bool = False,
+        compile: bool = True,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
-        super().__init__(policy, counter, verify=verify)
+        super().__init__(policy, counter, verify=verify, compile=compile)
         self.threads = threads
         self.parallel = parallel
 
     def execute(self, plan, blocks, ops):
         if not plan.uses_partition:
             # the policy chose a whole-matrix sequence (e.g. C2 < C4)
-            return _run_traditional(plan, blocks, ops), None, 0.0
+            recovered = _fused(plan, blocks, ops)
+            if recovered is None:
+                recovered = _run_traditional(plan, blocks, ops)
+            return recovered, None, 0.0
         if self.parallel and self.threads > 1:
+            # per-group compiled matrix programs keep thread parallelism
             recovered, timing = run_groups_parallel(
                 plan.groups, blocks, ops, self.threads
             )
         else:
+            t0 = time.perf_counter()
+            fused = _fused(plan, blocks, ops)
+            if fused is not None:
+                # one fused program covers groups + rest; the whole decode
+                # is the "parallel phase" of this serial execution
+                wall = time.perf_counter() - t0
+                timing = PhaseTiming(thread_seconds=(wall,), wall_seconds=wall)
+                return fused, timing, 0.0
             recovered, timing = run_groups_serial(plan.groups, blocks, ops)
         t0 = time.perf_counter()
         rest = _run_rest(plan, blocks, recovered, ops)

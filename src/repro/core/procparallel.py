@@ -31,19 +31,39 @@ import numpy as np
 
 from ..gf import GF, OpCounter, RegionOps
 from ..pipeline.pool import ProcessWorkerPool
-from .decoder import _PlanningDecoder, _run_rest, _run_traditional
+from .decoder import _PlanningDecoder, _fused, _run_rest, _run_traditional
 from .executor import PhaseTiming
 from .sequences import SequencePolicy
+
+
+#: Per-worker-process ops instances: the program cache inside survives
+#: across submits, so each weight matrix compiles once per worker.
+_CHILD_OPS: dict[tuple[int, int, bool], RegionOps] = {}
+
+
+def _child_ops(w: int, polynomial: int, compiled: bool) -> RegionOps:
+    key = (w, polynomial, compiled)
+    ops = _CHILD_OPS.get(key)
+    if ops is None:
+        field = GF(w, polynomial)
+        if compiled:
+            from ..kernels import CompiledRegionOps
+
+            ops = CompiledRegionOps(field)
+        else:
+            ops = RegionOps(field)
+        _CHILD_OPS[key] = ops
+    return ops
 
 
 def _decode_bucket(
     w: int,
     polynomial: int,
     tasks: list[tuple[np.ndarray, list[np.ndarray], tuple[int, ...]]],
+    compiled: bool = True,
 ) -> dict[int, np.ndarray]:
     """Worker: decode a bucket of (weights, survivor regions, faulty ids)."""
-    field = GF(w, polynomial)
-    ops = RegionOps(field)
+    ops = _child_ops(w, polynomial, compiled)
     out: dict[int, np.ndarray] = {}
     for weights, regions, faulty_ids in tasks:
         results = ops.matrix_apply(weights, regions)
@@ -68,6 +88,7 @@ class ProcessParallelDecoder(_PlanningDecoder):
         policy: SequencePolicy = SequencePolicy.PAPER,
         counter: OpCounter | None = None,
         verify: bool = False,
+        compile: bool = True,
         processes: int | None = None,
     ):
         if processes is not None:
@@ -79,7 +100,7 @@ class ProcessParallelDecoder(_PlanningDecoder):
             threads = processes
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
-        super().__init__(policy, counter, verify=verify)
+        super().__init__(policy, counter, verify=verify, compile=compile)
         self.threads = threads
         self.pool = ProcessWorkerPool(threads)
 
@@ -100,7 +121,10 @@ class ProcessParallelDecoder(_PlanningDecoder):
 
     def execute(self, plan, blocks: Mapping[int, np.ndarray], ops: RegionOps):
         if not plan.uses_partition:
-            return _run_traditional(plan, blocks, ops), None, 0.0
+            recovered = _fused(plan, blocks, ops)
+            if recovered is None:
+                recovered = _run_traditional(plan, blocks, ops)
+            return recovered, None, 0.0
         field = ops.field
         p_eff = max(1, min(self.threads, len(plan.groups)))
         wall0 = time.perf_counter()
@@ -119,7 +143,9 @@ class ProcessParallelDecoder(_PlanningDecoder):
                     )
                 )
             futures = [
-                self.pool.submit(_decode_bucket, field.w, field.polynomial, bucket)
+                self.pool.submit(
+                    _decode_bucket, field.w, field.polynomial, bucket, self.compile
+                )
                 for bucket in buckets
             ]
             recovered = {}

@@ -55,6 +55,7 @@ class RowParallelDecoder(_PlanningDecoder):
         policy: SequencePolicy = SequencePolicy.MATRIX_FIRST,
         counter: OpCounter | None = None,
         verify: bool = False,
+        compile: bool = True,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
@@ -63,7 +64,7 @@ class RowParallelDecoder(_PlanningDecoder):
                 "RowParallelDecoder is matrix-first by construction; "
                 f"policy must be SequencePolicy.MATRIX_FIRST, got {policy!r}"
             )
-        super().__init__(policy, counter, verify=verify)
+        super().__init__(policy, counter, verify=verify, compile=compile)
         self.threads = threads
 
     def execute(self, plan, blocks: Mapping[int, np.ndarray], ops: RegionOps):

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..gf import OpCounter, RegionOps
 from ..pipeline.pool import ThreadWorkerPool
-from .decoder import _PlanningDecoder, _run_rest, _run_traditional
+from .decoder import _PlanningDecoder, _fused, _run_rest, _run_traditional
 from .executor import run_groups_serial
 from .sequences import SequencePolicy
 
@@ -43,13 +43,17 @@ class SegmentParallelDecoder(_PlanningDecoder):
         policy: SequencePolicy = SequencePolicy.PAPER,
         counter: OpCounter | None = None,
         verify: bool = False,
+        compile: bool = True,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
-        super().__init__(policy, counter, verify=verify)
+        super().__init__(policy, counter, verify=verify, compile=compile)
         self.threads = threads
 
     def _run_whole(self, plan, blocks, ops):
+        fused = _fused(plan, blocks, ops)
+        if fused is not None:
+            return fused
         if plan.uses_partition:
             recovered, _timing = run_groups_serial(plan.groups, blocks, ops)
             recovered.update(_run_rest(plan, blocks, recovered, ops))

@@ -15,7 +15,6 @@ decoder built on top of it.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
@@ -23,7 +22,17 @@ from .field import GF
 from .split import mul_region_split
 
 
-@dataclass
+class _CounterCell:
+    """One thread's private tally; incremented without any lock."""
+
+    __slots__ = ("mult_xors", "xor_only", "symbols")
+
+    def __init__(self) -> None:
+        self.mult_xors = 0
+        self.xor_only = 0
+        self.symbols = 0
+
+
 class OpCounter:
     """Tally of region operations, in the paper's cost units.
 
@@ -32,31 +41,81 @@ class OpCounter:
     (pure XOR, cheaper on real hardware); it is a subset, not an addition.
     ``symbols`` is the total number of field symbols processed, used to
     calibrate throughput for the parallel simulator.
+
+    Tallies are sharded per recording thread and merged on read, so the
+    hot ``record`` path takes no lock (a shared lock here serialises the
+    thread-parallel decoders).  Totals are exact once the recording
+    threads have quiesced (joined or finished their region work); a
+    ``snapshot`` taken mid-record may miss the in-flight call, exactly
+    like the lock-based version could miss a call that had not yet
+    acquired the lock.
     """
 
-    mult_xors: int = 0
-    xor_only: int = 0
-    symbols: int = 0
-    _lock: threading.Lock = dc_field(default_factory=threading.Lock, repr=False, compare=False)
+    def __init__(self) -> None:
+        self._registry_lock = threading.Lock()
+        self._cells: list[_CounterCell] = []
+        self._local = threading.local()
+
+    def _new_cell(self) -> _CounterCell:
+        cell = _CounterCell()
+        with self._registry_lock:
+            self._cells.append(cell)
+        self._local.cell = cell
+        return cell
 
     def record(self, count: int, symbols: int, xor_only: int = 0) -> None:
         """Record ``count`` mult_XORs over ``symbols`` symbols (thread-safe)."""
-        with self._lock:
-            self.mult_xors += count
-            self.xor_only += xor_only
-            self.symbols += symbols
+        try:
+            cell = self._local.cell
+        except AttributeError:
+            cell = self._new_cell()
+        cell.mult_xors += count
+        cell.xor_only += xor_only
+        cell.symbols += symbols
 
     def reset(self) -> None:
         """Zero all tallies."""
-        with self._lock:
-            self.mult_xors = 0
-            self.xor_only = 0
-            self.symbols = 0
+        with self._registry_lock:
+            for cell in self._cells:
+                cell.mult_xors = 0
+                cell.xor_only = 0
+                cell.symbols = 0
 
     def snapshot(self) -> tuple[int, int, int]:
-        """Consistent (mult_xors, xor_only, symbols) triple."""
-        with self._lock:
-            return (self.mult_xors, self.xor_only, self.symbols)
+        """Merged (mult_xors, xor_only, symbols) triple across threads."""
+        mult_xors = xor_only = symbols = 0
+        with self._registry_lock:
+            for cell in self._cells:
+                mult_xors += cell.mult_xors
+                xor_only += cell.xor_only
+                symbols += cell.symbols
+        return (mult_xors, xor_only, symbols)
+
+    @property
+    def mult_xors(self) -> int:
+        return self.snapshot()[0]
+
+    @property
+    def xor_only(self) -> int:
+        return self.snapshot()[1]
+
+    @property
+    def symbols(self) -> int:
+        return self.snapshot()[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        m, x, s = self.snapshot()
+        return f"OpCounter(mult_xors={m}, xor_only={x}, symbols={s})"
+
+    def __getstate__(self) -> tuple[int, int, int]:
+        # thread-local cells cannot be pickled; collapse to the totals
+        return self.snapshot()
+
+    def __setstate__(self, state: tuple[int, int, int]) -> None:
+        self.__init__()
+        mult_xors, xor_only, symbols = state
+        if mult_xors or xor_only or symbols:
+            self.record(mult_xors, symbols, xor_only=xor_only)
 
 
 class RegionOps:
@@ -147,15 +206,39 @@ class RegionOps:
         """
         if len(coefficients) != len(regions):
             raise ValueError("coefficient / region count mismatch")
-        if out is None:
-            if not regions:
+        if not regions:
+            if out is None:
                 raise ValueError("cannot infer output shape from empty inputs")
-            out = np.zeros_like(regions[0])
-        else:
             out[...] = 0
-        for a, region in zip(coefficients, regions):
-            if int(a) != 0:
-                self.mult_xors(region, out, int(a))
+            return out
+        terms = [
+            (int(a), region)
+            for a, region in zip(coefficients, regions)
+            if int(a) != 0
+        ]
+        if not terms:
+            if out is None:
+                return np.zeros_like(regions[0])
+            out[...] = 0
+            return out
+        # The first nonzero term is a multiply *store* (no zero-fill, no
+        # read of out) but still one coefficient application in the
+        # paper's cost model, so it is counted like the mult_XORs below.
+        first_a, first_region = terms[0]
+        if out is None:
+            out = self.mul_region(first_region, first_a)
+        else:
+            self._check(out)
+            if out.shape != first_region.shape:
+                raise ValueError(
+                    f"region shape mismatch: {first_region.shape} vs {out.shape}"
+                )
+            self.mul_region(first_region, first_a, out=out)
+        self.counter.record(
+            1, first_region.size, xor_only=1 if first_a == 1 else 0
+        )
+        for a, region in terms[1:]:
+            self.mult_xors(region, out, a)
         return out
 
     def matrix_apply(
@@ -168,9 +251,40 @@ class RegionOps:
         ``matrix`` is an (rows x len(regions)) array of field symbols; the
         result is ``rows`` new regions.  Total cost: ``u(matrix)``
         mult_XORs — the quantity the paper's C1..C4 formulas count.
+
+        The output regions are rows of one preallocated buffer, so a
+        decode allocates once per matrix application instead of once per
+        output row.
         """
         if matrix.ndim != 2 or matrix.shape[1] != len(regions):
             raise ValueError(
                 f"matrix shape {matrix.shape} incompatible with {len(regions)} regions"
             )
-        return [self.linear_combination(row, regions) for row in matrix]
+        if matrix.shape[0] == 0:
+            return []
+        if not regions:
+            raise ValueError("cannot infer output shape from empty inputs")
+        outs = np.empty(
+            (matrix.shape[0],) + regions[0].shape, dtype=regions[0].dtype
+        )
+        return [
+            self.linear_combination(row, regions, out=outs[i])
+            for i, row in enumerate(matrix)
+        ]
+
+    def matrix_chain_apply(
+        self,
+        matrices,
+        regions: list[np.ndarray],
+    ) -> list[np.ndarray]:
+        """Apply a sequence of matrices: ``regions -> m1 -> m2 -> ...``.
+
+        The chain form of the paper's *normal* sequence (``S`` then
+        ``F^-1``).  Equivalent to chained :meth:`matrix_apply` calls —
+        which is exactly how this base implementation runs it; compiled
+        backends override it with one fused program.
+        """
+        current = list(regions)
+        for matrix in matrices:
+            current = self.matrix_apply(matrix, current)
+        return current

@@ -1,0 +1,58 @@
+"""Compiled GF region programs: plans lowered to fused, cached kernels.
+
+The interpreted :class:`~repro.gf.region.RegionOps` pays a full Python
+round-trip per ``mult_XORs`` call.  This package compiles the operation
+sequence once — matrix, matrix chain, or a whole
+:class:`~repro.core.planner.DecodePlan` — into the flat
+:class:`RegionProgram` IR, optimises it, and executes it with per-program
+table binding and L2-chunked ``np.take`` gathers.  See ``docs/KERNELS.md``.
+"""
+
+from __future__ import annotations
+
+from .cache import DEFAULT_PROGRAM_CACHE_SIZE, ProgramCache, ProgramCacheStats
+from .executor import ProgramExecutor
+from .ir import (
+    OP_COPY,
+    OP_MUL,
+    OP_MULXOR,
+    OP_XOR,
+    OP_ZERO,
+    Instruction,
+    RegionProgram,
+)
+from .lower import (
+    PlanProgram,
+    ProgramBuilder,
+    lower_linear_combination,
+    lower_matrix,
+    lower_matrix_chain,
+    lower_plan,
+)
+from .ops import CompiledRegionOps
+from .optimize import compact_slots, eliminate_dead, optimize_program, share_pairs
+
+__all__ = [
+    "OP_COPY",
+    "OP_MUL",
+    "OP_MULXOR",
+    "OP_XOR",
+    "OP_ZERO",
+    "DEFAULT_PROGRAM_CACHE_SIZE",
+    "CompiledRegionOps",
+    "Instruction",
+    "PlanProgram",
+    "ProgramBuilder",
+    "ProgramCache",
+    "ProgramCacheStats",
+    "ProgramExecutor",
+    "RegionProgram",
+    "compact_slots",
+    "eliminate_dead",
+    "lower_linear_combination",
+    "lower_matrix",
+    "lower_matrix_chain",
+    "lower_plan",
+    "optimize_program",
+    "share_pairs",
+]

@@ -1,0 +1,218 @@
+"""Chunked, table-bound execution of RegionPrograms.
+
+The executor resolves everything the interpreted path re-derives per
+call, once per program:
+
+- every ``MUL``/``MULXOR`` constant is bound to its lookup table (the
+  ``mul8_table`` row for w=8, a 16-entry table for w=4, the SPLIT lane
+  tables for w=16/32) at *bind* time, so execution is pure
+  ``np.take``/``np.bitwise_xor`` with ``out=``;
+- the slot pool is classified into inputs / outputs / temporaries, so
+  temporaries live in thread-local chunk-sized scratch while outputs
+  are real full-length arrays;
+- regions are processed in L2-sized chunks
+  (:data:`repro.gf.chunking.DEFAULT_CHUNK_SYMBOLS`), keeping every
+  temporary hot across the whole instruction stream.
+
+Execution is thread-safe: bindings are immutable once published,
+scratch is per-thread, and the op counter's `record` is lock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..gf.chunking import DEFAULT_CHUNK_SYMBOLS
+from ..gf.field import GF
+from ..gf.region import OpCounter
+from ..gf.split import split_tables
+from .ir import OP_COPY, OP_MUL, OP_MULXOR, OP_XOR, OP_ZERO, RegionProgram
+
+#: Bindings kept for at most this many distinct programs before the
+#: executor's table cache is reset (programs come from a bounded
+#: ProgramCache, so this only triggers under cache churn).
+_MAX_BOUND = 512
+
+
+class ProgramExecutor:
+    """Executes :class:`RegionProgram` instances over 1-D regions."""
+
+    def __init__(self, field: GF, chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS):
+        if chunk_symbols < 1:
+            raise ValueError(f"chunk_symbols must be positive, got {chunk_symbols}")
+        self.field = field
+        self.chunk_symbols = int(chunk_symbols)
+        self._bind_lock = threading.Lock()
+        # id(program) -> (program, bound); the program is pinned so its
+        # id cannot be reused while the binding lives.
+        self._bound: dict[int, tuple[RegionProgram, tuple]] = {}
+        self._small_tables: dict[int, np.ndarray] = {}  # w=4 per-constant
+        self._scratch = threading.local()
+
+    # -- binding -----------------------------------------------------------
+
+    def _table_for(self, const: int):
+        field = self.field
+        if field.w == 8:
+            return field.mul8_table[const]
+        if field.w == 4:
+            table = self._small_tables.get(const)
+            if table is None:
+                table = field.mul(
+                    field.dtype.type(const), np.arange(16, dtype=field.dtype)
+                )
+                table.setflags(write=False)
+                self._small_tables[const] = table
+            return table
+        return split_tables(field, const)
+
+    def _bind(self, program: RegionProgram) -> tuple:
+        entry = self._bound.get(id(program))
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        if program.w != self.field.w:
+            raise ValueError(
+                f"program compiled for w={program.w}, executor field has w={self.field.w}"
+            )
+        program.validate()
+        instructions = tuple(
+            (
+                op,
+                dst,
+                src,
+                self._table_for(const) if op in (OP_MUL, OP_MULXOR) else None,
+            )
+            for op, dst, src, const in program.instructions
+        )
+        # classify pool slots: inputs / outputs / scratch temporaries
+        roles: list[tuple[str, int]] = [("in", i) for i in range(program.num_inputs)]
+        out_index = {slot: k for k, slot in enumerate(program.outputs)}
+        temps = 0
+        for slot in range(program.num_inputs, program.pool_size):
+            if slot in out_index:
+                roles.append(("out", out_index[slot]))
+            else:
+                roles.append(("tmp", temps))
+                temps += 1
+        bound = (instructions, tuple(roles), temps)
+        with self._bind_lock:
+            if len(self._bound) >= _MAX_BOUND:
+                self._bound.clear()
+            self._bound[id(program)] = (program, bound)
+        return bound
+
+    # -- scratch -----------------------------------------------------------
+
+    def _scratch_buffers(self, count: int) -> list[np.ndarray]:
+        """``count`` chunk-sized per-thread buffers (grown on demand)."""
+        buffers = getattr(self._scratch, "buffers", None)
+        if buffers is None:
+            buffers = []
+            self._scratch.buffers = buffers
+        while len(buffers) < count:
+            buffers.append(np.empty(self.chunk_symbols, dtype=self.field.dtype))
+        return buffers
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        program: RegionProgram,
+        inputs: list[np.ndarray],
+        counter: OpCounter | None = None,
+        outs: list[np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """Run ``program`` over input regions; returns the output regions.
+
+        All regions must be 1-D, of equal length and of the field's
+        dtype.  ``outs``, when given, supplies the output arrays (must
+        be C-contiguous — the executor writes chunk views into them).
+        The program's *model* op counts are booked into ``counter`` in
+        one lock-free call, exactly matching what the interpreted path
+        would have recorded for the same matrices.
+        """
+        if len(inputs) != program.num_inputs:
+            raise ValueError(
+                f"program expects {program.num_inputs} input regions, got {len(inputs)}"
+            )
+        dtype = self.field.dtype
+        length = inputs[0].shape[0] if inputs[0].ndim == 1 else -1
+        for region in inputs:
+            if region.ndim != 1 or region.shape[0] != length:
+                raise ValueError("all regions must be 1-D of equal length")
+            if region.dtype != dtype:
+                raise TypeError(
+                    f"region dtype {region.dtype} does not match field dtype {dtype}"
+                )
+        inputs = [np.ascontiguousarray(region) for region in inputs]
+        if outs is None:
+            out_arrays = [np.empty(length, dtype=dtype) for _ in program.outputs]
+        else:
+            if len(outs) != len(program.outputs):
+                raise ValueError(
+                    f"program produces {len(program.outputs)} outputs, got {len(outs)} buffers"
+                )
+            for out in outs:
+                if out.ndim != 1 or out.shape[0] != length:
+                    raise ValueError("all regions must be 1-D of equal length")
+                if out.dtype != dtype:
+                    raise TypeError(
+                        f"region dtype {out.dtype} does not match field dtype {dtype}"
+                    )
+                if not out.flags.c_contiguous:
+                    raise ValueError("output regions must be C-contiguous")
+            out_arrays = outs
+
+        instructions, roles, temps = self._bind(program)
+        scratch = self._scratch_buffers(temps + 1)
+        mul_scratch = scratch[temps]
+        nbytes = self.field.w // 8  # 0 for w=4 symbols (sub-byte values in uint8)
+        pool: list[np.ndarray | None] = [None] * len(roles)
+
+        for start in range(0, length, self.chunk_symbols):
+            stop = min(start + self.chunk_symbols, length)
+            n = stop - start
+            for slot, (kind, index) in enumerate(roles):
+                if kind == "in":
+                    pool[slot] = inputs[index][start:stop]
+                elif kind == "out":
+                    pool[slot] = out_arrays[index][start:stop]
+                else:
+                    pool[slot] = scratch[index][:n]
+            ms = mul_scratch[:n]
+            for op, dst, src, table in instructions:
+                d = pool[dst]
+                if op == OP_XOR:
+                    np.bitwise_xor(d, pool[src], out=d)
+                elif op == OP_MULXOR:
+                    if nbytes >= 2:
+                        lanes = pool[src].view(np.uint8).reshape(n, nbytes)
+                        for i in range(nbytes):
+                            np.take(table[i], lanes[:, i], out=ms)
+                            np.bitwise_xor(d, ms, out=d)
+                    else:
+                        np.take(table, pool[src], out=ms)
+                        np.bitwise_xor(d, ms, out=d)
+                elif op == OP_MUL:
+                    if nbytes >= 2:
+                        lanes = pool[src].view(np.uint8).reshape(n, nbytes)
+                        np.take(table[0], lanes[:, 0], out=d)
+                        for i in range(1, nbytes):
+                            np.take(table[i], lanes[:, i], out=ms)
+                            np.bitwise_xor(d, ms, out=d)
+                    else:
+                        np.take(table, pool[src], out=d)
+                elif op == OP_COPY:
+                    np.copyto(d, pool[src])
+                else:  # OP_ZERO
+                    d.fill(0)
+
+        if counter is not None:
+            counter.record(
+                program.mult_xors,
+                program.mult_xors * length,
+                xor_only=program.xor_only,
+            )
+        return out_arrays

@@ -1,0 +1,153 @@
+"""The RegionProgram IR: flat GF(2^w) region programs.
+
+A :class:`RegionProgram` is the compiled form of a decode computation —
+a flat list of ``(op, dst, src, const)`` instructions over a slot pool
+whose first ``num_inputs`` slots are the input regions (survivor
+sectors).  The opcodes mirror :class:`~repro.gf.region.RegionOps` but
+with every per-call decision (``a == 0/1`` branching, table-row lookup,
+argument checking, op accounting) hoisted to compile time:
+
+==========  ======================================  =================
+opcode      semantics                               table bound
+==========  ======================================  =================
+``ZERO``    ``pool[dst] = 0``                       —
+``COPY``    ``pool[dst] = pool[src]``               —
+``XOR``     ``pool[dst] ^= pool[src]``              —
+``MUL``     ``pool[dst] = const * pool[src]``       once per program
+``MULXOR``  ``pool[dst] ^= const * pool[src]``      once per program
+==========  ======================================  =================
+
+A program carries two op counts.  ``mult_xors``/``xor_only`` are the
+*paper-model* counts — the number of nonzero coefficient applications
+the source matrices contain, identical to what the interpreted
+:class:`~repro.gf.region.RegionOps` path records — and are what the
+executor books into the :class:`~repro.gf.region.OpCounter`.  The
+*executed* instruction counts (:attr:`RegionProgram.gathers`,
+:attr:`RegionProgram.xors`) reflect the optimised program and may be
+lower after common-subexpression elimination; they are diagnostics, not
+cost-model quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Opcodes (stable small ints: programs are pure data).
+OP_ZERO = 0
+OP_COPY = 1
+OP_XOR = 2
+OP_MUL = 3
+OP_MULXOR = 4
+
+OP_NAMES = ("zero", "copy", "xor", "mul", "mulxor")
+
+#: One instruction: ``(op, dst, src, const)``.  ``src`` is ``-1`` and
+#: ``const`` is 0 for ``ZERO``; ``const`` is 1 for ``COPY``/``XOR``.
+Instruction = tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class RegionProgram:
+    """An executable flat region program (see module docstring).
+
+    Attributes
+    ----------
+    w:
+        Field word size the constants live in.
+    num_inputs:
+        Pool slots ``0 .. num_inputs-1`` are bound to the input regions.
+    pool_size:
+        Total slot count (inputs + temporaries + outputs).
+    instructions:
+        The flat ``(op, dst, src, const)`` sequence, in execution order.
+    outputs:
+        Pool slots holding the results, in output order.
+    mult_xors / xor_only:
+        Paper-model op counts of the *source* computation (see module
+        docstring); ``xor_only`` is the subset with coefficient 1.
+    label:
+        Human-readable tag for diagnostics (``"plan"``, ``"matrix"``...).
+    """
+
+    w: int
+    num_inputs: int
+    pool_size: int
+    instructions: tuple[Instruction, ...]
+    outputs: tuple[int, ...]
+    mult_xors: int
+    xor_only: int
+    label: str = ""
+
+    @property
+    def gathers(self) -> int:
+        """Executed table-gather instructions (``MUL`` + ``MULXOR``)."""
+        return sum(1 for op, _d, _s, _c in self.instructions if op in (OP_MUL, OP_MULXOR))
+
+    @property
+    def xors(self) -> int:
+        """Executed region-XOR passes (``XOR`` + ``MULXOR``)."""
+        return sum(1 for op, _d, _s, _c in self.instructions if op in (OP_XOR, OP_MULXOR))
+
+    @property
+    def executed_ops(self) -> int:
+        """Total executed instructions (post-optimisation)."""
+        return len(self.instructions)
+
+    @property
+    def constants(self) -> tuple[int, ...]:
+        """Distinct multiply constants, sorted — one table binding each."""
+        return tuple(
+            sorted(
+                {c for op, _d, _s, c in self.instructions if op in (OP_MUL, OP_MULXOR)}
+            )
+        )
+
+    def validate(self) -> None:
+        """Structural soundness; raises :class:`ValueError` on violation.
+
+        Checks slot bounds, input immutability, no read-before-define,
+        accumulate-into-defined-slot, constant ranges and that every
+        output slot is defined.  The *semantic* check (does the program
+        compute the plan's transfer matrix) lives in
+        :func:`repro.verify.verify_program`.
+        """
+        if self.num_inputs < 1:
+            raise ValueError("a region program needs at least one input")
+        if self.pool_size < self.num_inputs:
+            raise ValueError(
+                f"pool_size {self.pool_size} < num_inputs {self.num_inputs}"
+            )
+        order = 1 << self.w
+        defined = set(range(self.num_inputs))
+        for index, (op, dst, src, const) in enumerate(self.instructions):
+            where = f"instruction {index} ({OP_NAMES[op] if 0 <= op < len(OP_NAMES) else op})"
+            if op not in (OP_ZERO, OP_COPY, OP_XOR, OP_MUL, OP_MULXOR):
+                raise ValueError(f"{where}: unknown opcode {op}")
+            if not (self.num_inputs <= dst < self.pool_size):
+                raise ValueError(
+                    f"{where}: dst {dst} outside temp/output range "
+                    f"[{self.num_inputs}, {self.pool_size})"
+                )
+            if op is not OP_ZERO:
+                if not (0 <= src < self.pool_size):
+                    raise ValueError(f"{where}: src {src} out of range")
+                if src == dst:
+                    raise ValueError(f"{where}: src aliases dst")
+                if src not in defined:
+                    raise ValueError(f"{where}: src {src} read before definition")
+            if op in (OP_XOR, OP_MULXOR) and dst not in defined:
+                raise ValueError(
+                    f"{where}: accumulate into undefined slot {dst}"
+                )
+            if op in (OP_MUL, OP_MULXOR):
+                if not (2 <= const < order):
+                    raise ValueError(
+                        f"{where}: constant {const} outside [2, {order}) "
+                        "(0/1 must lower to ZERO/COPY/XOR)"
+                    )
+            defined.add(dst)
+        for slot in self.outputs:
+            if not (0 <= slot < self.pool_size):
+                raise ValueError(f"output slot {slot} out of range")
+            if slot not in defined:
+                raise ValueError(f"output slot {slot} never defined")

@@ -1,0 +1,272 @@
+"""Lowering: coefficient matrices and DecodePlans → RegionProgram IR.
+
+Lowering is where the paper's cost model is frozen into the program:
+every nonzero coefficient of every applied matrix becomes exactly one
+*model* ``mult_XOR`` (recorded in :attr:`RegionProgram.mult_xors`
+before any CSE), so a compiled program books the same counts the
+interpreted :class:`~repro.gf.region.RegionOps` path would.  A full
+:class:`~repro.core.planner.DecodePlan` lowers to ONE fused program:
+group stages feed their recovered slots straight into the rest stage
+(the paper's Step 4) with no intermediate block dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..gf.field import GF
+from .ir import (
+    OP_COPY,
+    OP_MUL,
+    OP_MULXOR,
+    OP_XOR,
+    OP_ZERO,
+    Instruction,
+    RegionProgram,
+)
+from .optimize import Term, optimize_program, share_pairs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports kernels)
+    from ..core.planner import DecodePlan
+
+
+class ProgramBuilder:
+    """Incrementally assemble a :class:`RegionProgram`.
+
+    A *stage* is one matrix application: a list of rows, each row a list
+    of ``(slot, const)`` terms with nonzero constants.  Model op counts
+    are taken from the rows as given — i.e. before pair sharing — so
+    optimisation never changes what the counter will report.
+    """
+
+    def __init__(self, field: GF, num_inputs: int, label: str = ""):
+        if num_inputs < 1:
+            raise ValueError("a region program needs at least one input")
+        self.field = field
+        self.num_inputs = num_inputs
+        self.next_slot = num_inputs
+        self.instructions: list[Instruction] = []
+        self.mult_xors = 0
+        self.xor_only = 0
+        self.label = label
+
+    def new_slot(self) -> int:
+        slot = self.next_slot
+        self.next_slot += 1
+        return slot
+
+    def emit_terms(self, dst: int, terms: Sequence[Term]) -> None:
+        """Emit ``pool[dst] = XOR_j const_j * pool[slot_j]`` (uncounted)."""
+        if not terms:
+            self.instructions.append((OP_ZERO, dst, -1, 0))
+            return
+        slot, const = terms[0]
+        if const == 1:
+            self.instructions.append((OP_COPY, dst, slot, 1))
+        else:
+            self.instructions.append((OP_MUL, dst, slot, const))
+        for slot, const in terms[1:]:
+            if const == 1:
+                self.instructions.append((OP_XOR, dst, slot, 1))
+            else:
+                self.instructions.append((OP_MULXOR, dst, slot, const))
+
+    def emit_stage(self, rows: list[list[Term]], share: bool = True) -> list[int]:
+        """Emit one matrix application; returns the output slot per row."""
+        for row in rows:
+            self.mult_xors += len(row)
+            self.xor_only += sum(1 for _slot, const in row if const == 1)
+        if share:
+            pair_defs, rows, self.next_slot = share_pairs(rows, self.next_slot)
+            for slot, pair in pair_defs:
+                self.emit_terms(slot, pair)
+        out_slots = []
+        for row in rows:
+            dst = self.new_slot()
+            self.emit_terms(dst, row)
+            out_slots.append(dst)
+        return out_slots
+
+    def finish(self, outputs: Sequence[int], optimize: bool = True) -> RegionProgram:
+        program = RegionProgram(
+            w=self.field.w,
+            num_inputs=self.num_inputs,
+            pool_size=self.next_slot,
+            instructions=tuple(self.instructions),
+            outputs=tuple(outputs),
+            mult_xors=self.mult_xors,
+            xor_only=self.xor_only,
+            label=self.label,
+        )
+        if optimize:
+            program = optimize_program(program)
+        program.validate()
+        return program
+
+
+def _matrix_rows(matrix: np.ndarray, slots: Sequence[int]) -> list[list[Term]]:
+    """Rows of (slot, const) terms, one per matrix row, zeros dropped."""
+    rows: list[list[Term]] = []
+    for i in range(matrix.shape[0]):
+        rows.append(
+            [
+                (slots[j], int(matrix[i, j]))
+                for j in range(matrix.shape[1])
+                if int(matrix[i, j]) != 0
+            ]
+        )
+    return rows
+
+
+def lower_matrix(
+    field: GF,
+    matrix: np.ndarray,
+    *,
+    optimize: bool = True,
+    share: bool = True,
+    label: str = "matrix",
+) -> RegionProgram:
+    """Compile one matrix-times-block-vector product."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D coefficient matrix, got shape {matrix.shape}")
+    if matrix.shape[1] == 0:
+        raise ValueError("cannot lower a matrix with zero input columns")
+    builder = ProgramBuilder(field, matrix.shape[1], label=label)
+    outs = builder.emit_stage(_matrix_rows(matrix, range(matrix.shape[1])), share=share)
+    return builder.finish(outs, optimize=optimize)
+
+
+def lower_matrix_chain(
+    field: GF,
+    matrices: Sequence[np.ndarray],
+    *,
+    optimize: bool = True,
+    share: bool = True,
+    label: str = "chain",
+) -> RegionProgram:
+    """Compile ``regions -> m1 -> m2 -> ...`` as one fused program.
+
+    This is the *normal* calculation sequence (``S`` then ``F^-1``)
+    without the intermediate block lists the interpreted path allocates.
+    """
+    mats = [np.asarray(m) for m in matrices]
+    if not mats:
+        raise ValueError("cannot lower an empty matrix chain")
+    if mats[0].shape[1] == 0:
+        raise ValueError("cannot lower a matrix with zero input columns")
+    builder = ProgramBuilder(field, mats[0].shape[1], label=label)
+    current = list(range(mats[0].shape[1]))
+    for m in mats:
+        if m.ndim != 2 or m.shape[1] != len(current):
+            raise ValueError(
+                f"matrix shape {m.shape} incompatible with {len(current)} inputs"
+            )
+        current = builder.emit_stage(_matrix_rows(m, current), share=share)
+    return builder.finish(current, optimize=optimize)
+
+
+def lower_linear_combination(
+    field: GF,
+    coefficients: np.ndarray,
+    *,
+    optimize: bool = True,
+    label: str = "row",
+) -> RegionProgram:
+    """Compile one linear combination (a single-row matrix apply)."""
+    coefficients = np.asarray(coefficients)
+    if coefficients.ndim != 1:
+        raise ValueError("coefficients must be 1-D")
+    return lower_matrix(
+        field,
+        coefficients.reshape(1, -1),
+        optimize=optimize,
+        share=False,
+        label=label,
+    )
+
+
+@dataclass(frozen=True)
+class PlanProgram:
+    """A compiled :class:`~repro.core.planner.DecodePlan`.
+
+    ``input_ids`` are the block ids the program reads (the true
+    survivors — blocks the group stages recover internally are *not*
+    inputs), in slot order; ``output_ids`` are the recovered block ids,
+    aligned with ``program.outputs``.
+    """
+
+    program: RegionProgram
+    input_ids: tuple[int, ...]
+    output_ids: tuple[int, ...]
+
+
+def lower_plan(
+    field: GF,
+    plan: "DecodePlan",
+    *,
+    optimize: bool = True,
+    share: bool = True,
+) -> PlanProgram:
+    """Fuse an entire decode plan into one region program.
+
+    The emitted stages follow the plan's execution mode exactly:
+
+    - traditional matrix-first: one ``W`` stage (cost C2);
+    - traditional normal: ``S`` then ``F^-1`` (cost C1);
+    - partitioned: one ``W_i`` stage per group, whose outputs feed the
+      rest stage as recovered survivors, then the rest stage in
+      matrix-first (C3) or normal (C4) form.
+
+    By construction ``program.mult_xors == plan.predicted_cost``.
+    """
+    from ..core.sequences import ExecutionMode  # deferred: core imports kernels
+
+    matrix_first_modes = (
+        ExecutionMode.TRADITIONAL_MATRIX_FIRST,
+        ExecutionMode.PPM_REST_MATRIX_FIRST,
+    )
+    if plan.uses_partition:
+        recovered: set[int] = set()
+        needed: set[int] = set()
+        for group in plan.groups:
+            recovered.update(group.faulty_ids)
+            needed.update(group.survivor_ids)
+        if plan.rest is not None:
+            needed.update(plan.rest.survivor_ids)
+        input_ids = tuple(sorted(needed - recovered))
+    else:
+        input_ids = tuple(plan.traditional.survivor_ids)
+    if not input_ids:
+        raise ValueError("plan reads no survivor blocks; nothing to compile")
+    slot_of = {block_id: slot for slot, block_id in enumerate(input_ids)}
+    builder = ProgramBuilder(
+        field, len(input_ids), label=f"plan:{plan.mode.value}"
+    )
+
+    def emit_split(sub, use_weights: bool) -> None:
+        src = [slot_of[b] for b in sub.survivor_ids]
+        if use_weights:
+            outs = builder.emit_stage(_matrix_rows(sub.weights.array, src), share=share)
+        else:
+            temps = builder.emit_stage(_matrix_rows(sub.s.array, src), share=share)
+            outs = builder.emit_stage(_matrix_rows(sub.f_inv.array, temps), share=share)
+        for block_id, slot in zip(sub.faulty_ids, outs):
+            slot_of[block_id] = slot
+
+    if plan.uses_partition:
+        for group in plan.groups:
+            emit_split(group, use_weights=True)
+        if plan.rest is not None:
+            emit_split(plan.rest, use_weights=plan.mode in matrix_first_modes)
+    else:
+        emit_split(plan.traditional, use_weights=plan.mode in matrix_first_modes)
+
+    output_ids = tuple(plan.faulty_ids)
+    program = builder.finish(
+        [slot_of[b] for b in output_ids], optimize=optimize
+    )
+    return PlanProgram(program=program, input_ids=input_ids, output_ids=output_ids)

@@ -33,9 +33,11 @@ import numpy as np
 from ..codes.base import ErasureCode
 from ..core.decoder import _PlanningDecoder, _run_rest
 from ..core.planner import DecodePlan
+from ..core.procparallel import _child_ops
 from ..core.sequences import ExecutionMode, SequencePolicy
 from ..gf.field import GF
 from ..gf.region import OpCounter, RegionOps
+from ..kernels import CompiledRegionOps, ProgramCache
 from ..parallel.assignment import assign_lpt, assign_round_robin
 from ..stripes.store import Stripe
 from .metrics import PipelineMetrics
@@ -69,23 +71,26 @@ def _apply_task(
     m2: np.ndarray | None,
     regions: list[np.ndarray],
 ) -> list[np.ndarray]:
-    outs = ops.matrix_apply(m1, regions)
     if m2 is not None:
-        outs = ops.matrix_apply(m2, outs)
-    return outs
+        # one fused chain program under the compiled backend, equivalent
+        # chained matrix_apply calls under the interpreted one
+        return ops.matrix_chain_apply((m1, m2), regions)
+    return ops.matrix_apply(m1, regions)
 
 
 def _run_task_bucket(
-    w: int, polynomial: int, tasks: list[_Task]
+    w: int, polynomial: int, tasks: list[_Task], compiled: bool = True
 ) -> tuple[dict[int, dict[int, np.ndarray]], float]:
     """Process-pool worker: execute a bucket of tasks in a child process.
 
-    The field is reconstructed from ``(w, polynomial)``; op accounting
-    happens in the parent (child counters cannot be shared), see
+    The field is reconstructed from ``(w, polynomial)`` and the ops
+    instance (with its program cache, when compiled) persists in the
+    worker process across submissions; op accounting happens in the
+    parent (child counters cannot be shared), see
     :meth:`DecodePipeline._account_remote_tasks`.
     """
     t0 = time.perf_counter()
-    ops = RegionOps(GF(w, polynomial))
+    ops = _child_ops(w, polynomial, compiled)
     out: dict[int, dict[int, np.ndarray]] = {}
     for task_id, m1, m2, regions, faulty_ids in tasks:
         outs = _apply_task(ops, m1, m2, regions)
@@ -159,6 +164,10 @@ class DecodePipeline:
         Statically certify every cache-miss plan (PR-1 verifier).
     counter:
         Optional shared :class:`~repro.gf.region.OpCounter`.
+    compile:
+        Route region work through compiled
+        :class:`~repro.kernels.RegionProgram` kernels (default); pass
+        ``False`` for the interpreted per-call baseline.
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class DecodePipeline:
         plan_cache_size: int = 128,
         verify: bool = False,
         counter: OpCounter | None = None,
+        compile: bool = True,
     ):
         if assignment not in ("lpt", "round_robin"):
             raise ValueError(
@@ -183,6 +193,8 @@ class DecodePipeline:
         self.verify = verify
         self.counter = counter if counter is not None else OpCounter()
         self.plans = PlanCache(maxsize=plan_cache_size, verify=verify)
+        self.compile = compile
+        self.programs = ProgramCache() if compile else None
         self._ops_cache: dict[int, RegionOps] = {}
         # lifetime tallies behind metrics()
         self._stripes = 0
@@ -197,7 +209,10 @@ class DecodePipeline:
         key = id(field)
         ops = self._ops_cache.get(key)
         if ops is None:
-            ops = RegionOps(field, self.counter)
+            if self.programs is not None:
+                ops = CompiledRegionOps(field, self.counter, programs=self.programs)
+            else:
+                ops = RegionOps(field, self.counter)
             self._ops_cache[key] = ops
         return ops
 
@@ -387,7 +402,9 @@ class DecodePipeline:
             field = ops.field
             payloads = [[tasks[i] for i in bucket] for bucket in buckets]
             futures = [
-                self.pool.submit(_run_task_bucket, field.w, field.polynomial, payload)
+                self.pool.submit(
+                    _run_task_bucket, field.w, field.polynomial, payload, self.compile
+                )
                 for payload in payloads
             ]
             gathered = [f.result() for f in futures]
@@ -437,6 +454,16 @@ class DecodePipeline:
             pool_spawns=self.pool.spawn_count,
             worker_busy_fraction=busy,
             queue_depth_peak=self._queue_peak,
+            compiled=self.programs is not None,
+            program_cache_hits=(
+                self.programs.stats.hits if self.programs is not None else 0
+            ),
+            program_cache_misses=(
+                self.programs.stats.misses if self.programs is not None else 0
+            ),
+            program_cache_evictions=(
+                self.programs.stats.evictions if self.programs is not None else 0
+            ),
         )
 
     def close(self) -> None:

@@ -36,6 +36,10 @@ class PipelineMetrics:
     pool_spawns: int = 0
     worker_busy_fraction: tuple[float, ...] = field(default_factory=tuple)
     queue_depth_peak: int = 0
+    compiled: bool = False
+    program_cache_hits: int = 0
+    program_cache_misses: int = 0
+    program_cache_evictions: int = 0
 
     @property
     def stripes_per_sec(self) -> float:
@@ -50,6 +54,13 @@ class PipelineMetrics:
         if not lookups:
             return 0.0
         return self.plan_cache_hits / lookups
+
+    @property
+    def program_cache_hit_rate(self) -> float:
+        lookups = self.program_cache_hits + self.program_cache_misses
+        if not lookups:
+            return 0.0
+        return self.program_cache_hits / lookups
 
     def as_dict(self) -> dict[str, object]:
         """JSON-ready representation (CLI/bench output)."""
@@ -73,6 +84,13 @@ class PipelineMetrics:
             },
             "worker_busy_fraction": list(self.worker_busy_fraction),
             "queue_depth_peak": self.queue_depth_peak,
+            "compiled": self.compiled,
+            "program_cache": {
+                "hits": self.program_cache_hits,
+                "misses": self.program_cache_misses,
+                "evictions": self.program_cache_evictions,
+                "hit_rate": self.program_cache_hit_rate,
+            },
         }
 
     def format_table(self) -> str:
@@ -91,5 +109,11 @@ class PipelineMetrics:
             f"({self.pool_spawns} spawn(s))",
             f"worker busy fraction {busy}",
             f"queue depth (peak)   {self.queue_depth_peak}",
+            f"kernels              "
+            + (
+                f"compiled ({self.program_cache_hit_rate:.1%} program-cache hits)"
+                if self.compiled
+                else "interpreted"
+            ),
         ]
         return "\n".join(lines)

@@ -9,6 +9,11 @@ Three analyzers, all purely symbolic (no block data touched):
 - :func:`verify_schedule` / :func:`assert_schedule_valid` — symbolically
   execute an :class:`~repro.gf.schedule.XorSchedule` over GF(2) symbol
   sets and prove each output equals its bit-matrix row.
+- :func:`verify_plan_program` / :func:`assert_program_valid` —
+  symbolically execute a compiled :class:`~repro.kernels.RegionProgram`
+  over GF(2^w) coefficient vectors and prove its transfer matrix (and
+  model op counts) match the :class:`~repro.core.planner.DecodePlan` it
+  was lowered from.
 - :func:`run_lint` (and ``tools/lint_repro.py``) — AST lint enforcing
   repo invariants (see :mod:`repro.verify.lint`).
 
@@ -22,6 +27,7 @@ from __future__ import annotations
 from .findings import (
     Finding,
     PlanVerificationError,
+    ProgramVerificationError,
     ScheduleVerificationError,
     Severity,
     VerificationFailure,
@@ -29,6 +35,12 @@ from .findings import (
 )
 from .lint import RULES, LintFinding, LintRule, register_rule, run_lint
 from .plan import assert_plan_valid, verify_plan
+from .program import (
+    assert_program_valid,
+    expected_transfer,
+    transfer_matrix,
+    verify_plan_program,
+)
 from .schedule import assert_schedule_valid, verify_schedule
 from .sweep import DEFAULT_INSTANCES, SweepResult, iter_scenarios, sweep_all, sweep_code
 
@@ -38,11 +50,16 @@ __all__ = [
     "VerificationReport",
     "VerificationFailure",
     "PlanVerificationError",
+    "ProgramVerificationError",
     "ScheduleVerificationError",
     "verify_plan",
     "assert_plan_valid",
     "verify_schedule",
     "assert_schedule_valid",
+    "verify_plan_program",
+    "assert_program_valid",
+    "transfer_matrix",
+    "expected_transfer",
     "LintRule",
     "LintFinding",
     "RULES",

@@ -119,3 +119,7 @@ class PlanVerificationError(VerificationFailure):
 
 class ScheduleVerificationError(VerificationFailure):
     """An :class:`~repro.gf.schedule.XorSchedule` violates a static invariant."""
+
+
+class ProgramVerificationError(VerificationFailure):
+    """A compiled :class:`~repro.kernels.RegionProgram` does not match its plan."""

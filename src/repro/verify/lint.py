@@ -22,7 +22,12 @@ performance story depend on:
 - **PPM007** no direct ``ThreadPoolExecutor``/``ProcessPoolExecutor``
   construction outside :mod:`repro.pipeline` — every executor must come
   from the :mod:`repro.pipeline.pool` wrappers so spawn cost is
-  accounted and pools can be kept alive across stripes.
+  accounted and pools can be kept alive across stripes;
+- **PPM008** no per-coefficient ``mult_xors`` loops in decoder modules
+  (``core``/``pipeline``) — interpreted loops over matrix entries belong
+  to :mod:`repro.gf` and :mod:`repro.kernels`; decoders must call the
+  ``matrix_apply``/``matrix_chain_apply``/``run_plan`` entry points so
+  the compiled backend can take over.
 
 Each rule is a :class:`LintRule` subclass registered in :data:`RULES`;
 ``docs/VERIFICATION.md`` documents how to add one.  The CLI entry point
@@ -51,10 +56,13 @@ PLAN_SUFFIXES = (
 )
 
 #: Packages whose modules are bulk-data hot paths (PPM003 scope).
-HOT_PACKAGES = ("gf", "core")
+HOT_PACKAGES = ("gf", "core", "kernels")
 
 #: Packages holding GF coefficient code (PPM004/PPM005 scope).
-GF_PACKAGES = ("gf", "matrix")
+GF_PACKAGES = ("gf", "matrix", "kernels")
+
+#: Decoder-layer packages that must not hand-roll mult_XORs loops (PPM008).
+DECODER_PACKAGES = ("core", "pipeline")
 
 #: NumPy constructors that default to ``np.int64`` without ``dtype=``.
 _NP_CONSTRUCTORS = frozenset(
@@ -339,6 +347,39 @@ class NoRawExecutorRule(LintRule):
                     "ProcessWorkerPool / make_pool) so spawns are "
                     "accounted and pools persist",
                 )
+
+
+@register_rule
+class NoMultXorsLoopRule(LintRule):
+    code = "PPM008"
+    name = "no-mult-xors-loop"
+    explanation = (
+        "per-coefficient mult_xors loops in core//pipeline/ reimplement "
+        "matrix application interpretively; use matrix_apply / "
+        "matrix_chain_apply / run_plan so the compiled kernels apply"
+    )
+
+    def applies_to(self, relpath: Path) -> bool:
+        return _in_packages(relpath, DECODER_PACKAGES)
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "mult_xors"
+                ):
+                    yield self.finding(
+                        relpath,
+                        node,
+                        "mult_xors call inside a loop in a decoder module; "
+                        "express the computation as matrix_apply / "
+                        "matrix_chain_apply / run_plan so repro.kernels "
+                        "can compile it",
+                    )
 
 
 def lint_source(

@@ -3,10 +3,14 @@
 ``ppm verify`` calls into this module: for every registered code (or one
 chosen instance) it draws random erasure patterns up to the code's
 decodable tolerance, builds the decode plan for each, and runs the
-static plan verifier on it; optionally it also expands the traditional
-decode matrix to a bit-matrix, builds both the naive and pair-reuse XOR
-schedules, and runs the schedule verifier.  Everything is symbolic — no
-stripe data is ever allocated — so a full sweep is fast enough for CI.
+static plan verifier on it; it then lowers each verified plan to a
+compiled :class:`~repro.kernels.RegionProgram` and certifies the
+program's GF(2^w) transfer matrix and model op counts against the plan
+(:mod:`repro.verify.program`); optionally it also expands the
+traditional decode matrix to a bit-matrix, builds both the naive and
+pair-reuse XOR schedules, and runs the schedule verifier.  Everything is
+symbolic — no stripe data is ever allocated — so a full sweep is fast
+enough for CI.
 """
 
 from __future__ import annotations
@@ -22,9 +26,11 @@ from ..core.planner import plan_decode
 from ..core.sequences import SequencePolicy
 from ..gf.bitmatrix import expand_matrix
 from ..gf.schedule import naive_schedule, pair_reuse_schedule
+from ..kernels import lower_plan
 from ..matrix import SingularMatrixError
 from .findings import VerificationReport
 from .plan import verify_plan
+from .program import verify_plan_program
 from .schedule import verify_schedule
 
 #: Small, representative default instance per registry kind, used when a
@@ -48,6 +54,7 @@ class SweepResult:
     scenarios: int = 0
     skipped_undecodable: int = 0
     schedules: int = 0
+    programs: int = 0
     report: VerificationReport = field(
         default_factory=lambda: VerificationReport(subject="sweep")
     )
@@ -60,7 +67,8 @@ class SweepResult:
         status = "OK" if self.ok else f"{len(self.report.errors)} error(s)"
         return (
             f"{self.code}: {self.scenarios} scenario(s) verified, "
-            f"{self.schedules} schedule(s), "
+            f"{self.schedules} schedule(s), {self.programs} compiled "
+            f"program(s), "
             f"{self.skipped_undecodable} undecodable draw(s) skipped -> {status}"
         )
 
@@ -95,6 +103,7 @@ def sweep_code(
     seed: int = 2015,
     policies: Sequence[SequencePolicy] = (SequencePolicy.PAPER, SequencePolicy.AUTO),
     check_schedules: bool = True,
+    check_programs: bool = True,
     max_faults: int | None = None,
 ) -> SweepResult:
     """Plan + statically verify random failure scenarios on one code."""
@@ -120,6 +129,16 @@ def sweep_code(
             if sub.findings:
                 sub.subject = f"faulty={list(faulty)} policy={policy.value}"
                 result.report.merge(sub)
+            if check_programs and sub.ok:
+                # lower the verified plan and certify the compiled program
+                compiled = lower_plan(code.field, plan)
+                sub = verify_plan_program(compiled, code.field, plan)
+                if sub.findings:
+                    sub.subject = (
+                        f"program faulty={list(faulty)} policy={policy.value}"
+                    )
+                    result.report.merge(sub)
+                result.programs += 1
         result.scenarios += 1
         if check_schedules and scheduled < 2:
             # expand the traditional decode matrix and certify both
@@ -144,6 +163,7 @@ def sweep_all(
     samples: int = 50,
     seed: int = 2015,
     check_schedules: bool = True,
+    check_programs: bool = True,
     instances: Mapping[str, dict[str, int]] | None = None,
 ) -> list[SweepResult]:
     """Run :func:`sweep_code` over every registered code kind."""
@@ -156,7 +176,11 @@ def sweep_all(
         code = get_code(kind, **params)
         results.append(
             sweep_code(
-                code, samples=samples, seed=seed, check_schedules=check_schedules
+                code,
+                samples=samples,
+                seed=seed,
+                check_schedules=check_schedules,
+                check_programs=check_programs,
             )
         )
     return results

@@ -1,0 +1,113 @@
+"""ProgramExecutor: chunked table-bound execution over 1-D regions."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF, OpCounter, RegionOps
+from repro.kernels import ProgramExecutor, lower_matrix
+
+WORD_SIZES = [4, 8, 16, 32]
+
+
+def random_case(w, rows=3, cols=5, length=257, seed=None):
+    field = GF(w)
+    rng = np.random.default_rng(w if seed is None else seed)
+    matrix = rng.integers(0, 1 << w, size=(rows, cols), dtype=field.dtype)
+    regions = [
+        rng.integers(0, 1 << w, size=length, dtype=field.dtype)
+        for _ in range(cols)
+    ]
+    return field, matrix, regions
+
+
+@pytest.mark.parametrize("w", WORD_SIZES)
+def test_execute_matches_interpreted_matrix_apply(w):
+    field, matrix, regions = random_case(w)
+    program = lower_matrix(field, matrix)
+    got = ProgramExecutor(field).execute(program, regions)
+    expected = RegionOps(field).matrix_apply(matrix, regions)
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert np.array_equal(g, e)
+
+
+@pytest.mark.parametrize("w", WORD_SIZES)
+def test_chunked_execution_equals_unchunked(w):
+    field, matrix, regions = random_case(w, length=1000)
+    program = lower_matrix(field, matrix)
+    whole = ProgramExecutor(field).execute(program, regions)
+    # chunk size that does not divide the length exercises the tail chunk
+    chunked = ProgramExecutor(field, chunk_symbols=77).execute(program, regions)
+    for g, e in zip(chunked, whole):
+        assert np.array_equal(g, e)
+
+
+def test_outs_buffers_are_written_in_place():
+    field, matrix, regions = random_case(8)
+    program = lower_matrix(field, matrix)
+    outs = [np.empty_like(regions[0]) for _ in program.outputs]
+    got = ProgramExecutor(field).execute(program, regions, outs=outs)
+    assert all(g is o for g, o in zip(got, outs))
+    expected = RegionOps(field).matrix_apply(matrix, regions)
+    for o, e in zip(outs, expected):
+        assert np.array_equal(o, e)
+
+
+def test_non_contiguous_out_rejected():
+    field, matrix, regions = random_case(8)
+    program = lower_matrix(field, matrix)
+    backing = np.empty((len(regions[0]), 2), dtype=field.dtype)
+    outs = [backing[:, 0] for _ in program.outputs]
+    with pytest.raises(ValueError, match="C-contiguous"):
+        ProgramExecutor(field).execute(program, regions, outs=outs)
+
+
+def test_input_validation():
+    field, matrix, regions = random_case(8)
+    program = lower_matrix(field, matrix)
+    executor = ProgramExecutor(field)
+    with pytest.raises(ValueError, match="input regions"):
+        executor.execute(program, regions[:-1])
+    short = list(regions)
+    short[0] = short[0][:-1]
+    with pytest.raises(ValueError, match="equal length"):
+        executor.execute(program, short)
+    wrong_dtype = list(regions)
+    wrong_dtype[0] = wrong_dtype[0].astype(np.uint32)
+    with pytest.raises(TypeError, match="dtype"):
+        executor.execute(program, wrong_dtype)
+
+
+def test_field_width_mismatch_rejected():
+    field8, matrix, _regions = random_case(8)
+    program = lower_matrix(field8, matrix)
+    field16 = GF(16)
+    regions16 = [np.zeros(8, dtype=field16.dtype) for _ in range(matrix.shape[1])]
+    with pytest.raises(ValueError, match="w="):
+        ProgramExecutor(field16).execute(program, regions16)
+
+
+def test_counter_books_model_counts_once():
+    field, matrix, regions = random_case(8, length=100)
+    program = lower_matrix(field, matrix)
+    counter = OpCounter()
+    ProgramExecutor(field).execute(program, regions, counter=counter)
+    interp_counter = OpCounter()
+    RegionOps(field, interp_counter).matrix_apply(matrix, regions)
+    assert counter.snapshot() == interp_counter.snapshot()
+
+
+def test_binding_is_reused_across_calls():
+    field, matrix, regions = random_case(8)
+    program = lower_matrix(field, matrix)
+    executor = ProgramExecutor(field)
+    executor.execute(program, regions)
+    assert id(program) in executor._bound
+    before = executor._bound[id(program)]
+    executor.execute(program, regions)
+    assert executor._bound[id(program)] is before
+
+
+def test_rejects_nonpositive_chunk():
+    with pytest.raises(ValueError, match="chunk_symbols"):
+        ProgramExecutor(GF(8), chunk_symbols=0)

@@ -1,0 +1,170 @@
+"""Optimisation passes: pair CSE, dead-code elimination, slot compaction.
+
+Semantic preservation is checked with the symbolic transfer matrix from
+:mod:`repro.verify.program` — an optimised program must compute exactly
+the same GF(2^w) linear map as the program it came from.
+"""
+
+import numpy as np
+
+from repro.gf import GF
+from repro.kernels import (
+    OP_COPY,
+    OP_MUL,
+    OP_MULXOR,
+    OP_XOR,
+    RegionProgram,
+    compact_slots,
+    eliminate_dead,
+    lower_matrix,
+    optimize_program,
+    share_pairs,
+)
+from repro.verify import transfer_matrix
+
+
+def test_share_pairs_materialises_common_pair():
+    # rows 0 and 1 share the pair ((0,3),(1,5)); row 2 shares nothing
+    rows = [
+        [(0, 3), (1, 5), (2, 1)],
+        [(0, 3), (1, 5)],
+        [(0, 7)],
+    ]
+    pair_defs, rewritten, next_slot = share_pairs(rows, next_slot=4)
+    assert pair_defs == [(4, ((0, 3), (1, 5)))]
+    assert next_slot == 5
+    assert rewritten[0] == [(2, 1), (4, 1)]
+    assert rewritten[1] == [(4, 1)]
+    assert rewritten[2] == [(0, 7)]
+
+
+def test_share_pairs_tie_break_is_smallest_pair():
+    # both pairs appear twice; the lexicographically smallest wins first
+    rows = [
+        [(0, 2), (1, 2)],
+        [(0, 2), (1, 2)],
+        [(0, 2), (2, 2)],
+        [(0, 2), (2, 2)],
+    ]
+    pair_defs, _rewritten, _next = share_pairs(rows, next_slot=3)
+    assert pair_defs[0][1] == ((0, 2), (1, 2))
+    assert len(pair_defs) == 2
+
+
+def test_share_pairs_unique_pairs_untouched():
+    rows = [[(0, 3), (1, 5)], [(0, 9), (1, 11)]]
+    pair_defs, rewritten, next_slot = share_pairs(rows, next_slot=2)
+    assert pair_defs == []
+    assert rewritten == [sorted(r) for r in rows]
+    assert next_slot == 2
+
+
+def test_eliminate_dead_drops_unread_definition():
+    program = RegionProgram(
+        w=8,
+        num_inputs=1,
+        pool_size=3,
+        instructions=(
+            (OP_MUL, 1, 0, 5),  # dead: never read, not an output
+            (OP_MUL, 2, 0, 7),
+        ),
+        outputs=(2,),
+        mult_xors=2,
+        xor_only=0,
+    )
+    slim = eliminate_dead(program)
+    assert slim.instructions == ((OP_MUL, 2, 0, 7),)
+    # model counts are untouched by optimisation
+    assert slim.mult_xors == 2
+
+
+def test_eliminate_dead_keeps_accumulation_chains():
+    program = RegionProgram(
+        w=8,
+        num_inputs=2,
+        pool_size=3,
+        instructions=(
+            (OP_MUL, 2, 0, 5),
+            (OP_MULXOR, 2, 1, 7),
+        ),
+        outputs=(2,),
+        mult_xors=2,
+        xor_only=0,
+    )
+    assert eliminate_dead(program).instructions == program.instructions
+
+
+def test_compact_slots_reuses_dead_temporaries():
+    # t=2 dies after feeding t=3; t=4 should reuse its id
+    program = RegionProgram(
+        w=8,
+        num_inputs=1,
+        pool_size=5,
+        instructions=(
+            (OP_MUL, 2, 0, 5),
+            (OP_MUL, 3, 2, 7),  # last read of 2
+            (OP_MUL, 4, 3, 9),
+        ),
+        outputs=(4,),
+        mult_xors=3,
+        xor_only=0,
+    )
+    packed = compact_slots(program)
+    packed.validate()
+    assert packed.pool_size < program.pool_size
+    field = GF(8)
+    assert np.array_equal(
+        transfer_matrix(packed, field), transfer_matrix(program, field)
+    )
+
+
+def test_compact_slots_never_recycles_output_slots():
+    program = RegionProgram(
+        w=8,
+        num_inputs=1,
+        pool_size=4,
+        instructions=(
+            (OP_MUL, 2, 0, 5),  # an output, read later
+            (OP_MUL, 3, 2, 7),  # also an output
+        ),
+        outputs=(2, 3),
+        mult_xors=2,
+        xor_only=0,
+    )
+    packed = compact_slots(program)
+    packed.validate()
+    assert len(set(packed.outputs)) == 2
+    field = GF(8)
+    assert np.array_equal(
+        transfer_matrix(packed, field), transfer_matrix(program, field)
+    )
+
+
+def test_optimize_program_preserves_semantics_on_random_matrices():
+    rng = np.random.default_rng(7)
+    field = GF(8)
+    for _ in range(10):
+        matrix = rng.integers(0, 256, size=(4, 6), dtype=field.dtype)
+        raw = lower_matrix(field, matrix, optimize=False)
+        slim = optimize_program(raw)
+        slim.validate()
+        assert np.array_equal(
+            transfer_matrix(slim, field), transfer_matrix(raw, field)
+        )
+        assert slim.pool_size <= raw.pool_size
+        assert (slim.mult_xors, slim.xor_only) == (raw.mult_xors, raw.xor_only)
+
+
+def test_shared_pairs_reduce_executed_ops_but_not_model_counts():
+    field = GF(8)
+    # every row contains the pair (col0 * 3, col1 * 5)
+    matrix = np.array(
+        [[3, 5, 1], [3, 5, 2], [3, 5, 4]], dtype=field.dtype
+    )
+    shared = lower_matrix(field, matrix, share=True)
+    unshared = lower_matrix(field, matrix, share=False)
+    assert shared.mult_xors == unshared.mult_xors == 9
+    assert shared.executed_ops < unshared.executed_ops
+    assert np.array_equal(
+        transfer_matrix(shared, field), transfer_matrix(unshared, field)
+    )

@@ -28,6 +28,7 @@ def test_rule_registry_is_populated():
         "PPM005",
         "PPM006",
         "PPM007",
+        "PPM008",
     } <= set(RULES)
     for rule in RULES.values():
         assert rule.explanation, f"{rule.code} has no explanation"
@@ -141,6 +142,40 @@ def test_ppm007_raw_executor_outside_pipeline():
         "pool = ThreadWorkerPool(4)\n"
     )
     assert "PPM007" not in codes_of(wrapped, "repro/core/x.py")
+
+
+def test_ppm008_mult_xors_loop_in_decoder_modules():
+    bad = (
+        "from __future__ import annotations\n"
+        "def apply(ops, matrix, regions):\n"
+        "    for row in matrix:\n"
+        "        ops.mult_xors(row, regions)\n"
+    )
+    assert "PPM008" in codes_of(bad, "repro/core/x.py")
+    assert "PPM008" in codes_of(bad, "repro/pipeline/x.py")
+    # the GF package is where the primitive legitimately lives
+    assert "PPM008" not in codes_of(bad, "repro/gf/region.py")
+    assert "PPM008" not in codes_of(bad, "repro/bench/x.py")
+    while_bad = (
+        "from __future__ import annotations\n"
+        "def apply(ops, rows, regions):\n"
+        "    while rows:\n"
+        "        ops.mult_xors(rows.pop(), regions)\n"
+    )
+    assert "PPM008" in codes_of(while_bad, "repro/core/x.py")
+    good = (
+        "from __future__ import annotations\n"
+        "def apply(ops, matrix, regions):\n"
+        "    return ops.matrix_apply(matrix, regions)\n"
+    )
+    assert "PPM008" not in codes_of(good, "repro/core/x.py")
+    # one straight-line call (no loop) is fine too
+    single = (
+        "from __future__ import annotations\n"
+        "def combine(ops, row, regions):\n"
+        "    return ops.mult_xors(row, regions)\n"
+    )
+    assert "PPM008" not in codes_of(single, "repro/core/x.py")
 
 
 def test_syntax_errors_reported_not_raised():

@@ -1,0 +1,139 @@
+"""Mutation tests for the compiled-program verifier.
+
+Clean lowerings certify; every class of corruption — wrong transfer
+coefficients, dropped/reordered instructions, mis-declared I/O, cooked
+op counts — produces its specific finding.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.codes import LRCCode, RSCode, SDCode
+from repro.core import SequencePolicy
+from repro.core.planner import plan_decode
+from repro.gf import GF
+from repro.kernels import OP_MUL, OP_MULXOR, lower_plan
+from repro.verify import (
+    ProgramVerificationError,
+    assert_program_valid,
+    sweep_code,
+    verify_plan_program,
+)
+
+
+def compiled_case(faulty=(5, 7, 12, 15), policy=SequencePolicy.PAPER):
+    code = SDCode(10, 8, 2, 2)
+    plan = plan_decode(code, list(faulty), policy=policy)
+    return code, plan, lower_plan(code.field, plan)
+
+
+def mutate_program(compiled, **changes):
+    return replace(compiled, program=replace(compiled.program, **changes))
+
+
+@pytest.mark.parametrize(
+    "code,faulty",
+    [
+        (SDCode(10, 8, 2, 2), [5, 7, 12, 15]),
+        (RSCode(8, 4), [0, 3]),
+        (LRCCode(8, 2, 2), [0, 9]),
+    ],
+)
+@pytest.mark.parametrize(
+    "policy",
+    [SequencePolicy.PAPER, SequencePolicy.NORMAL, SequencePolicy.MATRIX_FIRST],
+)
+def test_clean_lowerings_certify(code, faulty, policy):
+    plan = plan_decode(code, faulty, policy=policy)
+    compiled = lower_plan(code.field, plan)
+    report = verify_plan_program(compiled, code.field, plan)
+    assert report.ok, report.format()
+    assert_program_valid(compiled, code.field, plan)  # must not raise
+
+
+def test_corrupted_constant_is_caught_as_transfer_mismatch():
+    code, plan, compiled = compiled_case()
+    instructions = list(compiled.program.instructions)
+    for i, (op, dst, src, const) in enumerate(instructions):
+        if op in (OP_MUL, OP_MULXOR):
+            flipped = const ^ 1 if const ^ 1 >= 2 else const + 1
+            instructions[i] = (op, dst, src, flipped)
+            break
+    bad = mutate_program(compiled, instructions=tuple(instructions))
+    report = verify_plan_program(bad, code.field, plan)
+    assert report.has("program/transfer"), report.format()
+
+
+def test_dropped_instruction_is_caught():
+    code, plan, compiled = compiled_case()
+    bad = mutate_program(
+        compiled, instructions=compiled.program.instructions[:-1]
+    )
+    report = verify_plan_program(bad, code.field, plan)
+    assert not report.ok
+    assert report.has("program/structure") or report.has("program/transfer")
+
+
+def test_swapped_outputs_are_caught():
+    code, plan, compiled = compiled_case()
+    outputs = compiled.program.outputs
+    bad = mutate_program(
+        compiled, outputs=(outputs[1], outputs[0]) + outputs[2:]
+    )
+    report = verify_plan_program(bad, code.field, plan)
+    assert report.has("program/transfer"), report.format()
+
+
+def test_misdeclared_output_ids_are_caught():
+    code, plan, compiled = compiled_case()
+    bad = replace(compiled, output_ids=tuple(reversed(compiled.output_ids)))
+    report = verify_plan_program(bad, code.field, plan)
+    assert report.has("program/io-outputs"), report.format()
+
+
+def test_faulty_block_listed_as_input_is_caught():
+    code, plan, compiled = compiled_case()
+    ids = (plan.faulty_ids[0],) + compiled.input_ids[1:]
+    bad = replace(compiled, input_ids=ids)
+    report = verify_plan_program(bad, code.field, plan)
+    assert report.has("program/io-inputs"), report.format()
+
+
+def test_cooked_mult_xors_count_is_caught():
+    code, plan, compiled = compiled_case()
+    bad = mutate_program(compiled, mult_xors=compiled.program.mult_xors - 1)
+    report = verify_plan_program(bad, code.field, plan)
+    assert report.has("program/op-count"), report.format()
+
+
+def test_cooked_xor_only_count_is_caught():
+    code, plan, compiled = compiled_case()
+    bad = mutate_program(compiled, xor_only=compiled.program.xor_only + 1)
+    report = verify_plan_program(bad, code.field, plan)
+    assert report.has("program/xor-only"), report.format()
+
+
+def test_field_width_mismatch_is_caught():
+    code, plan, compiled = compiled_case()
+    report = verify_plan_program(compiled, GF(16), plan)
+    assert report.has("program/width"), report.format()
+
+
+def test_assert_program_valid_raises_with_report():
+    code, plan, compiled = compiled_case()
+    bad = mutate_program(compiled, mult_xors=0)
+    with pytest.raises(ProgramVerificationError) as excinfo:
+        assert_program_valid(bad, code.field, plan)
+    assert excinfo.value.report.has("program/op-count")
+
+
+def test_sweep_counts_and_certifies_programs():
+    code = SDCode(6, 4, 2, 2)
+    result = sweep_code(code, samples=6, check_schedules=False)
+    assert result.ok, result.report.format()
+    assert result.programs > 0
+    skipped = sweep_code(
+        code, samples=6, check_schedules=False, check_programs=False
+    )
+    assert skipped.programs == 0
