@@ -1,0 +1,50 @@
+"""Acceptance benchmark for the degraded-read service.
+
+Runs the shared :func:`repro.bench.service.run_service_bench`
+experiment — a degraded-read storm against SD(n=10, m=2, s=2) with a
+10% injected transient-fault rate — and writes the full result to
+``BENCH_service.json`` at the repo root.  The assertions encode the
+acceptance bar: coalesced batched serving must beat naive per-request
+decode by at least 1.5x requests/sec at batch trigger >= 8, with p99
+latency reported and **zero** failed requests (retries and the
+single-stripe fallback must absorb every injected fault) and zero
+corrupt responses (every byte verified against ground truth).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_service.py``
+or via ``ppm service-bench``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.service import run_service_bench
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def test_coalesced_serving_speedup_and_resilience():
+    result = run_service_bench(batch_trigger=8, fault_rate=0.1)
+    OUT.write_text(json.dumps(result, indent=2) + "\n")
+    assert result["results_verified"]
+    assert result["workload"]["batch_trigger"] >= 8
+    assert result["speedup"] >= 1.5, (
+        f"coalesced serving only {result['speedup']:.2f}x vs naive per-request decode"
+    )
+    assert result["p99_s"] > 0.0, "p99 latency must be measured and reported"
+    assert result["failed_requests"] == 0, (
+        f"{result['failed_requests']} requests failed at 10% fault rate; "
+        "retries/fallback must absorb injected faults"
+    )
+    assert result["corrupt_responses"] == 0
+    assert result["coalesce_factor"] > 1.0, (
+        "coalescing never fused concurrent degraded reads"
+    )
+
+
+def test_coalesced_serving_kernel(benchmark):
+    """Microbenchmark: one 200-request storm through the coalesced service."""
+    benchmark.pedantic(
+        lambda: run_service_bench(requests=100, num_stripes=16, fault_rate=0.0),
+        rounds=1,
+        iterations=1,
+    )

@@ -15,6 +15,8 @@ Layering (bottom-up):
 - :mod:`repro.parallel` — thread pool and the calibrated parallel-time model.
 - :mod:`repro.pipeline` — batched decode engine: plan cache, persistent
   worker pools, pattern-fused batch decode.
+- :mod:`repro.service` — asyncio degraded-read service: coalescing
+  scheduler, admission control, deadlines/retries, fault-injected store.
 - :mod:`repro.analysis` — the paper's closed-form cost model (Section III-B).
 - :mod:`repro.bench` — drivers that regenerate every evaluation figure.
 
@@ -61,6 +63,7 @@ _LAZY_EXPORTS = {
     ],
     "repro.parallel": ["CPUProfile", "simulate_decode_time", "host_profile"],
     "repro.pipeline": ["DecodePipeline", "PlanCache", "PipelineMetrics"],
+    "repro.service": ["BlobService", "BlobStore", "ServiceConfig", "ServiceMetrics"],
     "repro.analysis": ["sd_costs", "predicted_improvement"],
 }
 

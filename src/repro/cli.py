@@ -20,6 +20,9 @@ extra NAME      extra experiments (c2-share, energy, parallel-strategies,
                 paper-average)
 pipeline-bench  batched DecodePipeline vs per-stripe decode throughput
 kernel-bench    compiled region programs vs interpreted decode throughput
+serve           run the degraded-read BlobService on a TCP port
+loadgen         drive a service (in-process or TCP) with seeded load
+service-bench   coalesced batched serving vs naive per-request decode
 encode-file     split + encode a file into per-disk strip files
 decode-file     reconstruct a file from surviving strips (erasure-decoding)
 repair-files    regenerate missing strip files in place
@@ -347,6 +350,193 @@ def _cmd_kernel_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace):
+    """Shared serve/loadgen construction: damaged store + BlobService."""
+    from .codes import SDCode
+    from .service import (
+        BlobService,
+        BlobStore,
+        FaultInjector,
+        ServiceConfig,
+        damage_store,
+    )
+
+    code = SDCode(args.n, args.r, args.m, args.s)
+    store = BlobStore.build(
+        code,
+        args.stripes,
+        args.symbols,
+        rng=args.seed,
+        faults=FaultInjector(args.fault_rate, rng=args.seed),
+    )
+    damage_store(store, fraction=args.damaged, seed=args.seed)
+    config = ServiceConfig(
+        batch_trigger=args.batch_trigger,
+        flush_interval_s=args.flush_ms / 1e3,
+        coalesce=not getattr(args, "naive", False),
+    )
+    return BlobService(store, config=config)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service import serve
+
+    async def main() -> int:
+        service = _build_service(args)
+        server = await serve(service, host=args.host, port=args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"serving SD(n={args.n}, r={args.r}, m={args.m}, s={args.s}) "
+              f"x {args.stripes} stripes on {host}:{port}")
+        print(f"coalescing: trigger {args.batch_trigger}, "
+              f"flush {args.flush_ms:.1f} ms, fault rate {args.fault_rate:.0%}")
+        try:
+            async with server:
+                await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - signal-driven
+            pass
+        finally:
+            await service.close()
+            print(json.dumps(service.metrics_dict(), indent=2))
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service import ServiceClient, build_request_schedule, run_loadgen
+
+    async def run_inprocess() -> tuple[dict, dict]:
+        service = _build_service(args)
+        schedule = build_request_schedule(
+            service.store, args.requests, seed=args.seed,
+            degraded_fraction=args.degraded_fraction,
+        )
+        async with service:
+            summary = await run_loadgen(
+                service, schedule, concurrency=args.concurrency, verify=True
+            )
+            return summary, service.metrics_dict()
+
+    async def run_remote() -> tuple[dict, dict]:
+        host, _, port = args.connect.rpartition(":")
+        loop = asyncio.get_running_loop()
+        clients = [
+            await ServiceClient.connect(host or "127.0.0.1", int(port))
+            for _ in range(args.concurrency)
+        ]
+        queue: asyncio.Queue = asyncio.Queue()
+        rng_schedule = [
+            (i % args.stripes, 0) for i in range(args.requests)
+        ]
+        for item in rng_schedule:
+            queue.put_nowait(item)
+        completed = failed = 0
+
+        async def worker(client: ServiceClient) -> None:
+            nonlocal completed, failed
+            while True:
+                try:
+                    sid, block = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                try:
+                    await client.get(sid, block)
+                    completed += 1
+                except Exception:
+                    failed += 1
+
+        t0 = loop.time()
+        await asyncio.gather(*(worker(c) for c in clients))
+        wall = loop.time() - t0
+        metrics = await clients[0].metrics()
+        for client in clients:
+            await client.close()
+        summary = {
+            "requests": args.requests,
+            "completed": completed,
+            "failed": failed,
+            "corrupt": 0,
+            "wall_seconds": wall,
+            "requests_per_sec": (completed / wall) if wall > 0 else 0.0,
+        }
+        return summary, metrics
+
+    summary, metrics = asyncio.run(run_remote() if args.connect else run_inprocess())
+    print(
+        f"{summary['completed']}/{summary['requests']} requests ok, "
+        f"{summary['failed']} failed, {summary.get('corrupt', 0)} corrupt, "
+        f"{summary['requests_per_sec']:.1f} req/s"
+    )
+    if "latency" in summary:
+        lat = summary["latency"]
+        print(
+            f"latency p50 {lat['p50_s'] * 1e3:.2f} ms  "
+            f"p99 {lat['p99_s'] * 1e3:.2f} ms  max {lat['max_s'] * 1e3:.2f} ms"
+        )
+    coal = metrics.get("coalescing", {})
+    if coal:
+        print(
+            f"coalesce factor {coal['coalesce_factor']:.2f} "
+            f"({coal['flushed_reads']} reads / {coal['flushes']} flushes), "
+            f"queue peak {coal['queue_depth_peak']}"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"loadgen": summary, "service": metrics}, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if summary["failed"] or summary.get("corrupt", 0):
+        print("FAIL: requests failed or responses corrupt")
+        return 1
+    return 0
+
+
+def _cmd_service_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.service import format_service_report, run_service_bench
+
+    result = run_service_bench(
+        n=args.n,
+        r=args.r,
+        m=args.m,
+        s=args.s,
+        num_stripes=args.stripes,
+        sector_symbols=args.symbols,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        fault_rate=args.fault_rate,
+        batch_trigger=args.batch_trigger,
+        flush_interval_s=args.flush_ms / 1e3,
+        seed=args.seed,
+    )
+    print(format_service_report(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if result["failed_requests"] or result["corrupt_responses"]:
+        print("FAIL: failed or corrupt requests under injected faults")
+        return 1
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: coalesced serving speedup {result['speedup']:.2f}x < "
+            f"required {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
 def _cmd_encode_file(args: argparse.Namespace) -> int:
     from .codes import get_code
     from .filecodec import encode_file
@@ -535,6 +725,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero unless the compiled path beats this speedup",
     )
     p_kern.set_defaults(func=_cmd_kernel_bench)
+
+    def _service_store_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=10)
+        p.add_argument("--r", type=int, default=8)
+        p.add_argument("--m", type=int, default=2)
+        p.add_argument("--s", type=int, default=2)
+        p.add_argument("--stripes", type=int, default=32)
+        p.add_argument("--symbols", type=int, default=512)
+        p.add_argument("--fault-rate", type=float, default=0.1,
+                       help="transient node-fault injection rate")
+        p.add_argument("--damaged", type=float, default=0.75,
+                       help="fraction of stripes given a worst-case erasure")
+        p.add_argument("--batch-trigger", type=int, default=8)
+        p.add_argument("--flush-ms", type=float, default=2.0,
+                       help="coalescing flush deadline in milliseconds")
+        p.add_argument("--seed", type=int, default=2015)
+
+    p_srv = sub.add_parser(
+        "serve", help="run the degraded-read BlobService on a TCP port"
+    )
+    _service_store_args(p_srv)
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p_srv.add_argument("--naive", action="store_true",
+                       help="disable coalescing (per-request decode)")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive a service (in-process or TCP) with seeded load"
+    )
+    _service_store_args(p_load)
+    p_load.add_argument("--requests", type=int, default=200)
+    p_load.add_argument("--concurrency", type=int, default=16)
+    p_load.add_argument("--degraded-fraction", type=float, default=0.5,
+                        help="fraction of reads steered at erased blocks")
+    p_load.add_argument("--naive", action="store_true",
+                        help="disable coalescing (per-request decode)")
+    p_load.add_argument("--connect", metavar="HOST:PORT",
+                        help="drive a running `ppm serve` over TCP instead")
+    p_load.add_argument("--json", help="also write summary + metrics to a file")
+    p_load.set_defaults(func=_cmd_loadgen)
+
+    p_sbench = sub.add_parser(
+        "service-bench",
+        help="coalesced batched serving vs naive per-request decode",
+    )
+    _service_store_args(p_sbench)
+    p_sbench.add_argument("--requests", type=int, default=200)
+    p_sbench.add_argument("--concurrency", type=int, default=32)
+    p_sbench.add_argument("--json", help="also write the JSON-ready result to a file")
+    p_sbench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit nonzero unless coalesced serving beats this speedup",
+    )
+    p_sbench.set_defaults(func=_cmd_service_bench)
 
     p_enc = sub.add_parser("encode-file", help="encode a file into strip files")
     p_enc.add_argument("file")

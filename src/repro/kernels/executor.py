@@ -21,6 +21,7 @@ scratch is per-thread, and the op counter's `record` is lock-free.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
@@ -36,8 +37,26 @@ from .ir import OP_COPY, OP_MUL, OP_MULXOR, OP_XOR, OP_ZERO, RegionProgram
 _MAX_BOUND = 512
 
 
+class _ExecCell:
+    """Per-thread execution tallies (merged lock-free on read)."""
+
+    __slots__ = ("executions", "symbols", "seconds")
+
+    def __init__(self) -> None:
+        self.executions = 0
+        self.symbols = 0
+        self.seconds = 0.0
+
+
 class ProgramExecutor:
-    """Executes :class:`RegionProgram` instances over 1-D regions."""
+    """Executes :class:`RegionProgram` instances over 1-D regions.
+
+    Each :meth:`execute` is tallied into per-thread cells (count,
+    symbols, wall seconds) — the metrics hook the serving layer reads
+    through :meth:`stats` to reconcile kernel work with request
+    accounting.  Recording is lock-free on the hot path, like
+    :class:`~repro.gf.region.OpCounter`.
+    """
 
     def __init__(self, field: GF, chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS):
         if chunk_symbols < 1:
@@ -50,6 +69,34 @@ class ProgramExecutor:
         self._bound: dict[int, tuple[RegionProgram, tuple]] = {}
         self._small_tables: dict[int, np.ndarray] = {}  # w=4 per-constant
         self._scratch = threading.local()
+        self._stats_lock = threading.Lock()
+        self._stats_cells: list[_ExecCell] = []
+        self._stats_local = threading.local()
+
+    def _stats_cell(self) -> _ExecCell:
+        cell = getattr(self._stats_local, "cell", None)
+        if cell is None:
+            cell = _ExecCell()
+            with self._stats_lock:
+                self._stats_cells.append(cell)
+            self._stats_local.cell = cell
+        return cell
+
+    def stats(self) -> dict[str, float]:
+        """Merged execution tallies across threads (JSON-ready)."""
+        executions = symbols = 0
+        seconds = 0.0
+        with self._stats_lock:
+            cells = list(self._stats_cells)
+        for cell in cells:
+            executions += cell.executions
+            symbols += cell.symbols
+            seconds += cell.seconds
+        return {
+            "executions": executions,
+            "symbols": symbols,
+            "exec_seconds": seconds,
+        }
 
     # -- binding -----------------------------------------------------------
 
@@ -133,6 +180,7 @@ class ProgramExecutor:
         one lock-free call, exactly matching what the interpreted path
         would have recorded for the same matrices.
         """
+        t_start = time.perf_counter()
         if len(inputs) != program.num_inputs:
             raise ValueError(
                 f"program expects {program.num_inputs} input regions, got {len(inputs)}"
@@ -215,4 +263,8 @@ class ProgramExecutor:
                 program.mult_xors * length,
                 xor_only=program.xor_only,
             )
+        cell = self._stats_cell()
+        cell.executions += 1
+        cell.symbols += program.mult_xors * length
+        cell.seconds += time.perf_counter() - t_start
         return out_arrays

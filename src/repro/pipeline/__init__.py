@@ -28,6 +28,8 @@ from .pool import (
     ThreadWorkerPool,
     WorkerPool,
     available_pools,
+    close_live_pools,
+    live_pools,
     make_pool,
 )
 
@@ -40,6 +42,8 @@ __all__ = [
     "ThreadWorkerPool",
     "ProcessWorkerPool",
     "available_pools",
+    "close_live_pools",
+    "live_pools",
     "make_pool",
     "BatchStats",
     "DecodePipeline",

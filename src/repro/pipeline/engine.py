@@ -199,6 +199,7 @@ class DecodePipeline:
         # lifetime tallies behind metrics()
         self._stripes = 0
         self._batches = 0
+        self._patterns = 0
         self._wall = 0.0
         self._busy = [0.0] * self.workers
         self._queue_peak = 0
@@ -333,6 +334,7 @@ class DecodePipeline:
         after = self.counter.snapshot()
         self._stripes += len(stripes)
         self._batches += 1
+        self._patterns += len(batches)
         self._wall += wall
         stats = BatchStats(
             stripes=len(stripes),
@@ -443,6 +445,7 @@ class DecodePipeline:
         return PipelineMetrics(
             stripes=self._stripes,
             batches=self._batches,
+            patterns=self._patterns,
             wall_seconds=wall,
             mult_xors=mult_xors,
             symbols=symbols,
@@ -465,6 +468,20 @@ class DecodePipeline:
                 self.programs.stats.evictions if self.programs is not None else 0
             ),
         )
+
+    def executor_stats(self) -> dict[str, float]:
+        """Merged compiled-kernel execution tallies (empty when
+        interpreted; process-pool child executions are not visible)."""
+        stats: dict[str, float] = {}
+        if self.programs is None:
+            return stats
+        for ops in self._ops_cache.values():
+            executor = getattr(ops, "executor", None)
+            if executor is None:
+                continue
+            for key, value in executor.stats().items():
+                stats[key] = stats.get(key, 0) + value
+        return stats
 
     def close(self) -> None:
         """Shut the worker pool down (plans stay cached)."""

@@ -25,6 +25,7 @@ class PipelineMetrics:
 
     stripes: int = 0
     batches: int = 0
+    patterns: int = 0
     wall_seconds: float = 0.0
     mult_xors: int = 0
     symbols: int = 0
@@ -49,6 +50,23 @@ class PipelineMetrics:
         return self.stripes / self.wall_seconds
 
     @property
+    def coalesce_factor(self) -> float:
+        """Mean stripes fused per (pattern x batch) region sweep.
+
+        ``patterns`` counts one per distinct erasure pattern per
+        ``decode_batch`` call, so this is exactly how many stripes each
+        plan application amortised over; 1.0 means no fusion happened.
+        """
+        if not self.patterns:
+            return 0.0
+        return self.stripes / self.patterns
+
+    @property
+    def evictions(self) -> int:
+        """Total cache evictions (plan + program) over the lifetime."""
+        return self.plan_cache_evictions + self.program_cache_evictions
+
+    @property
     def plan_cache_hit_rate(self) -> float:
         lookups = self.plan_cache_hits + self.plan_cache_misses
         if not lookups:
@@ -67,6 +85,9 @@ class PipelineMetrics:
         return {
             "stripes": self.stripes,
             "batches": self.batches,
+            "patterns": self.patterns,
+            "coalesce_factor": self.coalesce_factor,
+            "evictions": self.evictions,
             "wall_seconds": self.wall_seconds,
             "stripes_per_sec": self.stripes_per_sec,
             "mult_xors": self.mult_xors,
@@ -99,6 +120,8 @@ class PipelineMetrics:
         lines = [
             f"stripes decoded      {self.stripes}",
             f"batches              {self.batches}",
+            f"coalesce factor      {self.coalesce_factor:.2f} "
+            f"({self.stripes} stripes / {self.patterns} pattern sweeps)",
             f"wall seconds         {self.wall_seconds:.4f}",
             f"stripes/sec          {self.stripes_per_sec:.1f}",
             f"mult_XORs            {self.mult_xors}",

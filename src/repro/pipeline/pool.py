@@ -7,7 +7,9 @@ measurable quantity: a :class:`WorkerPool` is created lazily on first
 use, *stays alive across submissions* (the per-call spawn overhead the
 paper measures in §III-C is paid once, not per stripe), and counts how
 many times its underlying executor was actually spawned so tests can
-assert "one pool per batch".
+assert "one pool per batch".  Live pools are tracked in a weak registry
+and closed by an :mod:`atexit` hook, so a persistent pool abandoned
+mid-batch cannot leak worker processes past interpreter exit.
 
 Three implementations share the interface:
 
@@ -22,10 +24,37 @@ Three implementations share the interface:
 
 from __future__ import annotations
 
+import atexit
 import threading
 import time
+import weakref
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
+
+#: Every pool with a live (spawned) executor, tracked weakly so garbage
+#: collection is never blocked.  :func:`close_live_pools` runs at
+#: interpreter exit, so persistent pools abandoned mid-batch (a long-
+#: running service killed between submissions, a script that never
+#: called ``close()``) shut their executors down cleanly instead of
+#: leaking worker processes.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def live_pools() -> tuple["WorkerPool", ...]:
+    """Pools whose executor is currently spawned (observability/tests)."""
+    return tuple(pool for pool in _LIVE_POOLS if pool.alive)
+
+
+def close_live_pools() -> None:
+    """Close every live pool; registered with :mod:`atexit` at import."""
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:  # noqa: BLE001 - best effort during shutdown
+            pass
+
+
+atexit.register(close_live_pools)
 
 
 class WorkerPool:
@@ -61,6 +90,8 @@ class WorkerPool:
                 self._executor = self._spawn()
                 self.spawn_seconds += time.perf_counter() - t0
                 self.spawn_count += 1
+                if self._executor is not None:
+                    _LIVE_POOLS.add(self)
             return self._executor
 
     @property
@@ -72,6 +103,7 @@ class WorkerPool:
         """Shut the executor down; the next submit re-spawns it."""
         with self._lock:
             executor, self._executor = self._executor, None
+        _LIVE_POOLS.discard(self)
         if executor is not None:
             executor.shutdown(wait=True)
 

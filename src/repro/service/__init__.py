@@ -1,0 +1,71 @@
+"""Async degraded-read serving over the batched decode pipeline.
+
+The request path this package adds on top of the offline machinery::
+
+    client ──> BlobService ──> CoalescingScheduler ──> DecodePipeline
+                  │                    │                    │
+                  │ admission,         │ group by erasure   │ plan cache,
+                  │ deadlines,         │ pattern; flush on  │ fused batch,
+                  │ retry/backoff,     │ size-or-deadline   │ compiled kernels
+                  │ fallback           ▼                    ▼
+                  └──────────────> BlobStore  <──── recovered regions
+
+- :mod:`repro.service.server` — :class:`BlobService`, the asyncio
+  front-end (get / put / degraded_get);
+- :mod:`repro.service.scheduler` — :class:`CoalescingScheduler`,
+  batching live degraded reads per erasure pattern;
+- :mod:`repro.service.store` — :class:`BlobStore` + transient
+  :class:`FaultInjector`;
+- :mod:`repro.service.config` — :class:`ServiceConfig` knobs;
+- :mod:`repro.service.metrics` — :class:`ServiceMetrics` /
+  :class:`LatencyHistogram`;
+- :mod:`repro.service.net` — the JSON-lines TCP wire
+  (``ppm serve`` / ``ppm loadgen --connect``);
+- :mod:`repro.service.loadgen` — the seeded closed-loop load
+  generator;
+- :mod:`repro.service.errors` — the request-failure vocabulary.
+
+Lint rule PPM009 bans blocking calls (``time.sleep``, synchronous
+I/O) in this package: everything slow runs off-loop.
+"""
+
+from __future__ import annotations
+
+from .config import ServiceConfig
+from .errors import (
+    BatchDecodeError,
+    BlockUnavailableError,
+    DeadlineExceeded,
+    NodeFault,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+)
+from .loadgen import build_request_schedule, damage_store, run_loadgen
+from .metrics import LatencyHistogram, ServiceMetrics
+from .net import ServiceClient, serve
+from .scheduler import CoalescingScheduler
+from .server import BlobService
+from .store import BlobStore, FaultInjector
+
+__all__ = [
+    "BlobService",
+    "BlobStore",
+    "CoalescingScheduler",
+    "FaultInjector",
+    "LatencyHistogram",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "serve",
+    "run_loadgen",
+    "build_request_schedule",
+    "damage_store",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadError",
+    "DeadlineExceeded",
+    "NodeFault",
+    "BatchDecodeError",
+    "BlockUnavailableError",
+]

@@ -1,0 +1,50 @@
+"""The service error vocabulary: what a request can die of.
+
+Every failure mode a caller can observe is a distinct exception type so
+the front-end (and the load generator's accounting) can tell apart
+
+- *rejection* (:class:`ServiceOverloadError`) — admission control shed
+  the request before any work happened; the client should back off;
+- *timeout* (:class:`DeadlineExceeded`) — the per-request deadline
+  expired while the request was queued or decoding;
+- *transient faults* (:class:`NodeFault`) — an injected node/sector
+  read fault from the failure simulator; retried with backoff and, by
+  construction (:class:`~repro.service.store.FaultInjector` bounds
+  consecutive faults), always recoverable within the retry budget;
+- *batch-path faults* (:class:`BatchDecodeError`) — the coalesced
+  decode itself blew up; the server falls back to an uncompiled
+  single-stripe decode so one poisoned batch cannot fail every rider;
+- *hard unavailability* (:class:`BlockUnavailableError`) — the block
+  does not exist or the erasure pattern is undecodable; retrying will
+  not help.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class of every error raised by :mod:`repro.service`."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down and no longer accepts requests."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected the request (queue bound reached)."""
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline expired before a result was produced."""
+
+
+class NodeFault(ServiceError):
+    """A transient injected node fault hit a store read (retryable)."""
+
+
+class BatchDecodeError(ServiceError):
+    """The coalesced batch decode failed; riders should fall back."""
+
+
+class BlockUnavailableError(ServiceError):
+    """The requested block does not exist or cannot be recovered."""

@@ -1,0 +1,163 @@
+"""Closed-loop load generator for the degraded-read service.
+
+Drives a :class:`~repro.service.BlobService` (in-process) or a
+:class:`~repro.service.net.ServiceClient` (over TCP) with a seeded,
+reproducible request mix: ``concurrency`` workers each pull the next
+request from a shared schedule and issue it, so the offered load is
+closed-loop (a worker never has more than one request outstanding —
+what a fixed client fleet looks like).
+
+The schedule is built against a store whose stripes were damaged with
+:func:`repro.stripes.failures.worst_case_sd` scenarios; reads that land
+on an erased block exercise the full degraded path.  Every in-process
+response is verified bit-for-bit against the store's ground truth, so
+the summary's ``corrupt`` count turns any would-be wrong answer into a
+loud failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ServiceError
+from .server import BlobService
+from .store import BlobStore
+
+
+def build_request_schedule(
+    store: BlobStore,
+    requests: int,
+    seed: int = 2015,
+    degraded_fraction: float = 0.5,
+) -> list[tuple[str, int, int]]:
+    """A reproducible list of ``(op, stripe_id, block)`` requests.
+
+    ``degraded_fraction`` steers reads toward erased blocks (when the
+    store has any); the rest are plain reads of present blocks.
+    """
+    rng = np.random.default_rng(seed)
+    stripe_ids = store.stripe_ids
+    if not stripe_ids:
+        raise ValueError("store has no stripes to generate load against")
+    erased: list[tuple[int, int]] = []
+    present: list[tuple[int, int]] = []
+    for sid in stripe_ids:
+        stripe = store.stripe(sid)
+        erased.extend((sid, b) for b in stripe.erased_ids)
+        present.extend((sid, b) for b in stripe.present_ids)
+    schedule: list[tuple[str, int, int]] = []
+    for _ in range(requests):
+        pool = erased if (erased and rng.random() < degraded_fraction) else present
+        sid, block = pool[int(rng.integers(0, len(pool)))]
+        schedule.append(("get", sid, block))
+    return schedule
+
+
+async def run_loadgen(
+    service: BlobService,
+    schedule: Sequence[tuple[str, int, int]],
+    *,
+    concurrency: int = 16,
+    deadline_s: float | None = None,
+    verify: bool = True,
+) -> dict:
+    """Replay ``schedule`` against ``service``; returns a summary dict.
+
+    The summary separates ``completed`` / ``failed`` / ``corrupt`` and
+    reports wall-clock throughput plus client-observed latency
+    percentiles (measured here, independently of the server's own
+    histograms).
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    loop = asyncio.get_running_loop()
+    queue: asyncio.Queue = asyncio.Queue()
+    for item in schedule:
+        queue.put_nowait(item)
+    completed = 0
+    failed = 0
+    corrupt = 0
+    errors: dict[str, int] = {}
+    latencies: list[float] = []
+
+    async def worker() -> None:
+        nonlocal completed, failed, corrupt
+        while True:
+            try:
+                op, sid, block = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            t0 = loop.time()
+            try:
+                if op == "degraded_get":
+                    region = await service.degraded_get(
+                        sid, block, deadline_s=deadline_s
+                    )
+                else:
+                    region = await service.get(sid, block, deadline_s=deadline_s)
+            except ServiceError as exc:
+                failed += 1
+                name = type(exc).__name__
+                errors[name] = errors.get(name, 0) + 1
+                continue
+            latencies.append(loop.time() - t0)
+            completed += 1
+            if verify and not service.store.verify_block(sid, block, region):
+                corrupt += 1
+
+    t_start = loop.time()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    wall = loop.time() - t_start
+
+    lat = np.array(sorted(latencies), dtype=np.float64)
+
+    def pct(p: float) -> float:
+        if lat.size == 0:
+            return 0.0
+        return float(lat[min(lat.size - 1, int(p / 100.0 * lat.size))])
+
+    return {
+        "requests": len(schedule),
+        "completed": completed,
+        "failed": failed,
+        "corrupt": corrupt,
+        "errors": errors,
+        "concurrency": concurrency,
+        "wall_seconds": wall,
+        "requests_per_sec": (completed / wall) if wall > 0 else 0.0,
+        "latency": {
+            "p50_s": pct(50),
+            "p90_s": pct(90),
+            "p99_s": pct(99),
+            "max_s": float(lat[-1]) if lat.size else 0.0,
+            "mean_s": float(lat.mean()) if lat.size else 0.0,
+        },
+    }
+
+
+def damage_store(
+    store: BlobStore,
+    fraction: float = 0.5,
+    z: int = 1,
+    seed: int = 2015,
+) -> int:
+    """Erase worst-case-SD scenarios on ``fraction`` of the stripes.
+
+    Every damaged stripe gets the *same* scenario (one shared erasure
+    pattern — the disk-loss shape that makes coalescing effective);
+    returns the number of stripes damaged.
+    """
+    from ..stripes.failures import worst_case_sd
+
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    scenario = worst_case_sd(store.code, z=z, rng=seed)
+    rng = np.random.default_rng(seed)
+    ids = list(store.stripe_ids)
+    damaged = rng.choice(len(ids), size=int(round(fraction * len(ids))), replace=False)
+    for index in damaged:
+        store.apply_scenario(ids[int(index)], scenario)
+    return int(damaged.size)

@@ -1,0 +1,198 @@
+"""A minimal TCP wire for the service: JSON objects, one per line.
+
+``ppm serve`` runs :func:`serve` to expose a :class:`BlobService` on a
+socket; :class:`ServiceClient` is the matching asyncio client (used by
+``ppm loadgen --connect``).  The protocol is deliberately tiny — this
+is a demonstration wire for the serving loop, not a production RPC:
+
+    -> {"op": "get", "stripe": 3, "block": 7, "deadline_s": 0.5}
+    <- {"ok": true, "data": [1, 2, ...]}
+
+    -> {"op": "put", "stripe": 3, "block": 7, "data": [1, 2, ...]}
+    <- {"ok": true}
+
+    -> {"op": "metrics"}
+    <- {"ok": true, "metrics": {...}}
+
+Errors come back as ``{"ok": false, "kind": "<ExceptionName>",
+"error": "<message>"}`` with the connection kept open; only a malformed
+line closes it.  Regions travel as JSON integer lists (field symbols),
+which caps practical sector sizes but keeps the wire dependency-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from . import errors as _errors
+from .errors import ServiceError
+from .server import BlobService
+
+_OPS = ("get", "degraded_get", "put", "metrics", "ping")
+
+
+def _encode_region(region: np.ndarray) -> list[int]:
+    return [int(x) for x in region]
+
+
+async def _handle_request(service: BlobService, request: dict) -> dict:
+    op = request.get("op")
+    if op not in _OPS:
+        return {"ok": False, "kind": "BadRequest", "error": f"unknown op {op!r}"}
+    if op == "ping":
+        return {"ok": True}
+    if op == "metrics":
+        return {"ok": True, "metrics": service.metrics_dict()}
+    try:
+        stripe_id = int(request["stripe"])
+        block = int(request["block"])
+    except (KeyError, TypeError, ValueError) as exc:
+        return {"ok": False, "kind": "BadRequest", "error": f"bad stripe/block: {exc}"}
+    deadline = request.get("deadline_s")
+    deadline_s = float(deadline) if deadline is not None else None
+    try:
+        if op == "put":
+            data = np.asarray(
+                request["data"], dtype=service.store.code.field.dtype
+            )
+            await service.put(stripe_id, block, data)
+            return {"ok": True}
+        if op == "get":
+            region = await service.get(stripe_id, block, deadline_s=deadline_s)
+        else:
+            region = await service.degraded_get(
+                stripe_id, block, deadline_s=deadline_s
+            )
+        return {"ok": True, "data": _encode_region(region)}
+    except ServiceError as exc:
+        return {"ok": False, "kind": type(exc).__name__, "error": str(exc)}
+    except (KeyError, TypeError, ValueError) as exc:
+        return {"ok": False, "kind": "BadRequest", "error": str(exc)}
+
+
+async def _serve_connection(
+    service: BlobService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError:
+                writer.write(
+                    json.dumps(
+                        {"ok": False, "kind": "BadRequest", "error": "invalid JSON"}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                break
+            response = await _handle_request(service, request)
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client vanished mid-request; nothing to clean up
+    except asyncio.CancelledError:
+        pass  # server shutdown cancelled this handler mid-read
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+
+
+async def serve(
+    service: BlobService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Start the TCP front-end; returns the listening server.
+
+    ``port=0`` picks a free port — read it back from
+    ``server.sockets[0].getsockname()[1]``.
+    """
+
+    async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        await _serve_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+class ServiceClient:
+    """Asyncio client for the JSON-lines wire (one request in flight)."""
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(host, port)
+        return client
+
+    async def _roundtrip(self, request: dict) -> dict:
+        if self._reader is None or self._writer is None:
+            raise _errors.ServiceClosedError("client is not connected")
+        self._writer.write(json.dumps(request).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise _errors.ServiceClosedError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            kind = response.get("kind", "ServiceError")
+            exc_type = getattr(_errors, kind, ServiceError)
+            if not (isinstance(exc_type, type) and issubclass(exc_type, ServiceError)):
+                exc_type = ServiceError
+            raise exc_type(response.get("error", "request failed"))
+        return response
+
+    async def ping(self) -> None:
+        await self._roundtrip({"op": "ping"})
+
+    async def get(
+        self, stripe_id: int, block: int, deadline_s: float | None = None
+    ) -> list[int]:
+        response = await self._roundtrip(
+            {"op": "get", "stripe": stripe_id, "block": block, "deadline_s": deadline_s}
+        )
+        return response["data"]
+
+    async def degraded_get(
+        self, stripe_id: int, block: int, deadline_s: float | None = None
+    ) -> list[int]:
+        response = await self._roundtrip(
+            {
+                "op": "degraded_get",
+                "stripe": stripe_id,
+                "block": block,
+                "deadline_s": deadline_s,
+            }
+        )
+        return response["data"]
+
+    async def put(self, stripe_id: int, block: int, data) -> None:
+        await self._roundtrip(
+            {"op": "put", "stripe": stripe_id, "block": block, "data": list(data)}
+        )
+
+    async def metrics(self) -> dict:
+        response = await self._roundtrip({"op": "metrics"})
+        return response["metrics"]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None

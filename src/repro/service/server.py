@@ -1,0 +1,253 @@
+"""`BlobService`: the asyncio front-end over store + scheduler + pipeline.
+
+The request path (client → service → scheduler → pipeline → kernels →
+store) and its degradation ladder:
+
+1. ``get`` reads the block straight from the store; if the block is
+   *erased* the request transparently becomes a degraded read.
+2. ``degraded_get`` submits to the :class:`CoalescingScheduler`, which
+   batches same-pattern reads through
+   :meth:`~repro.pipeline.DecodePipeline.decode_batch` (plan cache +
+   fused sweep + compiled kernels) off the event loop.
+3. A transient :class:`NodeFault` is retried with exponential backoff
+   up to ``config.max_retries`` times (the fault injector bounds
+   consecutive faults, so the retry budget always suffices).
+4. If the *batch path itself* errors, the affected requests fall back
+   to a fresh uncompiled single-stripe decode
+   (``PPMDecoder(parallel=False, compile=False)``) through the
+   fault-free recovery channel — one poisoned batch degrades latency,
+   never correctness.
+5. The caller's deadline caps the whole ladder; expiry cancels the
+   queued read and raises :class:`DeadlineExceeded`.
+
+``config.coalesce=False`` selects *naive mode* — step 2 is replaced by
+a per-request fresh uncompiled decode — which is the baseline
+``repro.bench.service`` measures the coalesced path against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from ..core import PPMDecoder
+from ..pipeline import DecodePipeline
+from .config import ServiceConfig
+from .errors import (
+    BatchDecodeError,
+    BlockUnavailableError,
+    DeadlineExceeded,
+    NodeFault,
+    ServiceClosedError,
+)
+from .metrics import ServiceMetrics
+from .scheduler import CoalescingScheduler
+from .store import BlobStore
+
+
+class BlobService:
+    """Async get/put/degraded-get server over an erasure-coded store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`BlobStore` holding the stripes (and injecting
+        transient faults, when configured).
+    config:
+        Coalescing/admission/deadline/backoff knobs.
+    pipeline:
+        The batch decoder behind the scheduler; a private
+        ``DecodePipeline(pool="serial")`` is built (and owned) when not
+        given.  Decode work always runs off-loop, so a serial pool
+        inside the worker thread is the low-overhead default on small
+        hosts.
+    """
+
+    def __init__(
+        self,
+        store: BlobStore,
+        *,
+        config: ServiceConfig | None = None,
+        pipeline: DecodePipeline | None = None,
+    ):
+        self.store = store
+        self.config = config if config is not None else ServiceConfig()
+        self._owns_pipeline = pipeline is None
+        self.pipeline = (
+            pipeline if pipeline is not None else DecodePipeline(pool="serial")
+        )
+        self.metrics = ServiceMetrics()
+        self.scheduler = CoalescingScheduler(
+            store, self._decode_batch, self.config, self.metrics
+        )
+        self._closed = False
+
+    # -- decode plumbing -----------------------------------------------------
+
+    def _decode_batch(self, snapshots, patterns):
+        """Worker-thread hop into the pipeline (scheduler callback)."""
+        return self.pipeline.decode_batch(self.store.code, snapshots, patterns)
+
+    def _single_decode(
+        self, stripe_id: int, block: int, inject: bool
+    ) -> np.ndarray:
+        """Fresh uncompiled single-stripe decode (naive mode / fallback).
+
+        Re-plans every call — deliberately the pre-subsystem state of
+        the repo, so the benchmark's baseline is honest.
+        """
+        blocks = self.store.snapshot_blocks(stripe_id, inject=inject)
+        pattern = self.store.pattern(stripe_id)
+        if block in blocks:
+            return blocks[block]
+        decoder = PPMDecoder(parallel=False, compile=False)
+        recovered = decoder.decode(self.store.code, blocks, pattern)
+        if block not in recovered:
+            raise BlockUnavailableError(
+                f"stripe {stripe_id} block {block} not recovered"
+            )
+        return recovered[block]
+
+    # -- request API ---------------------------------------------------------
+
+    async def get(
+        self, stripe_id: int, block: int, *, deadline_s: float | None = None
+    ) -> np.ndarray:
+        """Serve one block, decoding transparently if it is erased."""
+        self._check_open()
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        budget = deadline_s if deadline_s is not None else self.config.default_deadline_s
+        for attempt in range(self.config.max_retries + 1):
+            try:
+                region = self.store.read(stripe_id, block)
+                self.metrics.gets += 1
+                self.metrics.request.observe(loop.time() - t0)
+                return region
+            except NodeFault:
+                self.metrics.faults_seen += 1
+                if attempt >= self.config.max_retries:
+                    self.metrics.failures += 1
+                    raise
+                self.metrics.retries += 1
+                await asyncio.sleep(self.config.backoff(attempt))
+            except BlockUnavailableError:
+                break  # erased: decode it
+        remaining = budget - (loop.time() - t0)
+        region = await self.degraded_get(stripe_id, block, deadline_s=remaining)
+        self.metrics.gets += 1
+        return region
+
+    async def put(self, stripe_id: int, block: int, region: np.ndarray) -> None:
+        """Write one block through to the store (and its ground truth)."""
+        self._check_open()
+        for attempt in range(self.config.max_retries + 1):
+            try:
+                self.store.write(stripe_id, block, region)
+                self.metrics.puts += 1
+                return
+            except NodeFault:
+                self.metrics.faults_seen += 1
+                if attempt >= self.config.max_retries:
+                    self.metrics.failures += 1
+                    raise
+                self.metrics.retries += 1
+                await asyncio.sleep(self.config.backoff(attempt))
+
+    async def degraded_get(
+        self, stripe_id: int, block: int, *, deadline_s: float | None = None
+    ) -> np.ndarray:
+        """Recover one erased block within a deadline.
+
+        The full ladder: coalesced batch decode, retry-with-backoff on
+        transient faults, single-stripe fallback on batch errors —
+        all capped by ``deadline_s`` (``config.default_deadline_s``
+        when omitted).
+        """
+        self._check_open()
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        budget = deadline_s if deadline_s is not None else self.config.default_deadline_s
+        if budget <= 0:
+            self.metrics.timeouts += 1
+            self.metrics.failures += 1
+            raise DeadlineExceeded(
+                f"stripe {stripe_id} block {block}: no deadline budget left"
+            )
+        try:
+            region = await asyncio.wait_for(
+                self._degraded_ladder(stripe_id, block), timeout=budget
+            )
+        except asyncio.TimeoutError:
+            self.metrics.timeouts += 1
+            self.metrics.failures += 1
+            raise DeadlineExceeded(
+                f"stripe {stripe_id} block {block}: deadline of {budget:.3f}s exceeded"
+            ) from None
+        except (NodeFault, BatchDecodeError, BlockUnavailableError):
+            self.metrics.failures += 1
+            raise
+        self.metrics.degraded_gets += 1
+        self.metrics.request.observe(loop.time() - t0)
+        return region
+
+    async def _degraded_ladder(self, stripe_id: int, block: int) -> np.ndarray:
+        batch_error: BatchDecodeError | None = None
+        for attempt in range(self.config.max_retries + 1):
+            try:
+                if self.config.coalesce:
+                    return await self.scheduler.submit(stripe_id, block)
+                return await asyncio.to_thread(
+                    self._single_decode, stripe_id, block, True
+                )
+            except NodeFault:
+                self.metrics.faults_seen += 1
+                if attempt >= self.config.max_retries:
+                    raise
+                self.metrics.retries += 1
+                await asyncio.sleep(self.config.backoff(attempt))
+            except BatchDecodeError as exc:
+                batch_error = exc
+                break
+        if batch_error is not None and self.config.fallback_single:
+            self.metrics.fallbacks += 1
+            return await asyncio.to_thread(
+                self._single_decode, stripe_id, block, False
+            )
+        assert batch_error is not None  # retries exhausted re-raise above
+        raise batch_error
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_dict(self) -> dict[str, object]:
+        """One JSON document: serving view + pipeline/kernel cost view.
+
+        ``pipeline.mult_xors``/``symbols`` come from the same
+        :class:`~repro.gf.region.OpCounter` the offline benchmarks use,
+        so the served work reconciles with the paper's accounting.
+        """
+        out = self.metrics.as_dict(pipeline=self.pipeline.metrics().as_dict())
+        out["kernels"] = self.pipeline.executor_stats()
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+
+    async def close(self) -> None:
+        """Drain the scheduler; shut the pipeline down if we own it."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.scheduler.close()
+        if self._owns_pipeline:
+            self.pipeline.close()
+
+    async def __aenter__(self) -> "BlobService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

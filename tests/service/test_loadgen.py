@@ -1,0 +1,114 @@
+"""Load generator: reproducible schedules, closed-loop driving, damage."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    BlobService,
+    ServiceConfig,
+    build_request_schedule,
+    damage_store,
+    run_loadgen,
+)
+
+from .conftest import make_store
+
+
+def test_schedule_is_seeded_and_reproducible(code):
+    store = make_store(code, num_stripes=4)
+    a = build_request_schedule(store, 50, seed=9)
+    b = build_request_schedule(store, 50, seed=9)
+    c = build_request_schedule(store, 50, seed=10)
+    assert a == b
+    assert a != c
+    assert len(a) == 50
+    for op, sid, block in a:
+        assert op == "get"
+        assert sid in store.stripe_ids
+
+
+def test_schedule_steers_toward_erased_blocks(code):
+    store = make_store(code, num_stripes=4)
+    erased = {
+        (sid, b) for sid in store.stripe_ids for b in store.stripe(sid).erased_ids
+    }
+    all_degraded = build_request_schedule(store, 40, seed=1, degraded_fraction=1.0)
+    assert all(
+        (sid, block) in erased for _, sid, block in all_degraded
+    )
+    none_degraded = build_request_schedule(store, 40, seed=1, degraded_fraction=0.0)
+    assert not any(
+        (sid, block) in erased for _, sid, block in none_degraded
+    )
+
+
+def test_schedule_requires_stripes(code):
+    from repro.service import BlobStore
+
+    with pytest.raises(ValueError):
+        build_request_schedule(BlobStore(code, 16), 10)
+
+
+def test_run_loadgen_completes_and_verifies(code):
+    store = make_store(code, num_stripes=4, fault_rate=0.2, seed=5)
+    schedule = build_request_schedule(store, 40, seed=5, degraded_fraction=0.6)
+    config = ServiceConfig(
+        batch_trigger=4, flush_interval_s=0.002, backoff_base_s=0.0001
+    )
+
+    async def main():
+        async with BlobService(store, config=config) as service:
+            return await run_loadgen(service, schedule, concurrency=8)
+
+    summary = asyncio.run(main())
+    assert summary["requests"] == 40
+    assert summary["completed"] == 40
+    assert summary["failed"] == 0
+    assert summary["corrupt"] == 0
+    assert summary["requests_per_sec"] > 0
+    assert summary["latency"]["p99_s"] >= summary["latency"]["p50_s"]
+
+
+def test_run_loadgen_counts_failures_by_type(code):
+    store = make_store(code, num_stripes=2)
+    block = store.pattern(0)[0]
+    # flush deadline far beyond the request deadline: every degraded
+    # read times out
+    config = ServiceConfig(batch_trigger=100, flush_interval_s=30.0)
+    schedule = [("degraded_get", 0, block)] * 3
+
+    async def main():
+        async with BlobService(store, config=config) as service:
+            return await run_loadgen(
+                service, schedule, concurrency=3, deadline_s=0.02
+            )
+
+    summary = asyncio.run(main())
+    assert summary["failed"] == 3
+    assert summary["errors"] == {"DeadlineExceeded": 3}
+
+
+def test_run_loadgen_validates_concurrency(code):
+    store = make_store(code, num_stripes=1)
+
+    async def main():
+        async with BlobService(store) as service:
+            await run_loadgen(service, [], concurrency=0)
+
+    with pytest.raises(ValueError):
+        asyncio.run(main())
+
+
+def test_damage_store_shares_one_pattern(code):
+    store = make_store(code, num_stripes=8, damaged=0.0)
+    count = damage_store(store, fraction=0.5, seed=3)
+    assert count == 4
+    patterns = {
+        store.pattern(sid) for sid in store.stripe_ids if store.pattern(sid)
+    }
+    assert len(patterns) == 1  # the disk-loss shape coalescing relies on
+    with pytest.raises(ValueError):
+        damage_store(store, fraction=1.5)

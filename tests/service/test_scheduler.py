@@ -1,0 +1,249 @@
+"""CoalescingScheduler: triggers, admission, fault windows, lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import PPMDecoder
+from repro.service import CoalescingScheduler, FaultInjector, ServiceConfig, ServiceMetrics
+from repro.service.errors import (
+    BatchDecodeError,
+    NodeFault,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+
+from .conftest import make_store
+
+
+def make_scheduler(code, store, config, decode=None):
+    metrics = ServiceMetrics()
+    if decode is None:
+        decoder = PPMDecoder(parallel=False, compile=False)
+
+        def decode(snapshots, patterns):
+            return [
+                decoder.decode(code, blocks, pattern)
+                for blocks, pattern in zip(snapshots, patterns)
+            ]
+
+    return CoalescingScheduler(store, decode, config, metrics), metrics
+
+
+def test_size_trigger_fuses_one_flush(code):
+    """batch_trigger concurrent same-pattern reads -> exactly one flush."""
+    store = make_store(code, num_stripes=3)
+    config = ServiceConfig(batch_trigger=3, flush_interval_s=10.0)
+    scheduler, metrics = make_scheduler(code, store, config)
+    block = store.pattern(0)[0]
+
+    async def main():
+        results = await asyncio.gather(
+            *(scheduler.submit(sid, block) for sid in range(3))
+        )
+        await scheduler.close()
+        return results
+
+    results = asyncio.run(main())
+    assert metrics.flushes == 1
+    assert metrics.flushed_reads == 3
+    assert metrics.coalesce_factor == pytest.approx(3.0)
+    for sid, region in enumerate(results):
+        assert store.verify_block(sid, block, region)
+
+
+def test_deadline_trigger_frees_a_lone_read(code):
+    """An under-full group flushes after flush_interval_s regardless."""
+    store = make_store(code, num_stripes=1)
+    config = ServiceConfig(batch_trigger=100, flush_interval_s=0.005)
+    scheduler, metrics = make_scheduler(code, store, config)
+    block = store.pattern(0)[0]
+
+    async def main():
+        region = await asyncio.wait_for(scheduler.submit(0, block), timeout=5.0)
+        await scheduler.close()
+        return region
+
+    region = asyncio.run(main())
+    assert store.verify_block(0, block, region)
+    assert metrics.flushes == 1
+    assert metrics.flushed_reads == 1
+
+
+def test_admission_control_sheds_beyond_max_pending(code):
+    store = make_store(code, num_stripes=3)
+    config = ServiceConfig(batch_trigger=100, flush_interval_s=10.0, max_pending=2)
+    scheduler, metrics = make_scheduler(code, store, config)
+    block = store.pattern(0)[0]
+
+    async def main():
+        queued = [
+            asyncio.create_task(scheduler.submit(sid, block)) for sid in range(2)
+        ]
+        await asyncio.sleep(0)  # let both submits enqueue
+        assert scheduler.pending == 2
+        with pytest.raises(ServiceOverloadError):
+            await scheduler.submit(2, block)
+        await scheduler.drain()
+        return await asyncio.gather(*queued)
+
+    results = asyncio.run(main())
+    assert metrics.rejected == 1
+    assert len(results) == 2
+    assert metrics.queue_depth_peak == 2
+
+
+def test_distinct_patterns_get_distinct_groups(code):
+    store = make_store(code, num_stripes=2, damaged=0.0)
+    store.erase(0, [0])
+    store.erase(1, [1])
+    config = ServiceConfig(batch_trigger=100, flush_interval_s=10.0)
+    scheduler, metrics = make_scheduler(code, store, config)
+
+    async def main():
+        tasks = [
+            asyncio.create_task(scheduler.submit(0, 0)),
+            asyncio.create_task(scheduler.submit(1, 1)),
+        ]
+        await asyncio.sleep(0)
+        assert set(scheduler.open_patterns) == {(0,), (1,)}
+        await scheduler.drain()
+        return await asyncio.gather(*tasks)
+
+    results = asyncio.run(main())
+    assert metrics.flushes == 2  # one per pattern, even drained together
+    assert store.verify_block(0, 0, results[0])
+    assert store.verify_block(1, 1, results[1])
+
+
+def test_double_fault_while_queued_decodes_under_wider_pattern(code):
+    """A second erasure arriving between enqueue and flush is honoured:
+    the flush re-reads the pattern, so the read still returns truth."""
+    store = make_store(code, num_stripes=1, damaged=0.0)
+    store.erase(0, [0])
+    config = ServiceConfig(batch_trigger=100, flush_interval_s=10.0)
+    scheduler, metrics = make_scheduler(code, store, config)
+
+    async def main():
+        task = asyncio.create_task(scheduler.submit(0, 0))
+        await asyncio.sleep(0)  # queued under pattern (0,)
+        store.erase(0, [1])  # double fault before the flush
+        await scheduler.drain()
+        return await task
+
+    region = asyncio.run(main())
+    assert store.verify_block(0, 0, region)
+    assert metrics.flushes == 1
+
+
+class _TargetedFault(FaultInjector):
+    """Faults exactly one stripe's next check; everything else passes."""
+
+    def __init__(self, victim: int):
+        super().__init__(0.0)
+        self.victim: int | None = victim
+
+    def check(self, stripe_id: int) -> None:
+        if stripe_id == self.victim:
+            self.victim = None
+            raise NodeFault(f"targeted fault on stripe {stripe_id}")
+
+
+def test_fault_at_flush_time_fails_only_that_read(code):
+    """A NodeFault snapshotting one stripe must not poison its riders."""
+    store = make_store(code, num_stripes=2)
+    block = store.pattern(0)[0]
+    config = ServiceConfig(batch_trigger=100, flush_interval_s=10.0)
+    scheduler, metrics = make_scheduler(code, store, config)
+
+    async def main():
+        tasks = [
+            asyncio.create_task(scheduler.submit(sid, block)) for sid in range(2)
+        ]
+        await asyncio.sleep(0)
+        # arm the injector *after* enqueue so the fault lands at flush time
+        store.faults = _TargetedFault(victim=0)
+        await scheduler.drain()
+        return await asyncio.gather(*tasks, return_exceptions=True)
+
+    results = asyncio.run(main())
+    assert isinstance(results[0], NodeFault)  # the faulted snapshot failed
+    assert isinstance(results[1], np.ndarray)  # its rider still decoded
+    assert store.verify_block(1, block, results[1])
+    assert metrics.flushed_reads == 1
+
+
+def test_batch_decode_error_wraps_and_hits_every_rider(code):
+    store = make_store(code, num_stripes=2)
+    block = store.pattern(0)[0]
+    config = ServiceConfig(batch_trigger=2, flush_interval_s=10.0)
+
+    def broken(snapshots, patterns):
+        raise RuntimeError("poisoned batch")
+
+    scheduler, metrics = make_scheduler(code, store, config, decode=broken)
+
+    async def main():
+        return await asyncio.gather(
+            *(scheduler.submit(sid, block) for sid in range(2)),
+            return_exceptions=True,
+        )
+
+    results = asyncio.run(main())
+    assert len(results) == 2
+    for exc in results:
+        assert isinstance(exc, BatchDecodeError)
+        assert isinstance(exc.__cause__, RuntimeError)
+    assert metrics.batch_errors == 1
+
+
+def test_cancelled_read_is_skipped_by_the_flush(code):
+    store = make_store(code, num_stripes=1)
+    block = store.pattern(0)[0]
+    config = ServiceConfig(batch_trigger=100, flush_interval_s=10.0)
+    scheduler, metrics = make_scheduler(code, store, config)
+
+    async def main():
+        task = asyncio.create_task(scheduler.submit(0, block))
+        await asyncio.sleep(0)
+        task.cancel()
+        await asyncio.gather(task, return_exceptions=True)
+        await scheduler.drain()
+
+    asyncio.run(main())
+    assert metrics.flushes == 0  # nothing live reached the decode
+    assert metrics.flushed_reads == 0
+
+
+def test_closed_scheduler_refuses_submissions(code):
+    store = make_store(code, num_stripes=1)
+    config = ServiceConfig()
+    scheduler, _ = make_scheduler(code, store, config)
+
+    async def main():
+        await scheduler.close()
+        with pytest.raises(ServiceClosedError):
+            await scheduler.submit(0, store.pattern(0)[0])
+
+    asyncio.run(main())
+
+
+def test_scheduler_rejects_raw_node_fault_leak(code):
+    """Faults raised by the store during submit-time pattern lookup
+    propagate as NodeFault (retryable), not as a generic error."""
+    store = make_store(code, num_stripes=1)
+    store.faults = FaultInjector(0.999999, rng=0, max_consecutive=1)
+    config = ServiceConfig(batch_trigger=1, flush_interval_s=0.0)
+    scheduler, _ = make_scheduler(code, store, config)
+    block = store.pattern(0)[0]  # pattern() itself doesn't inject
+
+    async def main():
+        with pytest.raises(NodeFault):
+            # first snapshot faults; with batch_trigger=1 the flush is
+            # immediate so the fault surfaces on this submit
+            await scheduler.submit(0, block)
+
+    asyncio.run(main())

@@ -1,0 +1,120 @@
+"""BlobStore semantics and the bounded transient-fault injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import BlobStore, FaultInjector
+from repro.service.errors import BlockUnavailableError, NodeFault
+from repro.stripes import worst_case_sd
+
+from .conftest import SYMBOLS, make_store
+
+
+def test_build_retains_ground_truth(code):
+    store = make_store(code, num_stripes=3, damaged=0.0)
+    assert store.stripe_ids == (0, 1, 2)
+    for sid in store.stripe_ids:
+        for block in store.stripe(sid).present_ids:
+            assert store.verify_block(sid, block, store.read(sid, block))
+
+
+def test_read_erased_raises_block_unavailable(code):
+    store = make_store(code, num_stripes=1)
+    erased = store.pattern(0)
+    assert erased  # damage_store applied a worst-case scenario
+    with pytest.raises(BlockUnavailableError):
+        store.read(0, erased[0])
+    with pytest.raises(BlockUnavailableError):
+        store.read(99, 0)  # unknown stripe
+
+
+def test_write_through_updates_truth(code):
+    store = make_store(code, num_stripes=1, damaged=0.0)
+    region = np.arange(SYMBOLS, dtype=store.code.field.dtype)
+    store.write(0, 0, region)
+    assert store.verify_block(0, 0, region)
+
+
+def test_snapshot_is_point_in_time(code):
+    """A double fault after the snapshot cannot touch an in-flight decode."""
+    store = make_store(code, num_stripes=1, damaged=0.0)
+    snap = store.snapshot_blocks(0)
+    victim = next(iter(snap))
+    store.erase(0, [victim])  # double fault lands *after* the snapshot
+    assert victim in snap  # the snapshot still holds the survivor
+    assert store.verify_block(0, victim, snap[victim])
+    assert victim not in store.snapshot_blocks(0)  # but new snapshots see it
+
+
+def test_repair_restores_reads(code):
+    store = make_store(code, num_stripes=1)
+    block = store.pattern(0)[0]
+    truth_region = store.truth(0).get(block)
+    store.repair(0, {block: truth_region})
+    assert np.array_equal(store.read(0, block), truth_region)
+
+
+def test_apply_scenario_matches_pattern(code):
+    store = make_store(code, num_stripes=1, damaged=0.0)
+    scenario = worst_case_sd(code, z=1, rng=3)
+    store.apply_scenario(0, scenario)
+    assert store.pattern(0) == tuple(sorted(scenario.faulty_blocks))
+
+
+# -- FaultInjector ----------------------------------------------------------
+
+
+def test_injector_validates_inputs():
+    with pytest.raises(ValueError):
+        FaultInjector(rate=1.0)
+    with pytest.raises(ValueError):
+        FaultInjector(rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultInjector(rate=0.5, max_consecutive=0)
+
+
+def test_injector_zero_rate_never_fires():
+    inj = FaultInjector(0.0, rng=0)
+    for _ in range(100):
+        inj.check(0)
+    assert inj.injected == 0
+
+
+def test_injector_bounds_consecutive_faults():
+    """The bound is the retry guarantee: after max_consecutive faults the
+    next check on that stripe always succeeds."""
+    inj = FaultInjector(0.99, rng=0, max_consecutive=2)
+    streak = 0
+    for _ in range(200):
+        try:
+            inj.check(5)
+            streak = 0
+        except NodeFault:
+            streak += 1
+            assert streak <= 2
+    assert inj.injected > 0
+
+
+def test_injector_rate_roughly_respected():
+    inj = FaultInjector(0.1, rng=42, max_consecutive=100)
+    faults = 0
+    for i in range(2000):
+        try:
+            inj.check(i % 50)
+        except NodeFault:
+            faults += 1
+    assert 100 < faults < 320  # ~10% of 2000, loose bounds
+
+
+def test_store_read_surfaces_injected_faults(code):
+    store = BlobStore.build(
+        code, 1, SYMBOLS, rng=0, faults=FaultInjector(0.99, rng=0)
+    )
+    with pytest.raises(NodeFault):
+        for _ in range(10):
+            store.read(0, 0)
+    # the recovery channel bypasses injection entirely
+    snap = store.snapshot_blocks(0, inject=False)
+    assert snap

@@ -104,3 +104,89 @@ def test_describe(code):
     text = scen.describe(layout)
     assert "faulty blocks" in text
     assert "z=1" in text
+
+
+# -- serving-path edge cases -------------------------------------------------
+# Failure scenarios interacting with the degraded-read service: transient
+# fault injection overlapping an in-flight read, and a double fault landing
+# in the window between the coalesce flush and the decode.
+
+
+def test_overlapping_fault_injection_during_inflight_degraded_read(code):
+    """A transient fault firing on the stripe an in-flight degraded read
+    is recovering must be absorbed by a retry, never corrupt the answer."""
+    import asyncio
+
+    from repro.service import BlobService, BlobStore, FaultInjector, ServiceConfig
+    from repro.service.errors import NodeFault
+
+    class FaultFirstAttempt(FaultInjector):
+        """Faults exactly the first flush-time snapshot, then goes quiet."""
+
+        def __init__(self):
+            super().__init__(0.0)
+            self.armed = True
+
+        def check(self, stripe_id):
+            if self.armed:
+                self.armed = False
+                raise NodeFault(f"overlapping fault on stripe {stripe_id}")
+
+    store = BlobStore.build(code, 1, 16, rng=0)
+    scenario = worst_case_sd(code, z=1, rng=0)
+    store.apply_scenario(0, scenario)
+    block = scenario.faulty_blocks[0]
+    config = ServiceConfig(
+        batch_trigger=1, flush_interval_s=0.0, backoff_base_s=0.0001
+    )
+
+    async def main():
+        async with BlobService(store, config=config) as service:
+            store.faults = FaultFirstAttempt()
+            region = await service.degraded_get(0, block)
+            assert service.metrics.faults_seen == 1
+            assert service.metrics.retries == 1
+            assert service.metrics.failures == 0
+            return region
+
+    region = asyncio.run(main())
+    assert store.verify_block(0, block, region)
+
+
+def test_double_fault_between_coalesce_flush_and_decode(code):
+    """An erasure landing after the flush snapshot — even one that makes
+    the stripe undecodable — cannot touch the in-flight batch."""
+    import asyncio
+
+    from repro.core import PPMDecoder
+    from repro.service import BlobStore, CoalescingScheduler, ServiceConfig, ServiceMetrics
+
+    store = BlobStore.build(code, 1, 16, rng=1)
+    scenario = worst_case_sd(code, z=1, rng=1)  # already at m disks + s sectors
+    store.apply_scenario(0, scenario)
+    block = scenario.faulty_blocks[0]
+    survivor = store.stripe(0).present_ids[0]
+    decoder = PPMDecoder(parallel=False, compile=False)
+
+    def decode_with_late_fault(snapshots, patterns):
+        # the double fault arrives *during* the decode window: beyond the
+        # code's tolerance, so a fresh decode of the stripe would now fail
+        store.erase(0, [survivor])
+        return [
+            decoder.decode(code, blocks, pattern)
+            for blocks, pattern in zip(snapshots, patterns)
+        ]
+
+    config = ServiceConfig(batch_trigger=1, flush_interval_s=0.0)
+    metrics = ServiceMetrics()
+    scheduler = CoalescingScheduler(store, decode_with_late_fault, config, metrics)
+
+    async def main():
+        region = await scheduler.submit(0, block)
+        await scheduler.close()
+        return region
+
+    region = asyncio.run(main())
+    assert store.verify_block(0, block, region)  # snapshot immunity
+    assert survivor in store.pattern(0)  # the store did take the hit
+    assert metrics.batch_errors == 0

@@ -29,6 +29,7 @@ def test_rule_registry_is_populated():
         "PPM006",
         "PPM007",
         "PPM008",
+        "PPM009",
     } <= set(RULES)
     for rule in RULES.values():
         assert rule.explanation, f"{rule.code} has no explanation"
@@ -176,6 +177,59 @@ def test_ppm008_mult_xors_loop_in_decoder_modules():
         "    return ops.mult_xors(row, regions)\n"
     )
     assert "PPM008" not in codes_of(single, "repro/core/x.py")
+
+
+def test_ppm009_blocking_calls_in_service():
+    sleep = (
+        "from __future__ import annotations\n"
+        "import time\n"
+        "def f():\n"
+        "    time.sleep(0.1)\n"
+    )
+    assert "PPM009" in codes_of(sleep, "repro/service/x.py")
+    # the same call outside the async package is not this rule's business
+    assert "PPM009" not in codes_of(sleep, "repro/pipeline/x.py")
+    # await asyncio.sleep is the sanctioned idiom
+    ok = (
+        "from __future__ import annotations\n"
+        "import asyncio\n"
+        "async def f():\n"
+        "    await asyncio.sleep(0.1)\n"
+    )
+    assert "PPM009" not in codes_of(ok, "repro/service/x.py")
+
+
+def test_ppm009_sync_io_in_service():
+    opened = (
+        "from __future__ import annotations\n"
+        "def f(path):\n"
+        "    with open(path) as fh:\n"
+        "        return fh.read()\n"
+    )
+    assert "PPM009" in codes_of(opened, "repro/service/x.py")
+    assert "PPM009" not in codes_of(opened, "repro/cli.py")
+    sock = (
+        "from __future__ import annotations\n"
+        "import socket\n"
+        "def f():\n"
+        "    return socket.create_connection((\"h\", 80))\n"
+    )
+    assert "PPM009" in codes_of(sock, "repro/service/x.py")
+    sub = (
+        "from __future__ import annotations\n"
+        "import subprocess\n"
+        "def f():\n"
+        "    subprocess.run([\"ls\"])\n"
+    )
+    assert "PPM009" in codes_of(sub, "repro/service/x.py")
+    # asyncio streams / to_thread offload are fine
+    offload = (
+        "from __future__ import annotations\n"
+        "import asyncio\n"
+        "async def f(fn):\n"
+        "    return await asyncio.to_thread(fn)\n"
+    )
+    assert "PPM009" not in codes_of(offload, "repro/service/x.py")
 
 
 def test_syntax_errors_reported_not_raised():
