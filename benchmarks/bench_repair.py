@@ -1,0 +1,61 @@
+"""Acceptance benchmark for the online scrub-and-repair subsystem.
+
+Runs the shared :func:`repro.bench.repair.run_repair_bench` experiment
+— a store with silently corrupted stripes plus erasure damage, serving
+a foreground degraded-read storm while the repair manager scrubs and
+heals in the background — and writes the full result to
+``BENCH_repair.json`` at the repo root.  The assertions encode the
+acceptance bar: the array must heal to **zero** unhealthy stripes with
+every block verifying against ground truth, and foreground p99 latency
+with repair running must stay within 2x of the identical no-repair
+baseline (repair must never starve serving).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_repair.py``
+or via ``ppm repair-bench``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.repair import run_repair_bench
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_repair.json"
+
+
+def test_repair_heals_under_load_within_latency_bound():
+    result = run_repair_bench(
+        corrupt_fraction=0.05, damaged_fraction=0.25, max_p99_ratio=2.0
+    )
+    OUT.write_text(json.dumps(result, indent=2) + "\n")
+    assert result["unhealthy_stripes_before"] > 0, (
+        "the workload must start damaged, or the bench gates nothing"
+    )
+    assert result["healed"], (
+        f"{result['unhealthy_stripes_after']} stripes still unhealthy after "
+        "the heal window; repair must drive syndromes to zero"
+    )
+    assert result["truth_verified"], (
+        "a repaired block does not match ground truth — repair wrote wrong data"
+    )
+    assert result["unhealthy_stripes_after"] == 0
+    assert result["p99_within_bound"], (
+        f"foreground p99 degraded {result['p99_ratio']:.2f}x with repair on "
+        f"(bound {result['max_p99_ratio']:.1f}x); repair is starving serving"
+    )
+    repair_stats = result["repair"]["service"]["repair"]["repair"]
+    assert repair_stats["verify_failures"] == 0
+    scrub_stats = result["repair"]["service"]["repair"]["scrub"]
+    assert scrub_stats["corruptions_found"] > 0, (
+        "scrubbing never found the injected corruption"
+    )
+
+
+def test_repair_kernel(benchmark):
+    """Microbenchmark: one corrupt-store heal cycle under light load."""
+    benchmark.pedantic(
+        lambda: run_repair_bench(
+            requests=50, num_stripes=16, corrupt_fraction=0.1
+        ),
+        rounds=1,
+        iterations=1,
+    )

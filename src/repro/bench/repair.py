@@ -1,0 +1,240 @@
+"""Acceptance benchmark: online repair under live foreground load.
+
+Simulates the scenario the repair subsystem exists for — a store with
+silently corrupted stripes *and* a node loss, serving foreground reads
+the whole time — and answers the two questions its acceptance bar
+asks:
+
+1. **Does the array heal?**  After the load completes, the manager
+   must scrub-and-repair to *zero* nonzero-syndrome stripes, and every
+   block must verify against ground truth.
+2. **What does repair cost the foreground?**  The same seeded schedule
+   runs against an identical store with repair disabled; the
+   repair-on side's p99 must stay within ``max_p99_ratio`` (default
+   2x) of that baseline.
+
+Both sides are built bit-identically (same stores, same damage, same
+corruption, same schedule, same fault streams) so the p99 ratio
+isolates exactly the cost of scrubbing + background repair batches
+sharing the pipeline.  Checked by ``benchmarks/bench_repair.py`` and
+the CI ``repair-smoke`` job via ``ppm repair-bench``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..codes import SDCode
+from ..repair import RepairConfig
+from ..service import (
+    BlobService,
+    BlobStore,
+    FaultInjector,
+    ServiceConfig,
+    build_request_schedule,
+    corrupt_store,
+    damage_store,
+    run_loadgen,
+)
+
+
+def _build_store(
+    n: int,
+    r: int,
+    m: int,
+    s: int,
+    num_stripes: int,
+    sector_symbols: int,
+    fault_rate: float,
+    damaged_fraction: float,
+    corrupt_fraction: float,
+    seed: int,
+) -> BlobStore:
+    code = SDCode(n, r, m, s)
+    store = BlobStore.build(
+        code,
+        num_stripes,
+        sector_symbols,
+        rng=seed,
+        faults=FaultInjector(fault_rate, rng=seed),
+    )
+    damage_store(store, fraction=damaged_fraction, seed=seed)
+    corrupt_store(store, fraction=corrupt_fraction, seed=seed)
+    return store
+
+
+def _count_unhealthy(store: BlobStore) -> int:
+    """Stripes whose syndromes are nonzero or whose blocks are erased."""
+    from ..repair import StoreScrubber
+
+    return len(StoreScrubber(store).scan_full_pass().findings)
+
+
+def _verify_against_truth(store: BlobStore) -> bool:
+    for sid in store.stripe_ids:
+        stripe = store.stripe(sid)
+        if stripe.erased_ids:
+            return False
+        for block in stripe.present_ids:
+            if not store.verify_block(sid, block, stripe.get(block)):
+                return False
+    return True
+
+
+async def _run_side(
+    store: BlobStore,
+    config: ServiceConfig,
+    schedule,
+    concurrency: int,
+    heal_timeout_s: float,
+) -> tuple[dict, dict, dict]:
+    """Serve the schedule; with repair configured, also wait for heal."""
+    async with BlobService(store, config=config) as service:
+        summary = await run_loadgen(
+            service, schedule, concurrency=concurrency, verify=False
+        )
+        heal = {"enabled": service.repair is not None, "healed": None}
+        if service.repair is not None:
+            heal["healed"] = await service.repair.wait_healthy(
+                timeout_s=heal_timeout_s
+            )
+        return summary, service.metrics_dict(), heal
+
+
+def run_repair_bench(
+    n: int = 10,
+    r: int = 8,
+    m: int = 2,
+    s: int = 2,
+    num_stripes: int = 32,
+    sector_symbols: int = 512,
+    requests: int = 200,
+    concurrency: int = 16,
+    fault_rate: float = 0.0,
+    damaged_fraction: float = 0.25,
+    corrupt_fraction: float = 0.05,
+    degraded_fraction: float = 0.5,
+    scrub_stripes: int = 8,
+    rate_blocks_per_s: float = 0.0,
+    heal_timeout_s: float = 30.0,
+    max_p99_ratio: float = 2.0,
+    seed: int = 2015,
+) -> dict:
+    """Repair-on vs repair-off under identical load; JSON-ready dict.
+
+    Note: loadgen verification is off for this bench — corrupted blocks
+    *will* serve wrong bytes until the scrubber reaches them; what is
+    gated here is that the array fully heals afterwards and that
+    foreground latency stays within ``max_p99_ratio`` of the no-repair
+    baseline.  (The serving-correctness gate lives in
+    :mod:`repro.bench.service`.)
+    """
+
+    def fresh_store() -> BlobStore:
+        return _build_store(
+            n, r, m, s, num_stripes, sector_symbols,
+            fault_rate, damaged_fraction, corrupt_fraction, seed,
+        )
+
+    store = fresh_store()
+    unhealthy_before = _count_unhealthy(store)
+    schedule = build_request_schedule(
+        store, requests, seed=seed, degraded_fraction=degraded_fraction
+    )
+
+    base_summary, base_metrics, _ = asyncio.run(
+        _run_side(
+            fresh_store(),
+            ServiceConfig(max_retries=3),
+            schedule,
+            concurrency,
+            heal_timeout_s,
+        )
+    )
+    repair_config = RepairConfig(
+        scrub_interval_s=0.002,
+        scrub_stripes=scrub_stripes,
+        rate_blocks_per_s=rate_blocks_per_s,
+    )
+    repair_summary, repair_metrics, heal = asyncio.run(
+        _run_side(
+            store,
+            ServiceConfig(max_retries=3, repair=repair_config),
+            schedule,
+            concurrency,
+            heal_timeout_s,
+        )
+    )
+
+    unhealthy_after = _count_unhealthy(store)
+    truth_ok = _verify_against_truth(store)
+    base_p99 = base_summary["latency"]["p99_s"]
+    repair_p99 = repair_summary["latency"]["p99_s"]
+    return {
+        "workload": {
+            "code": f"SD(n={n}, r={r}, m={m}, s={s})",
+            "num_stripes": num_stripes,
+            "sector_symbols": sector_symbols,
+            "requests": requests,
+            "concurrency": concurrency,
+            "fault_rate": fault_rate,
+            "damaged_fraction": damaged_fraction,
+            "corrupt_fraction": corrupt_fraction,
+            "degraded_fraction": degraded_fraction,
+            "scrub_stripes": scrub_stripes,
+            "rate_blocks_per_s": rate_blocks_per_s,
+            "seed": seed,
+        },
+        "baseline": {"loadgen": base_summary, "service": base_metrics},
+        "repair": {"loadgen": repair_summary, "service": repair_metrics},
+        "unhealthy_stripes_before": unhealthy_before,
+        "unhealthy_stripes_after": unhealthy_after,
+        "healed": bool(heal["healed"]) and unhealthy_after == 0,
+        "truth_verified": truth_ok,
+        "baseline_p99_s": base_p99,
+        "repair_p99_s": repair_p99,
+        "p99_ratio": (repair_p99 / base_p99) if base_p99 > 0 else 0.0,
+        "max_p99_ratio": max_p99_ratio,
+        "p99_within_bound": (
+            base_p99 <= 0 or repair_p99 / base_p99 <= max_p99_ratio
+        ),
+        "failed_requests": base_summary["failed"] + repair_summary["failed"],
+    }
+
+
+def format_repair_report(result: dict) -> str:
+    """Human-readable summary of :func:`run_repair_bench` output."""
+    wl = result["workload"]
+    base = result["baseline"]["loadgen"]
+    rep = result["repair"]["loadgen"]
+    rm = result["repair"]["service"].get("repair", {})
+    scrub = rm.get("scrub", {})
+    fix = rm.get("repair", {})
+    lines = [
+        f"workload       {wl['code']} x {wl['num_stripes']} stripes, "
+        f"{wl['requests']} requests @ concurrency {wl['concurrency']}; "
+        f"{wl['damaged_fraction']:.0%} damaged, "
+        f"{wl['corrupt_fraction']:.0%} silently corrupted",
+        f"damage         {result['unhealthy_stripes_before']} unhealthy stripes "
+        f"before -> {result['unhealthy_stripes_after']} after "
+        f"({'HEALED' if result['healed'] else 'NOT healed'}, truth "
+        f"{'verified' if result['truth_verified'] else 'MISMATCH'})",
+        f"scrubbing      {scrub.get('stripes_scrubbed', 0)} stripes scrubbed, "
+        f"{scrub.get('corruptions_found', 0)} corruptions / "
+        f"{scrub.get('erasures_found', 0)} erasures / "
+        f"{scrub.get('ambiguous_found', 0)} ambiguous found",
+        f"repairs        {fix.get('stripes_repaired', 0)} stripes "
+        f"({fix.get('blocks_repaired', 0)} blocks) in "
+        f"{fix.get('batches', 0)} background batches, "
+        f"{fix.get('failures', 0)} failures, "
+        f"{fix.get('verify_failures', 0)} verify failures, "
+        f"rate-limited {fix.get('rate_wait_seconds', 0.0):.3f}s",
+        f"baseline       {base['requests_per_sec']:.1f} req/s  "
+        f"p99 {result['baseline_p99_s'] * 1e3:.2f} ms  [repair off]",
+        f"with repair    {rep['requests_per_sec']:.1f} req/s  "
+        f"p99 {result['repair_p99_s'] * 1e3:.2f} ms  [scrub + heal online]",
+        f"p99 ratio      {result['p99_ratio']:.2f}x "
+        f"(bound {result['max_p99_ratio']:.1f}x: "
+        f"{'ok' if result['p99_within_bound'] else 'EXCEEDED'})",
+    ]
+    return "\n".join(lines)

@@ -353,11 +353,13 @@ def _cmd_kernel_bench(args: argparse.Namespace) -> int:
 def _build_service(args: argparse.Namespace):
     """Shared serve/loadgen construction: damaged store + BlobService."""
     from .codes import SDCode
+    from .repair import RepairConfig
     from .service import (
         BlobService,
         BlobStore,
         FaultInjector,
         ServiceConfig,
+        corrupt_store,
         damage_store,
     )
 
@@ -370,10 +372,19 @@ def _build_service(args: argparse.Namespace):
         faults=FaultInjector(args.fault_rate, rng=args.seed),
     )
     damage_store(store, fraction=args.damaged, seed=args.seed)
+    if getattr(args, "corrupt_fraction", 0.0):
+        corrupt_store(store, fraction=args.corrupt_fraction, seed=args.seed)
+    repair = None
+    if getattr(args, "repair", False):
+        repair = RepairConfig(
+            scrub_stripes=args.scrub_stripes,
+            rate_blocks_per_s=args.repair_rate,
+        )
     config = ServiceConfig(
         batch_trigger=args.batch_trigger,
         flush_interval_s=args.flush_ms / 1e3,
         coalesce=not getattr(args, "naive", False),
+        repair=repair,
     )
     return BlobService(store, config=config)
 
@@ -439,20 +450,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         ]
         for item in rng_schedule:
             queue.put_nowait(item)
-        completed = failed = 0
+        completed = failed = corrupt = 0
+        errors: dict[str, int] = {}
 
         async def worker(client: ServiceClient) -> None:
-            nonlocal completed, failed
+            nonlocal completed, failed, corrupt
             while True:
                 try:
                     sid, block = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
                 try:
-                    await client.get(sid, block)
-                    completed += 1
-                except Exception:
+                    _data, verified = await client.get_verified(sid, block)
+                except Exception as exc:
+                    # classify the failure (NodeFault vs DeadlineExceeded
+                    # vs connection loss) instead of one generic bucket
                     failed += 1
+                    name = type(exc).__name__
+                    errors[name] = errors.get(name, 0) + 1
+                else:
+                    completed += 1
+                    if not verified:
+                        # completed but wrong bytes: real corruption,
+                        # counted so the smoke gate can fail on it
+                        corrupt += 1
 
         t0 = loop.time()
         await asyncio.gather(*(worker(c) for c in clients))
@@ -464,7 +485,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             "requests": args.requests,
             "completed": completed,
             "failed": failed,
-            "corrupt": 0,
+            "corrupt": corrupt,
+            "errors": errors,
             "wall_seconds": wall,
             "requests_per_sec": (completed / wall) if wall > 0 else 0.0,
         }
@@ -476,6 +498,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"{summary['failed']} failed, {summary.get('corrupt', 0)} corrupt, "
         f"{summary['requests_per_sec']:.1f} req/s"
     )
+    if summary.get("errors"):
+        breakdown = ", ".join(
+            f"{name}={count}" for name, count in sorted(summary["errors"].items())
+        )
+        print(f"failure breakdown: {breakdown}")
     if "latency" in summary:
         lat = summary["latency"]
         print(
@@ -532,6 +559,47 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
         print(
             f"FAIL: coalesced serving speedup {result['speedup']:.2f}x < "
             f"required {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+def _cmd_repair_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.repair import format_repair_report, run_repair_bench
+
+    result = run_repair_bench(
+        n=args.n,
+        r=args.r,
+        m=args.m,
+        s=args.s,
+        num_stripes=args.stripes,
+        sector_symbols=args.symbols,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        fault_rate=args.fault_rate,
+        damaged_fraction=args.damaged,
+        corrupt_fraction=args.corrupt_fraction,
+        scrub_stripes=args.scrub_stripes,
+        rate_blocks_per_s=args.repair_rate,
+        heal_timeout_s=args.heal_timeout,
+        max_p99_ratio=args.max_p99_ratio,
+        seed=args.seed,
+    )
+    print(format_repair_report(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if not result["healed"] or not result["truth_verified"]:
+        print("FAIL: array did not fully heal to verified ground truth")
+        return 1
+    if not result["p99_within_bound"]:
+        print(
+            f"FAIL: foreground p99 degraded {result['p99_ratio']:.2f}x with "
+            f"repair on (bound {result['max_p99_ratio']:.1f}x)"
         )
         return 1
     return 0
@@ -737,9 +805,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="transient node-fault injection rate")
         p.add_argument("--damaged", type=float, default=0.75,
                        help="fraction of stripes given a worst-case erasure")
+        p.add_argument("--corrupt-fraction", type=float, default=0.0,
+                       help="fraction of stripes silently corrupted (bit "
+                            "rot; only a scrub can see it)")
         p.add_argument("--batch-trigger", type=int, default=8)
         p.add_argument("--flush-ms", type=float, default=2.0,
                        help="coalescing flush deadline in milliseconds")
+        p.add_argument("--repair", action="store_true",
+                       help="run the background scrub-and-repair manager")
+        p.add_argument("--scrub-stripes", type=int, default=8,
+                       help="stripes syndrome-checked per repair tick")
+        p.add_argument("--repair-rate", type=float, default=0.0,
+                       help="repair rate limit in blocks/sec (0 = unlimited)")
         p.add_argument("--seed", type=int, default=2015)
 
     p_srv = sub.add_parser(
@@ -782,6 +859,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero unless coalesced serving beats this speedup",
     )
     p_sbench.set_defaults(func=_cmd_service_bench)
+
+    p_rbench = sub.add_parser(
+        "repair-bench",
+        help="online scrub-and-repair vs no-repair baseline under load",
+    )
+    _service_store_args(p_rbench)
+    p_rbench.add_argument("--requests", type=int, default=200)
+    p_rbench.add_argument("--concurrency", type=int, default=16)
+    p_rbench.add_argument("--heal-timeout", type=float, default=30.0,
+                          help="seconds allowed for the array to fully heal")
+    p_rbench.add_argument("--max-p99-ratio", type=float, default=2.0,
+                          help="exit nonzero if repair-on p99 exceeds this "
+                               "multiple of the no-repair baseline")
+    p_rbench.add_argument("--json", help="also write the JSON-ready result to a file")
+    p_rbench.set_defaults(func=_cmd_repair_bench)
 
     p_enc = sub.add_parser("encode-file", help="encode a file into strip files")
     p_enc.add_argument("file")

@@ -132,6 +132,27 @@ class HybridRebuilder(StripeParallelRebuilder):
         self.strategy = "hybrid (stripes x PPM serial)"
 
 
+class _BackgroundPipeline:
+    """Decode adapter submitting every batch at background priority.
+
+    :meth:`repro.stripes.DiskArray.rebuild` only knows the plain decode
+    protocol; this shim forwards to a shared
+    :class:`~repro.pipeline.DecodePipeline` with
+    ``priority="background"`` so a bulk rebuild defers to any live
+    degraded reads flowing through the same pipeline.
+    """
+
+    def __init__(self, pipeline):
+        self._pipeline = pipeline
+
+    def decode(self, code, stripe, faulty, **kwargs):
+        return self._pipeline.decode(code, stripe, faulty, **kwargs)
+
+    def decode_batch(self, code, stripes, faulty=None, **kwargs):
+        kwargs.setdefault("priority", "background")
+        return self._pipeline.decode_batch(code, stripes, faulty, **kwargs)
+
+
 class PipelineRebuilder(_BaseRebuilder):
     """Batched rebuild through :class:`repro.pipeline.DecodePipeline`.
 
@@ -139,15 +160,31 @@ class PipelineRebuilder(_BaseRebuilder):
     sweep, plans come from the pipeline's LRU cache, and the worker pool
     is spawned once for the whole rebuild — the throughput-oriented
     sibling of the per-stripe strategies above.
+
+    Pass ``pipeline=`` to route the rebuild through an *existing*
+    pipeline (sharing its plan cache, pool and metrics with the serving
+    path) instead of spinning up a private one; shared-pipeline rebuilds
+    are submitted at background priority so they defer to foreground
+    degraded reads.
     """
 
     strategy = "pipeline (batched)"
 
-    def __init__(self, threads: int = 4, pool: str = "thread"):
+    def __init__(
+        self,
+        threads: int = 4,
+        pool: str = "thread",
+        pipeline=None,
+    ):
         super().__init__(threads)
         self.pool_kind = pool
+        self.pipeline = pipeline
+        if pipeline is not None:
+            self.strategy = "pipeline (batched, shared)"
 
     def _run(self, array: DiskArray) -> int:
+        if self.pipeline is not None:
+            return array.rebuild(_BackgroundPipeline(self.pipeline))
         from ..pipeline import DecodePipeline  # deferred: engine sits above core
 
         with DecodePipeline(workers=self.threads, pool=self.pool_kind) as pipe:

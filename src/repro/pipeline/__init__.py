@@ -10,7 +10,10 @@ and degraded-read storm produces:
   hit/miss counters and optional static certification;
 - :mod:`repro.pipeline.engine` — :class:`DecodePipeline`, which fuses
   stripes sharing an erasure pattern into one region-op sweep;
-- :mod:`repro.pipeline.metrics` — :class:`PipelineMetrics` snapshots.
+- :mod:`repro.pipeline.metrics` — :class:`PipelineMetrics` snapshots;
+- :mod:`repro.pipeline.admission` — :class:`PriorityAdmission`, the
+  foreground/background gate that keeps scrub-repair batches from
+  delaying live degraded reads.
 
 Only :mod:`pool` and :mod:`metrics` (dependency-free) are imported
 eagerly; the engine and plan cache load lazily (PEP 562) so that
@@ -21,6 +24,7 @@ on :mod:`repro.pipeline.pool` without cycling through
 
 from __future__ import annotations
 
+from .admission import PriorityAdmission
 from .metrics import PipelineMetrics
 from .pool import (
     ProcessWorkerPool,
@@ -35,6 +39,7 @@ from .pool import (
 
 __all__ = [
     "PipelineMetrics",
+    "PriorityAdmission",
     "CacheStats",
     "PlanCache",
     "WorkerPool",

@@ -1,0 +1,107 @@
+"""Priority-aware batch admission for the decode pipeline.
+
+The pipeline serves two traffic classes with opposite goals:
+
+- **foreground** — live degraded reads with latency SLOs; a queued
+  request is a user waiting;
+- **background** — scrub/repair batches from
+  :class:`repro.repair.RepairManager` and offline rebuilds; throughput
+  matters, latency does not.
+
+:class:`PriorityAdmission` is the gate ``decode_batch`` passes every
+submission through: foreground batches are admitted immediately, while
+a background batch *defers* — waits — as long as any foreground batch
+is in flight, up to ``max_defer_s`` (the anti-starvation bound: repair
+must eventually make progress even under sustained foreground load).
+The gate is plain ``threading`` (decode batches already run on worker
+threads, off the event loop), shared safely by every thread that
+submits through one pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: The two admission classes, in descending priority.
+PRIORITIES = ("foreground", "background")
+
+
+class PriorityAdmission:
+    """Two-class admission gate: foreground runs now, background yields.
+
+    Parameters
+    ----------
+    max_defer_s:
+        Longest a background batch may be held waiting for foreground
+        batches to clear.  ``0`` disables deferral entirely (every
+        class admitted immediately).
+    """
+
+    def __init__(self, max_defer_s: float = 0.05):
+        if max_defer_s < 0:
+            raise ValueError(f"max_defer_s must be >= 0, got {max_defer_s}")
+        self.max_defer_s = max_defer_s
+        self._cond = threading.Condition()
+        self._foreground_active = 0
+        self._background_active = 0
+        # lifetime tallies (read under the same lock)
+        self.deferred_batches = 0
+        self.deferred_seconds = 0.0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def foreground_active(self) -> int:
+        return self._foreground_active
+
+    @property
+    def background_active(self) -> int:
+        return self._background_active
+
+    # -- the gate ------------------------------------------------------------
+
+    @contextmanager
+    def admit(self, priority: str = "foreground") -> Iterator[None]:
+        """Admit one batch of the given class for its whole decode."""
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {priority!r}"
+            )
+        if priority == "foreground":
+            with self._cond:
+                self._foreground_active += 1
+            try:
+                yield
+            finally:
+                with self._cond:
+                    self._foreground_active -= 1
+                    self._cond.notify_all()
+            return
+        self._defer_background()
+        with self._cond:
+            self._background_active += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._background_active -= 1
+
+    def _defer_background(self) -> None:
+        """Wait (bounded) for in-flight foreground batches to clear."""
+        if self.max_defer_s <= 0:
+            return
+        deadline = time.monotonic() + self.max_defer_s
+        with self._cond:
+            if not self._foreground_active:
+                return
+            t0 = time.monotonic()
+            self.deferred_batches += 1
+            while self._foreground_active:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break  # anti-starvation: run anyway
+                self._cond.wait(timeout=remaining)
+            self.deferred_seconds += time.monotonic() - t0

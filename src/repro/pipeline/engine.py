@@ -40,6 +40,7 @@ from ..gf.region import OpCounter, RegionOps
 from ..kernels import CompiledRegionOps, ProgramCache
 from ..parallel.assignment import assign_lpt, assign_round_robin
 from ..stripes.store import Stripe
+from .admission import PriorityAdmission
 from .metrics import PipelineMetrics
 from .plancache import PlanCache
 from .pool import WorkerPool, make_pool
@@ -168,6 +169,10 @@ class DecodePipeline:
         Route region work through compiled
         :class:`~repro.kernels.RegionProgram` kernels (default); pass
         ``False`` for the interpreted per-call baseline.
+    max_defer_s:
+        How long a ``priority="background"`` batch may be held waiting
+        for in-flight foreground batches to drain (see
+        :class:`~repro.pipeline.admission.PriorityAdmission`).
     """
 
     def __init__(
@@ -181,6 +186,7 @@ class DecodePipeline:
         verify: bool = False,
         counter: OpCounter | None = None,
         compile: bool = True,
+        max_defer_s: float = 0.05,
     ):
         if assignment not in ("lpt", "round_robin"):
             raise ValueError(
@@ -195,10 +201,12 @@ class DecodePipeline:
         self.plans = PlanCache(maxsize=plan_cache_size, verify=verify)
         self.compile = compile
         self.programs = ProgramCache() if compile else None
+        self.admission = PriorityAdmission(max_defer_s=max_defer_s)
         self._ops_cache: dict[int, RegionOps] = {}
         # lifetime tallies behind metrics()
         self._stripes = 0
         self._batches = 0
+        self._background_batches = 0
         self._patterns = 0
         self._wall = 0.0
         self._busy = [0.0] * self.workers
@@ -282,6 +290,7 @@ class DecodePipeline:
         faulty: Sequence[int] | Sequence[Sequence[int]] | None = None,
         *,
         return_stats: bool = False,
+        priority: str = "foreground",
     ):
         """Recover the faulty blocks of many stripes in one submission.
 
@@ -290,7 +299,31 @@ class DecodePipeline:
         Returns a list of ``{block_id: region}`` dicts aligned with
         ``stripes`` (regions are views into the fused batch buffers);
         with ``return_stats=True`` also a :class:`BatchStats`.
+
+        ``priority`` classes the batch for admission: ``"foreground"``
+        (live degraded reads — admitted immediately) or
+        ``"background"`` (scrub/repair — deferred while foreground
+        batches are in flight, bounded by the pipeline's
+        ``max_defer_s``).
         """
+        with self.admission.admit(priority):
+            return self._decode_batch_admitted(
+                code,
+                stripes,
+                faulty,
+                return_stats=return_stats,
+                background=priority == "background",
+            )
+
+    def _decode_batch_admitted(
+        self,
+        code: ErasureCode,
+        stripes: Sequence[Stripe | Mapping[int, np.ndarray]],
+        faulty: Sequence[int] | Sequence[Sequence[int]] | None,
+        *,
+        return_stats: bool,
+        background: bool,
+    ):
         t0 = time.perf_counter()
         before = self.counter.snapshot()
         hits0, misses0 = self.plans.stats.hits, self.plans.stats.misses
@@ -334,6 +367,8 @@ class DecodePipeline:
         after = self.counter.snapshot()
         self._stripes += len(stripes)
         self._batches += 1
+        if background:
+            self._background_batches += 1
         self._patterns += len(batches)
         self._wall += wall
         stats = BatchStats(
@@ -445,6 +480,9 @@ class DecodePipeline:
         return PipelineMetrics(
             stripes=self._stripes,
             batches=self._batches,
+            background_batches=self._background_batches,
+            batches_deferred=self.admission.deferred_batches,
+            deferred_seconds=self.admission.deferred_seconds,
             patterns=self._patterns,
             wall_seconds=wall,
             mult_xors=mult_xors,

@@ -20,11 +20,17 @@ class PipelineMetrics:
     ``worker_busy_fraction[i]`` is worker *i*'s share of the pipeline's
     decode wall time spent executing tasks; ``queue_depth_peak`` is the
     largest number of phase-1 tasks ever outstanding at once (how far
-    submission ran ahead of execution).
+    submission ran ahead of execution).  ``background_batches`` counts
+    ``priority="background"`` submissions (scrub/repair traffic);
+    ``batches_deferred`` / ``deferred_seconds`` tally how often and how
+    long admission held background work for in-flight foreground reads.
     """
 
     stripes: int = 0
     batches: int = 0
+    background_batches: int = 0
+    batches_deferred: int = 0
+    deferred_seconds: float = 0.0
     patterns: int = 0
     wall_seconds: float = 0.0
     mult_xors: int = 0
@@ -85,6 +91,9 @@ class PipelineMetrics:
         return {
             "stripes": self.stripes,
             "batches": self.batches,
+            "background_batches": self.background_batches,
+            "batches_deferred": self.batches_deferred,
+            "deferred_seconds": self.deferred_seconds,
             "patterns": self.patterns,
             "coalesce_factor": self.coalesce_factor,
             "evictions": self.evictions,
@@ -119,7 +128,9 @@ class PipelineMetrics:
         busy = ", ".join(f"{b:.2f}" for b in self.worker_busy_fraction) or "-"
         lines = [
             f"stripes decoded      {self.stripes}",
-            f"batches              {self.batches}",
+            f"batches              {self.batches} "
+            f"({self.background_batches} background, "
+            f"{self.batches_deferred} deferred {self.deferred_seconds:.3f}s)",
             f"coalesce factor      {self.coalesce_factor:.2f} "
             f"({self.stripes} stripes / {self.patterns} pattern sweeps)",
             f"wall seconds         {self.wall_seconds:.4f}",

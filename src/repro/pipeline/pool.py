@@ -25,11 +25,14 @@ Three implementations share the interface:
 from __future__ import annotations
 
 import atexit
+import logging
 import threading
 import time
 import weakref
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
+
+logger = logging.getLogger(__name__)
 
 #: Every pool with a live (spawned) executor, tracked weakly so garbage
 #: collection is never blocked.  :func:`close_live_pools` runs at
@@ -39,6 +42,12 @@ from typing import Any, Callable, Iterable, Sequence
 #: leaking worker processes.
 _LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
 
+#: Attribute on the :mod:`atexit` module recording the installed hook.
+#: Module-level state would reset on a re-import (``importlib.reload``),
+#: stacking one duplicate hook per reload; the :mod:`atexit` module
+#: itself survives reloads of *this* module, so the marker lives there.
+_HOOK_ATTR = "_repro_close_live_pools_hook"
+
 
 def live_pools() -> tuple["WorkerPool", ...]:
     """Pools whose executor is currently spawned (observability/tests)."""
@@ -46,15 +55,29 @@ def live_pools() -> tuple["WorkerPool", ...]:
 
 
 def close_live_pools() -> None:
-    """Close every live pool; registered with :mod:`atexit` at import."""
+    """Close every live pool; installed as the atexit shutdown hook."""
     for pool in list(_LIVE_POOLS):
         try:
             pool.close()
-        except Exception:  # noqa: BLE001 - best effort during shutdown
-            pass
+        except Exception as exc:  # noqa: BLE001 - best effort during shutdown
+            logger.debug("ignoring error closing pool %r at shutdown: %r", pool, exc)
 
 
-atexit.register(close_live_pools)
+def _install_shutdown_hook() -> None:
+    """Register :func:`close_live_pools` with :mod:`atexit` exactly once.
+
+    Idempotent across repeated calls *and* module re-imports: any hook a
+    previous import registered is unregistered first, so the exit stack
+    never holds more than one copy.
+    """
+    previous = getattr(atexit, _HOOK_ATTR, None)
+    if previous is not None:
+        atexit.unregister(previous)
+    atexit.register(close_live_pools)
+    setattr(atexit, _HOOK_ATTR, close_live_pools)
+
+
+_install_shutdown_hook()
 
 
 class WorkerPool:

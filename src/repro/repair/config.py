@@ -1,0 +1,73 @@
+"""Tunable knobs of the online scrub-and-repair loop, in one frozen record.
+
+The defaults encode the subsystem's contract: repair is *background*
+work.  It scans a bounded chunk of the array per tick (never the whole
+store at once), submits decode batches at background priority (the
+pipeline defers them while foreground reads are in flight), and meters
+repair write-back through a token bucket so a badly corrupted array
+cannot monopolise the decode pool.  ``max_errors`` stays at 1 online:
+the pair-and-beyond corruption search in
+:func:`repro.stripes.scrub.locate_corruptions` is combinatorial, and a
+scrub loop that stalls is worse than one that reports "ambiguous" and
+moves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Immutable configuration of a :class:`~repro.repair.RepairManager`.
+
+    Parameters
+    ----------
+    scrub_interval_s:
+        Pause between scrub ticks.  Each tick scans one chunk and
+        drains any repairs it produced; shorter intervals scrub the
+        array faster at the cost of more background decode pressure.
+    scrub_stripes:
+        Stripes syndrome-checked per tick (the :class:`ScrubCursor`
+        chunk size).
+    repair_batch:
+        Most stripes repaired in one ``decode_batch`` submission.
+        Same-pattern stripes in a batch fuse into one region sweep, so
+        a disk loss (many stripes, one pattern) heals in a few sweeps.
+    rate_blocks_per_s:
+        Token-bucket refill rate for repair, in recovered blocks per
+        second.  ``0`` disables rate limiting (drain as fast as the
+        pipeline admits).
+    burst_blocks:
+        Token-bucket capacity: how many blocks may be repaired
+        back-to-back before the rate limit bites.
+    max_errors:
+        Corruption-location search depth per stripe (see module note;
+        keep at 1 online).
+    verify_repairs:
+        Re-scrub every repaired stripe and count any stripe whose
+        syndromes are still nonzero as a ``verify_failure`` instead of
+        silently trusting the write-back.
+    """
+
+    scrub_interval_s: float = 0.02
+    scrub_stripes: int = 16
+    repair_batch: int = 8
+    rate_blocks_per_s: float = 0.0
+    burst_blocks: int = 16
+    max_errors: int = 1
+    verify_repairs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scrub_interval_s < 0:
+            raise ValueError("scrub_interval_s must be >= 0")
+        if self.scrub_stripes < 1:
+            raise ValueError(f"scrub_stripes must be >= 1, got {self.scrub_stripes}")
+        if self.repair_batch < 1:
+            raise ValueError(f"repair_batch must be >= 1, got {self.repair_batch}")
+        if self.rate_blocks_per_s < 0:
+            raise ValueError("rate_blocks_per_s must be >= 0")
+        if self.burst_blocks < 1:
+            raise ValueError(f"burst_blocks must be >= 1, got {self.burst_blocks}")
+        if self.max_errors < 1:
+            raise ValueError(f"max_errors must be >= 1, got {self.max_errors}")

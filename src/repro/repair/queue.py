@@ -1,0 +1,113 @@
+"""The repair queue: what to fix next, most dangerous first.
+
+Two finding kinds feed the queue, with strictly ordered urgency:
+
+- ``"corruption"`` — a stripe serving *wrong bytes* right now.  Every
+  read of the corrupt block returns garbage with no error attached, so
+  these always drain first;
+- ``"erasure"`` — blocks that are *gone* (disk loss, latent sector
+  error).  Reads of them fail loudly and degraded reads still serve
+  correct data, so durability is reduced but nothing lies.
+
+:class:`RepairQueue` is a priority queue deduplicated by stripe id: a
+stripe rediscovered by a later scrub pass (or found corrupt after being
+queued for erasure repair) folds into its existing entry rather than
+queueing twice.  It is event-loop-confined like the coalescing
+scheduler — mutated only from the owning task, so it needs no locks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+#: kind -> heap priority (lower drains first)
+_PRIORITY = {"corruption": 0, "erasure": 1}
+
+
+@dataclass(frozen=True)
+class RepairTask:
+    """One stripe's worth of pending repair work."""
+
+    stripe_id: int
+    kind: str
+    blocks: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.kind not in _PRIORITY:
+            raise ValueError(
+                f"kind must be one of {sorted(_PRIORITY)}, got {self.kind!r}"
+            )
+        if list(self.blocks) != sorted(set(self.blocks)):
+            raise ValueError("blocks must be sorted and unique")
+
+    @property
+    def priority(self) -> int:
+        return _PRIORITY[self.kind]
+
+
+class RepairQueue:
+    """Priority repair queue, one live entry per stripe.
+
+    ``push`` merges: re-pushing a queued stripe unions the block sets
+    and keeps the more urgent kind.  Superseded heap entries are left
+    in place and skipped lazily on ``pop`` (the standard stale-entry
+    heap idiom), so both operations stay ``O(log n)``.
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[int, int, int]] = []  # (priority, seq, stripe_id)
+        self._live: dict[int, RepairTask] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, stripe_id: int) -> bool:
+        return stripe_id in self._live
+
+    @property
+    def stripe_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._live))
+
+    def push(self, task: RepairTask) -> bool:
+        """Queue (or merge into) the stripe's entry; True if anything changed."""
+        current = self._live.get(task.stripe_id)
+        if current is not None:
+            kind = min(current.kind, task.kind, key=lambda k: _PRIORITY[k])
+            blocks = tuple(sorted(set(current.blocks) | set(task.blocks)))
+            merged = RepairTask(task.stripe_id, kind, blocks)
+            if merged == current:
+                return False
+            task = merged
+        self._live[task.stripe_id] = task
+        self._seq += 1
+        heapq.heappush(self._heap, (task.priority, self._seq, task.stripe_id))
+        return True
+
+    def pop(self) -> RepairTask | None:
+        """Most urgent live task, or ``None`` when empty."""
+        while self._heap:
+            priority, _seq, stripe_id = heapq.heappop(self._heap)
+            task = self._live.get(stripe_id)
+            if task is None or task.priority != priority:
+                continue  # stale: merged away or re-prioritised
+            del self._live[stripe_id]
+            return task
+        return None
+
+    def pop_batch(self, limit: int) -> list[RepairTask]:
+        """Up to ``limit`` most urgent tasks (possibly fewer)."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        batch: list[RepairTask] = []
+        while len(batch) < limit:
+            task = self.pop()
+            if task is None:
+                break
+            batch.append(task)
+        return batch
+
+    def discard(self, stripe_id: int) -> bool:
+        """Drop a stripe's entry (healed by other means); True if present."""
+        return self._live.pop(stripe_id, None) is not None

@@ -1,0 +1,70 @@
+"""Async token bucket metering background repair throughput.
+
+Repair work competes with foreground serving twice: in the decode pool
+(handled by :class:`repro.pipeline.PriorityAdmission`) and in sheer
+volume — a freshly failed disk can make *every* stripe repairable at
+once.  :class:`TokenBucket` bounds the second: the manager acquires one
+token per block it is about to repair, so sustained repair throughput
+never exceeds ``rate`` blocks/second (with ``burst`` of headroom for
+small batches to pass unthrottled).
+
+Waiting is ``await asyncio.sleep`` against the running loop's clock —
+never ``time.sleep`` — so the event loop keeps serving while repair
+waits its turn (lint rule PPM009 enforces this for the whole package).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class TokenBucket:
+    """Classic token bucket on the event-loop clock.
+
+    ``rate`` is tokens/second refill, ``burst`` the bucket capacity.
+    ``rate <= 0`` disables limiting entirely — every acquire returns
+    immediately.  Single-consumer by design (the repair manager's drain
+    loop); acquisitions larger than ``burst`` are allowed and simply
+    wait proportionally longer.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp: float | None = None  # loop.time() of the last refill
+        self.waited_seconds = 0.0
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate <= 0
+
+    def _refill(self, now: float) -> None:
+        if self._stamp is not None:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+        self._stamp = now
+
+    async def acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens``, sleeping until the bucket can cover them.
+
+        Returns the seconds actually waited (0.0 when unthrottled).
+        """
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        if self.unlimited or tokens == 0:
+            return 0.0
+        loop = asyncio.get_running_loop()
+        self._refill(loop.time())
+        waited = 0.0
+        if self._tokens < tokens:
+            deficit = tokens - self._tokens
+            waited = deficit / self.rate
+            await asyncio.sleep(waited)
+            self._refill(loop.time())
+        self._tokens -= tokens  # may go negative if sleep under-delivered
+        self.waited_seconds += waited
+        return waited

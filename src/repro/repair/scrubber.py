@@ -1,0 +1,93 @@
+"""The scanning half of the repair loop: bounded, resumable scrubbing.
+
+:class:`StoreScrubber` walks a store's stripes a chunk at a time with a
+:class:`~repro.stripes.ScrubCursor`, syndrome-checking each stripe with
+:func:`~repro.stripes.scrub_stripe` and returning only the findings
+(non-clean reports).  It is synchronous and CPU-bound by design — the
+manager runs each scan off the event loop via ``asyncio.to_thread`` —
+and duck-types its store: anything with ``code``, ``stripe_ids`` and
+``stripe(id)`` scrubs (so the repair package never imports
+:mod:`repro.service`, which imports it back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..stripes.scrub import ScrubCursor, StripeScrubReport, scrub_stripe
+
+
+@dataclass(frozen=True)
+class ScanFindings:
+    """One scan chunk's worth of scrub results."""
+
+    scanned: int
+    findings: tuple[tuple[int, StripeScrubReport], ...]
+    passes_completed: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+class StoreScrubber:
+    """Incremental syndrome scrubber over a blob store.
+
+    Parameters
+    ----------
+    store:
+        Anything exposing ``code``, ``stripe_ids`` and ``stripe(id)``
+        (a :class:`repro.service.store.BlobStore` in production).
+    max_errors:
+        Corruption-location search depth forwarded to
+        :func:`~repro.stripes.scrub_stripe`.
+    """
+
+    def __init__(self, store, max_errors: int = 1):
+        self.store = store
+        self.max_errors = max_errors
+        self.cursor = ScrubCursor(store.stripe_ids)
+        self.stripes_scrubbed = 0
+
+    def scan_chunk(self, size: int) -> ScanFindings:
+        """Scrub the next ``size`` stripes; report every non-clean one.
+
+        The stripe-id set is re-read each call so stripes added or
+        removed since the last chunk are picked up without restarting
+        the pass.
+        """
+        self.cursor.update_keys(self.store.stripe_ids)
+        passes0 = self.cursor.passes_completed
+        findings: list[tuple[int, StripeScrubReport]] = []
+        chunk = self.cursor.next_chunk(size)
+        for stripe_id in chunk:
+            report = scrub_stripe(
+                self.store.code,
+                self.store.stripe(stripe_id),
+                max_errors=self.max_errors,
+            )
+            if not report.healthy:
+                findings.append((stripe_id, report))
+        self.stripes_scrubbed += len(chunk)
+        return ScanFindings(
+            scanned=len(chunk),
+            findings=tuple(findings),
+            passes_completed=self.cursor.passes_completed - passes0,
+        )
+
+    def scan_full_pass(self) -> ScanFindings:
+        """Scrub every stripe once, cursor-independent (verification use)."""
+        findings: list[tuple[int, StripeScrubReport]] = []
+        keys = self.store.stripe_ids
+        for stripe_id in keys:
+            report = scrub_stripe(
+                self.store.code,
+                self.store.stripe(stripe_id),
+                max_errors=self.max_errors,
+            )
+            if not report.healthy:
+                findings.append((stripe_id, report))
+        self.stripes_scrubbed += len(keys)
+        return ScanFindings(
+            scanned=len(keys), findings=tuple(findings), passes_completed=1
+        )

@@ -25,6 +25,12 @@ The request path this package adds on top of the offline machinery::
   generator;
 - :mod:`repro.service.errors` — the request-failure vocabulary.
 
+When :attr:`ServiceConfig.repair` is set, the service also runs a
+background :class:`repro.repair.RepairManager` beside the request
+path: it scrubs stripes for silent corruption and heals them through
+the *same* pipeline at background priority (see :mod:`repro.repair`
+and ``docs/REPAIR.md``).
+
 Lint rule PPM009 bans blocking calls (``time.sleep``, synchronous
 I/O) in this package: everything slow runs off-loop.
 """
@@ -41,7 +47,12 @@ from .errors import (
     ServiceError,
     ServiceOverloadError,
 )
-from .loadgen import build_request_schedule, damage_store, run_loadgen
+from .loadgen import (
+    build_request_schedule,
+    corrupt_store,
+    damage_store,
+    run_loadgen,
+)
 from .metrics import LatencyHistogram, ServiceMetrics
 from .net import ServiceClient, serve
 from .scheduler import CoalescingScheduler
@@ -60,6 +71,7 @@ __all__ = [
     "serve",
     "run_loadgen",
     "build_request_schedule",
+    "corrupt_store",
     "damage_store",
     "ServiceError",
     "ServiceClosedError",

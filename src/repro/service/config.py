@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..repair.config import RepairConfig
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -51,6 +53,12 @@ class ServiceConfig:
         When the coalesced batch decode errors, re-serve the affected
         requests through an uncompiled single-stripe decode instead of
         failing them.
+    repair:
+        When set, the service runs a background
+        :class:`~repro.repair.RepairManager` with these knobs beside
+        the request path (started on ``__aenter__``/``start_repair``,
+        stopped on ``close``).  ``None`` (the default) disables
+        scrub-and-repair entirely.
     """
 
     batch_trigger: int = 8
@@ -62,6 +70,7 @@ class ServiceConfig:
     backoff_cap_s: float = 0.050
     coalesce: bool = True
     fallback_single: bool = True
+    repair: RepairConfig | None = None
 
     def __post_init__(self) -> None:
         if self.batch_trigger < 1:

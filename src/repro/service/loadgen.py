@@ -161,3 +161,41 @@ def damage_store(
     for index in damaged:
         store.apply_scenario(ids[int(index)], scenario)
     return int(damaged.size)
+
+
+def corrupt_store(
+    store: BlobStore,
+    fraction: float = 0.01,
+    blocks_per_stripe: int = 1,
+    seed: int = 2015,
+) -> int:
+    """Silently corrupt present blocks on ``fraction`` of the stripes.
+
+    The counterpart of :func:`damage_store` for *bit rot*: the chosen
+    blocks stay present but hold wrong bytes, which only a syndrome
+    scrub (:mod:`repro.repair`) can detect.  Fully-intact stripes are
+    preferred so each corruption is locatable independently of any
+    erasure damage; returns the number of stripes corrupted.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if blocks_per_stripe < 1:
+        raise ValueError(
+            f"blocks_per_stripe must be >= 1, got {blocks_per_stripe}"
+        )
+    rng = np.random.default_rng(seed)
+    ids = list(store.stripe_ids)
+    count = int(round(fraction * len(ids)))
+    if not count:
+        return 0
+    intact = [sid for sid in ids if not store.stripe(sid).erased_ids]
+    pool = intact if len(intact) >= count else ids
+    chosen = rng.choice(len(pool), size=count, replace=False)
+    for index in chosen:
+        sid = pool[int(index)]
+        present = list(store.stripe(sid).present_ids)
+        picks = rng.choice(
+            len(present), size=min(blocks_per_stripe, len(present)), replace=False
+        )
+        store.corrupt(sid, sorted(present[int(p)] for p in picks), rng=rng)
+    return count

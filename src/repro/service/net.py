@@ -8,6 +8,9 @@ is a demonstration wire for the serving loop, not a production RPC:
     -> {"op": "get", "stripe": 3, "block": 7, "deadline_s": 0.5}
     <- {"ok": true, "data": [1, 2, ...]}
 
+    -> {"op": "get", "stripe": 3, "block": 7, "verify": true}
+    <- {"ok": true, "data": [...], "verified": false}
+
     -> {"op": "put", "stripe": 3, "block": 7, "data": [1, 2, ...]}
     <- {"ok": true}
 
@@ -66,7 +69,15 @@ async def _handle_request(service: BlobService, request: dict) -> dict:
             region = await service.degraded_get(
                 stripe_id, block, deadline_s=deadline_s
             )
-        return {"ok": True, "data": _encode_region(region)}
+        response = {"ok": True, "data": _encode_region(region)}
+        if request.get("verify"):
+            # server-side bit-verification against the store's ground
+            # truth: lets a remote load generator count real corruption
+            # instead of assuming every completed response is correct
+            response["verified"] = service.store.verify_block(
+                stripe_id, block, region
+            )
+        return response
     except ServiceError as exc:
         return {"ok": False, "kind": type(exc).__name__, "error": str(exc)}
     except (KeyError, TypeError, ValueError) as exc:
@@ -164,6 +175,26 @@ class ServiceClient:
             {"op": "get", "stripe": stripe_id, "block": block, "deadline_s": deadline_s}
         )
         return response["data"]
+
+    async def get_verified(
+        self, stripe_id: int, block: int, deadline_s: float | None = None
+    ) -> tuple[list[int], bool]:
+        """Read one block plus the server's ground-truth verdict.
+
+        Returns ``(data, verified)``; ``verified`` is False when the
+        served bytes do not match the server's ground truth — the
+        signal a remote load generator needs to count real corruption.
+        """
+        response = await self._roundtrip(
+            {
+                "op": "get",
+                "stripe": stripe_id,
+                "block": block,
+                "deadline_s": deadline_s,
+                "verify": True,
+            }
+        )
+        return response["data"], bool(response.get("verified", False))
 
     async def degraded_get(
         self, stripe_id: int, block: int, deadline_s: float | None = None

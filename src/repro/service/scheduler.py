@@ -22,6 +22,15 @@ The decode itself runs off-loop (``asyncio.to_thread``); the event
 loop only ever does bookkeeping.  Admission control lives here too:
 beyond ``config.max_pending`` queued reads, :meth:`submit` sheds load
 immediately rather than letting queues grow unboundedly.
+
+When a batch decode *fails*, the failure is classified before any
+rider sees it: decode-shaped errors (singular matrices, missing
+survivors, verification failures) route every rider through the
+documented uncompiled single-stripe fallback first, and only riders
+whose own fallback also fails get a :class:`BatchDecodeError`;
+infrastructure errors (a closed pool's ``RuntimeError``, a broken
+executor) are re-raised distinctly so a dying service is never
+mistaken for a poisoned batch.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from .errors import (
     BlockUnavailableError,
     NodeFault,
     ServiceClosedError,
+    ServiceError,
     ServiceOverloadError,
 )
 from .metrics import ServiceMetrics
@@ -48,6 +58,31 @@ DecodeBatchFn = Callable[
     [Sequence[Mapping[int, np.ndarray]], Sequence[tuple[int, ...]]],
     "list[dict[int, np.ndarray]]",
 ]
+
+#: single-stripe fallback callable: (stripe_id, block, inject_faults)
+#: -> recovered region.  Matches ``BlobService._single_decode``.
+SingleDecodeFn = Callable[[int, int, bool], np.ndarray]
+
+
+def _is_decode_error(exc: BaseException) -> bool:
+    """Whether a batch failure is a *decode* problem the single-stripe
+    fallback can plausibly recover from.
+
+    Decode failures surface as value/lookup/arithmetic errors
+    (:class:`~repro.matrix.SingularMatrixError` is a ``ValueError``,
+    missing survivors raise ``KeyError``, verification failures are
+    ``ValueError`` subclasses).  Infrastructure failures — a closed
+    worker pool's ``RuntimeError``, a ``BrokenProcessPool``, ``OSError``
+    — are not decode problems: retrying the same work through the
+    fallback path would mask a dying service, so they are re-raised
+    distinctly instead of being wrapped as :class:`BatchDecodeError`.
+    """
+    if isinstance(exc, ServiceError):
+        # scheduler-internal service errors (e.g. BlockUnavailableError
+        # from a snapshot) keep their own type; they are not batch-path
+        # infrastructure failures
+        return False
+    return isinstance(exc, (ValueError, LookupError, TypeError, ArithmeticError))
 
 
 class _PendingRead:
@@ -82,11 +117,13 @@ class CoalescingScheduler:
         decode_batch: DecodeBatchFn,
         config: ServiceConfig,
         metrics: ServiceMetrics,
+        single_decode: SingleDecodeFn | None = None,
     ):
         self._store = store
         self._decode_batch = decode_batch
         self._config = config
         self._metrics = metrics
+        self._single_decode = single_decode
         self._groups: dict[tuple[int, ...], _Batch] = {}
         self._pending = 0
         self._flushing: set[asyncio.Task] = set()
@@ -188,6 +225,18 @@ class CoalescingScheduler:
             )
         except Exception as exc:
             self._metrics.batch_errors += 1
+            if not _is_decode_error(exc):
+                # infrastructure failure (closed pool, broken executor):
+                # the fallback decoder cannot fix it — surface the real
+                # exception distinctly instead of masking it as a
+                # decode-shaped BatchDecodeError
+                for read in live:
+                    if not read.future.done():
+                        read.future.set_exception(exc)
+                return
+            if self._single_decode is not None:
+                await self._fallback_singles(live, exc)
+                return
             wrapped = BatchDecodeError(f"coalesced decode failed: {exc!r}")
             wrapped.__cause__ = exc
             for read in live:
@@ -212,6 +261,34 @@ class CoalescingScheduler:
                         "recovered by the batch decode"
                     )
                 )
+
+    async def _fallback_singles(
+        self, reads: list[_PendingRead], cause: BaseException
+    ) -> None:
+        """Serve each rider of a failed batch through the documented
+        uncompiled single-stripe fallback (fault-free recovery channel);
+        only riders whose *own* fallback also fails see an error."""
+        assert self._single_decode is not None
+        for read in reads:
+            if read.future.done():
+                continue
+            try:
+                region = await asyncio.to_thread(
+                    self._single_decode, read.stripe_id, read.block, False
+                )
+            except Exception as exc:
+                wrapped = BatchDecodeError(
+                    f"coalesced decode failed ({cause!r}) and single-stripe "
+                    f"fallback for stripe {read.stripe_id} block {read.block} "
+                    f"also failed: {exc!r}"
+                )
+                wrapped.__cause__ = exc
+                if not read.future.done():
+                    read.future.set_exception(wrapped)
+            else:
+                self._metrics.fallbacks += 1
+                if not read.future.done():
+                    read.future.set_result(region)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core import PPMDecoder
 from ..pipeline import DecodePipeline
+from ..repair import RepairManager
 from .config import ServiceConfig
 from .errors import (
     BatchDecodeError,
@@ -40,6 +41,7 @@ from .errors import (
     DeadlineExceeded,
     NodeFault,
     ServiceClosedError,
+    ServiceError,
 )
 from .metrics import ServiceMetrics
 from .scheduler import CoalescingScheduler
@@ -79,7 +81,21 @@ class BlobService:
         )
         self.metrics = ServiceMetrics()
         self.scheduler = CoalescingScheduler(
-            store, self._decode_batch, self.config, self.metrics
+            store,
+            self._decode_batch,
+            self.config,
+            self.metrics,
+            single_decode=(
+                self._single_decode if self.config.fallback_single else None
+            ),
+        )
+        #: background scrub-and-repair, sharing this service's pipeline
+        #: (so repair batches defer to foreground reads via admission);
+        #: built from config, started lazily on __aenter__/start_repair
+        self.repair: RepairManager | None = (
+            RepairManager(store, self.pipeline, self.config.repair)
+            if self.config.repair is not None
+            else None
         )
         self._closed = False
 
@@ -188,15 +204,24 @@ class BlobService:
         except (NodeFault, BatchDecodeError, BlockUnavailableError):
             self.metrics.failures += 1
             raise
+        except ServiceError:
+            raise  # overload/closed: accounted where they were raised
+        except Exception:
+            # infrastructure failure (e.g. a closed pool's RuntimeError)
+            # surfaced distinctly by the scheduler — count it, keep the type
+            self.metrics.failures += 1
+            raise
         self.metrics.degraded_gets += 1
         self.metrics.request.observe(loop.time() - t0)
         return region
 
     async def _degraded_ladder(self, stripe_id: int, block: int) -> np.ndarray:
-        batch_error: BatchDecodeError | None = None
         for attempt in range(self.config.max_retries + 1):
             try:
                 if self.config.coalesce:
+                    # the scheduler owns the single-stripe fallback: a
+                    # BatchDecodeError escaping submit() means the batch
+                    # *and* this rider's fallback both failed
                     return await self.scheduler.submit(stripe_id, block)
                 return await asyncio.to_thread(
                     self._single_decode, stripe_id, block, True
@@ -207,16 +232,7 @@ class BlobService:
                     raise
                 self.metrics.retries += 1
                 await asyncio.sleep(self.config.backoff(attempt))
-            except BatchDecodeError as exc:
-                batch_error = exc
-                break
-        if batch_error is not None and self.config.fallback_single:
-            self.metrics.fallbacks += 1
-            return await asyncio.to_thread(
-                self._single_decode, stripe_id, block, False
-            )
-        assert batch_error is not None  # retries exhausted re-raise above
-        raise batch_error
+        raise AssertionError("unreachable: retry loop always returns or raises")
 
     # -- observability -------------------------------------------------------
 
@@ -229,6 +245,9 @@ class BlobService:
         """
         out = self.metrics.as_dict(pipeline=self.pipeline.metrics().as_dict())
         out["kernels"] = self.pipeline.executor_stats()
+        if self.repair is not None:
+            out["repair"] = self.repair.metrics.as_dict()
+            out["repair"]["health"] = self.repair.health()
         return out
 
     # -- lifecycle -----------------------------------------------------------
@@ -237,16 +256,24 @@ class BlobService:
         if self._closed:
             raise ServiceClosedError("service is closed")
 
+    def start_repair(self) -> None:
+        """Start the background repair loop (no-op when not configured)."""
+        if self.repair is not None and not self.repair.running:
+            self.repair.start()
+
     async def close(self) -> None:
-        """Drain the scheduler; shut the pipeline down if we own it."""
+        """Stop repair, drain the scheduler; shut the pipeline if owned."""
         if self._closed:
             return
         self._closed = True
+        if self.repair is not None:
+            await self.repair.stop()
         await self.scheduler.close()
         if self._owns_pipeline:
             self.pipeline.close()
 
     async def __aenter__(self) -> "BlobService":
+        self.start_repair()
         return self
 
     async def __aexit__(self, *exc_info: object) -> None:

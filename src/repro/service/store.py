@@ -25,7 +25,7 @@ import numpy as np
 
 from ..codes.base import ErasureCode
 from ..core import TraditionalDecoder
-from ..stripes.failures import FailureScenario
+from ..stripes.failures import FailureScenario, corrupt_blocks
 from ..stripes.layout import StripeLayout
 from ..stripes.store import Stripe
 from .errors import BlockUnavailableError, NodeFault
@@ -190,6 +190,20 @@ class BlobStore:
     def apply_scenario(self, stripe_id: int, scenario: FailureScenario) -> None:
         """Erase one stripe's blocks per a generated failure scenario."""
         self.erase(stripe_id, scenario.faulty_blocks)
+
+    def corrupt(
+        self,
+        stripe_id: int,
+        blocks,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        """Silently corrupt blocks in place (bit rot; truth untouched).
+
+        Unlike :meth:`erase`, the blocks stay *present* — reads serve the
+        wrong bytes without any error, which is exactly why the repair
+        subsystem scrubs syndromes instead of waiting for read failures.
+        """
+        corrupt_blocks(self.stripe(stripe_id), blocks, rng=rng)
 
     def repair(self, stripe_id: int, recovered: dict[int, np.ndarray]) -> None:
         """Write decoded blocks back (rebuild, not degraded read)."""

@@ -12,6 +12,7 @@ from .array import DiskArray
 from .failures import (
     FailureScenario,
     UndecodableScenarioError,
+    corrupt_blocks,
     lrc_scenario,
     random_scenario,
     worst_case_sd,
@@ -19,11 +20,14 @@ from .failures import (
 from .layout import StripeLayout
 from .reads import RepairIO, compare_degraded_read, degraded_read_cost, plan_io
 from .scrub import (
+    ScrubCursor,
     ScrubResult,
+    StripeScrubReport,
     locate_corruptions,
     locate_single_corruption,
     repair_corruption,
     scrub_array,
+    scrub_stripe,
     syndromes,
 )
 from .rotation import RotatedDiskArray, logical_disk, parity_load, physical_disk
@@ -48,11 +52,15 @@ __all__ = [
     "compare_degraded_read",
     "degraded_read_cost",
     "plan_io",
+    "ScrubCursor",
     "ScrubResult",
+    "StripeScrubReport",
+    "corrupt_blocks",
     "locate_corruptions",
     "locate_single_corruption",
     "repair_corruption",
     "scrub_array",
+    "scrub_stripe",
     "syndromes",
     "RotatedDiskArray",
     "logical_disk",

@@ -16,12 +16,14 @@ never run on an undecodable pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..codes import is_decodable
 from ..codes.base import ErasureCode
 from .layout import StripeLayout
+from .store import Stripe
 
 
 @dataclass(frozen=True)
@@ -140,6 +142,28 @@ def _sectors_in_z_rows(
         picks = rng.choice(len(surviving_disks), size=count, replace=False)
         sectors.extend(layout.block_id(row, surviving_disks[int(p)]) for p in picks)
     return sorted(sectors)
+
+
+def corrupt_blocks(
+    stripe: Stripe,
+    blocks: Sequence[int],
+    rng: np.random.Generator | int | None = None,
+) -> None:
+    """Silently corrupt present blocks in place (bit rot, not erasure).
+
+    Each block is XORed with uniformly random *nonzero* symbols, so
+    every symbol of the region changes while the block stays present —
+    the failure mode erasure decoding cannot see and only a syndrome
+    scrub (:mod:`repro.stripes.scrub`) can detect.
+    """
+    rng = np.random.default_rng(rng)
+    field = stripe.field
+    for block in blocks:
+        region = stripe.get(block)
+        noise = rng.integers(
+            1, int(field.order) + 1, size=region.shape
+        ).astype(region.dtype)
+        stripe.put(block, region ^ noise)
 
 
 def random_scenario(

@@ -10,13 +10,17 @@ so ``j`` is identified as the unique column whose nonzero pattern and
 coefficient ratios match — and the block is repaired by erasure-decoding
 it from the others.
 
-``scrub_stripe`` returns a :class:`ScrubResult`; ``DiskArray``-wide
-scrubbing lives in :func:`scrub_array`.
+:func:`scrub_stripe` classifies one stripe into a uniform
+:class:`StripeScrubReport`; ``DiskArray``-wide scrubbing lives in
+:func:`scrub_array`; :class:`ScrubCursor` provides the incremental,
+resumable iteration order an *online* scrubber needs (scan a bounded
+chunk per tick, survive restarts, keep going as stripes come and go).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -139,6 +143,119 @@ def locate_corruptions(
             if all(not s.any() for s in residual):
                 return sorted(combo)
     return ScrubResult(clean=False, corrupted_block=None, located=False)
+
+
+@dataclass(frozen=True)
+class StripeScrubReport:
+    """Uniform classification of one stripe's health.
+
+    ``status`` is one of
+
+    - ``"clean"``     — all blocks present, zero syndromes;
+    - ``"erased"``    — blocks are missing (``erased_blocks``); the
+      stripe needs erasure repair before it can be syndrome-checked;
+    - ``"corrupt"``   — nonzero syndromes explained by the (located)
+      ``corrupted_blocks``; repair by erasing and re-decoding them;
+    - ``"ambiguous"`` — nonzero syndromes that no candidate set up to
+      the search depth explains.  Repairing on a guess could write
+      *more* wrong data, so an ambiguous stripe must be reported, never
+      auto-repaired.
+    """
+
+    status: str
+    corrupted_blocks: tuple[int, ...] = ()
+    erased_blocks: tuple[int, ...] = ()
+
+    @property
+    def healthy(self) -> bool:
+        return self.status == "clean"
+
+
+def scrub_stripe(
+    code: ErasureCode, stripe: Stripe, max_errors: int = 1
+) -> StripeScrubReport:
+    """Classify one stripe: clean, erased, located corruption, or ambiguous.
+
+    ``max_errors`` bounds the corruption-location search depth (pair
+    search is combinatorial; online scrubbers keep it at 1 and treat
+    multi-corruption as ambiguous rather than stalling the loop).
+    """
+    erased = stripe.erased_ids
+    if erased:
+        return StripeScrubReport(status="erased", erased_blocks=tuple(erased))
+    located = locate_corruptions(code, stripe, max_errors=max_errors)
+    if isinstance(located, ScrubResult):
+        if located.clean:
+            return StripeScrubReport(status="clean")
+        return StripeScrubReport(status="ambiguous")
+    if not located:
+        return StripeScrubReport(status="clean")
+    return StripeScrubReport(status="corrupt", corrupted_blocks=tuple(located))
+
+
+class ScrubCursor:
+    """Incremental, resumable iteration order over a set of stripe keys.
+
+    An online scrubber cannot afford to scan the whole array per tick;
+    it scans ``chunk`` keys, remembers where it stopped, and resumes
+    there next tick — across restarts too, via :attr:`position` /
+    :meth:`resume`.  The key set may change between chunks
+    (:meth:`update_keys`): the cursor keeps its place by *position in
+    the sorted order*, so added and removed stripes never cause skips
+    beyond the chunk granularity.
+    """
+
+    def __init__(self, keys: Sequence[int], position: int = 0):
+        self._keys: list[int] = sorted(keys)
+        if position < 0:
+            raise ValueError(f"position must be >= 0, got {position}")
+        self._position = position
+        self.passes_completed = 0
+
+    @property
+    def keys(self) -> tuple[int, ...]:
+        return tuple(self._keys)
+
+    @property
+    def position(self) -> int:
+        """Index (into the sorted key order) of the next key to scrub."""
+        return self._position
+
+    def resume(self, position: int) -> None:
+        """Restore a previously saved :attr:`position` (restart support)."""
+        if position < 0:
+            raise ValueError(f"position must be >= 0, got {position}")
+        self._position = position
+
+    def update_keys(self, keys: Sequence[int]) -> None:
+        """Replace the key set (stripes added/removed) keeping the cursor."""
+        self._keys = sorted(keys)
+
+    def next_chunk(self, size: int) -> list[int]:
+        """The next (up to) ``size`` keys in scrub order.
+
+        Reaching the end of the key set increments
+        :attr:`passes_completed` (one full pass finished) and ends the
+        chunk — a chunk never crosses the wrap boundary, so no key
+        repeats within a single call.
+        """
+        if size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {size}")
+        if not self._keys:
+            return []
+        if self._position >= len(self._keys):
+            self._position = 0
+            self.passes_completed += 1
+        take = min(size, len(self._keys))
+        chunk = []
+        for _ in range(take):
+            chunk.append(self._keys[self._position])
+            self._position += 1
+            if self._position >= len(self._keys):
+                self._position = 0
+                self.passes_completed += 1
+                break  # never revisit a key within one chunk
+        return chunk
 
 
 def repair_corruption(code: ErasureCode, stripe: Stripe, decoder) -> ScrubResult:

@@ -28,10 +28,11 @@ performance story depend on:
   to :mod:`repro.gf` and :mod:`repro.kernels`; decoders must call the
   ``matrix_apply``/``matrix_chain_apply``/``run_plan`` entry points so
   the compiled backend can take over;
-- **PPM009** no blocking calls inside :mod:`repro.service` —
-  ``time.sleep``, builtin ``open``, raw sockets or subprocesses on the
-  event loop stall *every* in-flight request; sleep with ``await
-  asyncio.sleep`` and push CPU/IO work off-loop
+- **PPM009** no blocking calls inside :mod:`repro.service` or
+  :mod:`repro.repair` — ``time.sleep``, builtin ``open``, raw sockets
+  or subprocesses on the event loop stall *every* in-flight request
+  (and the scrub/repair loop runs on that same loop); sleep with
+  ``await asyncio.sleep`` and push CPU/IO work off-loop
   (``asyncio.to_thread`` / the pipeline's worker pool).
 
 Each rule is a :class:`LintRule` subclass registered in :data:`RULES`;
@@ -70,7 +71,7 @@ GF_PACKAGES = ("gf", "matrix", "kernels")
 DECODER_PACKAGES = ("core", "pipeline")
 
 #: Async-serving packages where blocking calls stall the event loop (PPM009).
-ASYNC_PACKAGES = ("service",)
+ASYNC_PACKAGES = ("service", "repair")
 
 #: NumPy constructors that default to ``np.int64`` without ``dtype=``.
 _NP_CONSTRUCTORS = frozenset(
@@ -395,10 +396,10 @@ class NoBlockingInServiceRule(LintRule):
     code = "PPM009"
     name = "no-blocking-in-service"
     explanation = (
-        "time.sleep / sync I/O inside repro/service/ blocks the event "
-        "loop and stalls every in-flight request; use await "
-        "asyncio.sleep and offload work via asyncio.to_thread or the "
-        "pipeline's worker pool"
+        "time.sleep / sync I/O inside repro/service/ or repro/repair/ "
+        "blocks the event loop and stalls every in-flight request; use "
+        "await asyncio.sleep and offload work via asyncio.to_thread or "
+        "the pipeline's worker pool"
     )
 
     #: ``module.attr`` calls that block the calling thread.

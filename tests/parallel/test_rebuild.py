@@ -89,3 +89,20 @@ def test_simulated_rebuild_time_shapes():
     assert hybrid.total_seconds < intra.total_seconds
     with pytest.raises(ValueError):
         simulate_rebuild_time(plans, E5_2603, 4, sym, "magic")
+
+
+def test_pipeline_rebuilder_shares_a_live_pipeline(failed_array):
+    from repro.parallel import PipelineRebuilder
+    from repro.pipeline import DecodePipeline
+
+    array = copy.deepcopy(failed_array)
+    expected = sum(len(s.erased_ids) for s in array.stripes)
+    with DecodePipeline(pool="serial") as pipeline:
+        rebuilder = PipelineRebuilder(pipeline=pipeline)
+        result = rebuilder.rebuild(array)
+        metrics = pipeline.metrics()
+    assert result.blocks_repaired == expected
+    assert array.fully_intact()
+    assert result.strategy == "pipeline (batched, shared)"
+    # shared-pipeline rebuilds ride the background admission class
+    assert metrics.background_batches == metrics.batches > 0

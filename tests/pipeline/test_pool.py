@@ -184,3 +184,39 @@ def test_respawn_after_registry_close_reenters_registry():
     pool.submit(int, "2").result()  # persistent pools respawn on demand
     assert pool in live_pools()
     pool.close()
+
+
+def test_shutdown_hook_installs_exactly_once():
+    """Re-running the installer (module reload) must not stack duplicate
+    atexit hooks: the marker on the atexit module dedups them."""
+    import atexit
+
+    from repro.pipeline import pool as pool_module
+
+    marker = getattr(atexit, pool_module._HOOK_ATTR)
+    assert marker is pool_module.close_live_pools
+    pool_module._install_shutdown_hook()
+    pool_module._install_shutdown_hook()
+    # still exactly one registration: unregister once, and the marker
+    # protocol lets a fresh install restore it cleanly
+    atexit.unregister(pool_module.close_live_pools)
+    pool_module._install_shutdown_hook()
+    assert getattr(atexit, pool_module._HOOK_ATTR) is pool_module.close_live_pools
+
+
+def test_swallowed_close_error_is_logged(caplog):
+    """close_live_pools keeps going past a broken pool but must leave a
+    debug trace, not vanish the error entirely."""
+    import logging
+
+    from repro.pipeline import close_live_pools
+
+    bad = ThreadWorkerPool(1)
+    bad.submit(int, "1").result()
+    bad.close = lambda: (_ for _ in ()).throw(RuntimeError("broken"))  # type: ignore[method-assign]
+    try:
+        with caplog.at_level(logging.DEBUG, logger="repro.pipeline.pool"):
+            close_live_pools()
+    finally:
+        WorkerPool.close(bad)
+    assert any("ignoring error closing pool" in r.message for r in caplog.records)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the repair subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes import SDCode
+
+from ..service.conftest import make_store
+
+__all__ = ["make_store"]
+
+
+@pytest.fixture
+def code():
+    return SDCode(6, 4, 2, 2)

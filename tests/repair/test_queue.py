@@ -1,0 +1,93 @@
+"""RepairQueue: urgency ordering, dedup-by-stripe merging, staleness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repair import RepairQueue, RepairTask
+
+
+def test_task_validates_kind():
+    with pytest.raises(ValueError, match="kind"):
+        RepairTask(0, "smudge", (1,))
+
+
+def test_task_validates_block_order():
+    with pytest.raises(ValueError, match="sorted"):
+        RepairTask(0, "erasure", (2, 1))
+    with pytest.raises(ValueError, match="sorted"):
+        RepairTask(0, "erasure", (1, 1))
+
+
+def test_corruption_drains_before_erasure():
+    queue = RepairQueue()
+    queue.push(RepairTask(10, "erasure", (0,)))
+    queue.push(RepairTask(11, "corruption", (3,)))
+    queue.push(RepairTask(12, "erasure", (1,)))
+    queue.push(RepairTask(13, "corruption", (4,)))
+    order = [queue.pop().stripe_id for _ in range(4)]
+    # corruptions first, FIFO within each kind
+    assert order == [11, 13, 10, 12]
+    assert queue.pop() is None
+
+
+def test_push_merges_blocks_for_a_queued_stripe():
+    queue = RepairQueue()
+    assert queue.push(RepairTask(5, "erasure", (0, 2)))
+    assert queue.push(RepairTask(5, "erasure", (2, 7)))
+    assert len(queue) == 1
+    task = queue.pop()
+    assert task.blocks == (0, 2, 7)
+    assert task.kind == "erasure"
+
+
+def test_merge_keeps_the_more_urgent_kind():
+    queue = RepairQueue()
+    queue.push(RepairTask(5, "erasure", (0,)))
+    queue.push(RepairTask(5, "corruption", (1,)))
+    task = queue.pop()
+    assert task.kind == "corruption"
+    assert task.blocks == (0, 1)
+    # the superseded erasure-priority heap entry must not resurrect it
+    assert queue.pop() is None
+    assert len(queue) == 0
+
+
+def test_identical_repush_reports_no_change():
+    queue = RepairQueue()
+    assert queue.push(RepairTask(5, "corruption", (1,)))
+    assert not queue.push(RepairTask(5, "corruption", (1,)))
+    assert len(queue) == 1
+
+
+def test_upgraded_stripe_drains_at_its_new_priority():
+    queue = RepairQueue()
+    queue.push(RepairTask(1, "erasure", (0,)))
+    queue.push(RepairTask(2, "erasure", (0,)))
+    queue.push(RepairTask(2, "corruption", (0,)))  # upgrade stripe 2
+    assert queue.pop().stripe_id == 2
+    assert queue.pop().stripe_id == 1
+
+
+def test_pop_batch_bounds_and_orders():
+    queue = RepairQueue()
+    for sid in range(5):
+        queue.push(RepairTask(sid, "erasure", (0,)))
+    queue.push(RepairTask(9, "corruption", (0,)))
+    batch = queue.pop_batch(3)
+    assert [t.stripe_id for t in batch] == [9, 0, 1]
+    assert len(queue) == 3
+    assert len(queue.pop_batch(10)) == 3
+    with pytest.raises(ValueError):
+        queue.pop_batch(0)
+
+
+def test_discard_and_membership():
+    queue = RepairQueue()
+    queue.push(RepairTask(3, "erasure", (0,)))
+    assert 3 in queue
+    assert queue.stripe_ids == (3,)
+    assert queue.discard(3)
+    assert not queue.discard(3)
+    assert 3 not in queue
+    assert queue.pop() is None

@@ -1,0 +1,131 @@
+"""ScrubCursor resumability and StoreScrubber findings classification.
+
+Covers the edge cases the repair loop must get right: corruption in a
+*parity* block (scrubbing is not a data-only checksum pass), two
+corruptions in one stripe (reported ambiguous at online search depth —
+never mis-repaired), and key-set churn between chunks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repair import StoreScrubber
+from repro.stripes import ScrubCursor
+
+from .conftest import make_store
+
+
+# -- cursor ------------------------------------------------------------------
+
+
+def test_cursor_walks_in_sorted_order():
+    cursor = ScrubCursor([3, 1, 2])
+    assert cursor.next_chunk(2) == [1, 2]
+    assert cursor.next_chunk(2) == [3]  # never crosses the wrap boundary
+    assert cursor.passes_completed == 1
+    assert cursor.next_chunk(2) == [1, 2]
+
+
+def test_cursor_resume_restores_position():
+    cursor = ScrubCursor(range(6))
+    cursor.next_chunk(4)
+    saved = cursor.position
+    fresh = ScrubCursor(range(6))
+    fresh.resume(saved)
+    assert fresh.next_chunk(2) == [4, 5]
+    assert fresh.passes_completed == 1
+
+
+def test_cursor_survives_key_churn():
+    cursor = ScrubCursor([0, 1, 2, 3])
+    assert cursor.next_chunk(2) == [0, 1]
+    cursor.update_keys([0, 1, 2, 3, 4, 5])  # stripes added mid-pass
+    assert cursor.next_chunk(3) == [2, 3, 4]
+    cursor.update_keys([4, 5])  # and removed: position 5 is past the end,
+    assert cursor.next_chunk(3) == [4, 5]  # so the cursor wraps to a new pass
+    assert cursor.passes_completed == 2
+
+
+def test_cursor_empty_and_validation():
+    cursor = ScrubCursor([])
+    assert cursor.next_chunk(3) == []
+    with pytest.raises(ValueError):
+        cursor.next_chunk(0)
+    with pytest.raises(ValueError):
+        cursor.resume(-1)
+    with pytest.raises(ValueError):
+        ScrubCursor([1], position=-2)
+
+
+# -- scrubber ----------------------------------------------------------------
+
+
+def test_clean_store_scans_clean(code):
+    store = make_store(code, num_stripes=3, damaged=0.0)
+    scrubber = StoreScrubber(store)
+    findings = scrubber.scan_full_pass()
+    assert findings.clean
+    assert findings.scanned == 3
+
+
+def test_data_block_corruption_located(code):
+    store = make_store(code, num_stripes=2, damaged=0.0)
+    block = code.data_block_ids[0]
+    store.corrupt(1, [block])
+    findings = StoreScrubber(store).scan_full_pass()
+    assert dict(findings.findings).keys() == {1}
+    report = dict(findings.findings)[1]
+    assert report.status == "corrupt"
+    assert report.corrupted_blocks == (block,)
+
+
+def test_parity_block_corruption_located(code):
+    """Corruption in a *parity* block is found and attributed to the
+    parity block — not blamed on the (intact) data it protects."""
+    store = make_store(code, num_stripes=2, damaged=0.0)
+    parity = code.parity_block_ids[-1]
+    store.corrupt(0, [parity])
+    findings = StoreScrubber(store).scan_full_pass()
+    report = dict(findings.findings)[0]
+    assert report.status == "corrupt"
+    assert report.corrupted_blocks == (parity,)
+
+
+def test_double_corruption_is_ambiguous_at_online_depth(code):
+    """Two corruptions in one stripe: at the online search depth
+    (max_errors=1) the scrubber must say *ambiguous*, never name a
+    single wrong block a repair would then destroy."""
+    store = make_store(code, num_stripes=1, damaged=0.0)
+    store.corrupt(0, [2, 11])
+    report = dict(StoreScrubber(store, max_errors=1).scan_full_pass().findings)[0]
+    assert report.status == "ambiguous"
+    assert report.corrupted_blocks == ()
+
+
+def test_double_corruption_located_at_depth_two(code):
+    store = make_store(code, num_stripes=1, damaged=0.0)
+    store.corrupt(0, [2, 11])
+    report = dict(StoreScrubber(store, max_errors=2).scan_full_pass().findings)[0]
+    assert report.status == "corrupt"
+    assert report.corrupted_blocks == (2, 11)
+
+
+def test_erased_stripe_reported_not_syndrome_checked(code):
+    store = make_store(code, num_stripes=1, damaged=1.0)
+    report = dict(StoreScrubber(store).scan_full_pass().findings)[0]
+    assert report.status == "erased"
+    assert report.erased_blocks == store.pattern(0)
+
+
+def test_scan_chunk_resumes_and_wraps(code):
+    store = make_store(code, num_stripes=4, damaged=0.0)
+    store.corrupt(3, [code.data_block_ids[1]])
+    scrubber = StoreScrubber(store)
+    first = scrubber.scan_chunk(3)  # stripes 0..2: clean
+    assert first.scanned == 3 and first.clean
+    second = scrubber.scan_chunk(3)  # stripe 3 only (wrap boundary)
+    assert second.scanned == 1
+    assert second.passes_completed == 1
+    assert dict(second.findings)[3].status == "corrupt"
+    assert scrubber.stripes_scrubbed == 4

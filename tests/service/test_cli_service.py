@@ -100,3 +100,55 @@ def test_serve_parser_has_the_knobs():
     assert args.fault_rate == 0.2
     assert args.naive is True
     assert args.func is not None
+
+
+def test_loadgen_with_repair_flags(capsys):
+    """--repair wires a manager into the served store; erasure-only
+    damage keeps the run deterministic (reads racing a corruption
+    scrub may legitimately see wrong bytes until healed)."""
+    assert main(
+        ["loadgen", *SMALL, "--requests", "20", "--damaged", "0.25",
+         "--repair", "--concurrency", "8"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "20/20 requests ok" in out
+
+
+def test_loadgen_exits_nonzero_on_served_corruption(capsys):
+    """Corruption with repair OFF: reads of corrupt blocks verify wrong
+    and the summary must say so (nonzero exit, nonzero corrupt count)."""
+    assert main(
+        ["loadgen", *SMALL, "--requests", "60", "--damaged", "0.0",
+         "--corrupt-fraction", "1.0", "--concurrency", "8"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "corrupt" in out
+    assert "FAIL" in out
+
+
+def test_repair_bench_cli_gate(tmp_path, capsys):
+    out_file = tmp_path / "BENCH_repair.json"
+    assert main(
+        ["repair-bench", *SMALL, "--requests", "30", "--concurrency", "8",
+         "--damaged", "0.25", "--corrupt-fraction", "0.25",
+         "--max-p99-ratio", "100.0", "--json", str(out_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "HEALED" in out
+    doc = json.loads(out_file.read_text())
+    assert doc["healed"] is True
+    assert doc["truth_verified"] is True
+    assert doc["unhealthy_stripes_after"] == 0
+
+
+def test_repair_parser_knobs():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["repair-bench", "--corrupt-fraction", "0.1", "--repair-rate", "64",
+         "--scrub-stripes", "4", "--heal-timeout", "5.0"]
+    )
+    assert args.corrupt_fraction == 0.1
+    assert args.repair_rate == 64.0
+    assert args.scrub_stripes == 4
+    assert args.heal_timeout == 5.0

@@ -112,3 +112,54 @@ def test_damage_store_shares_one_pattern(code):
     assert len(patterns) == 1  # the disk-loss shape coalescing relies on
     with pytest.raises(ValueError):
         damage_store(store, fraction=1.5)
+
+
+def test_run_loadgen_reports_real_corruption(code):
+    """Silently corrupted blocks must surface as a nonzero ``corrupt``
+    count — the summary may never hardcode it to zero."""
+    store = make_store(code, num_stripes=4, damaged=0.0)
+    from repro.service import corrupt_store
+
+    assert corrupt_store(store, fraction=1.0, seed=11) == 4
+    # read one known-corrupt block per stripe
+    schedule = []
+    for sid in store.stripe_ids:
+        stripe, truth = store.stripe(sid), store.truth(sid)
+        for block in stripe.present_ids:
+            if not (stripe.get(block) == truth.get(block)).all():
+                schedule.append(("get", sid, block))
+                break
+    assert len(schedule) == 4
+    config = ServiceConfig(batch_trigger=2, flush_interval_s=0.002)
+
+    async def main():
+        async with BlobService(store, config=config) as service:
+            return await run_loadgen(service, schedule, concurrency=4)
+
+    summary = asyncio.run(main())
+    assert summary["completed"] == 4
+    assert summary["corrupt"] == 4
+    assert summary["failed"] == 0
+
+
+def test_corrupt_store_prefers_intact_stripes(code):
+    store = make_store(code, num_stripes=8, damaged=0.5)
+    from repro.service import corrupt_store
+
+    count = corrupt_store(store, fraction=0.25, seed=3)
+    assert count == 2
+    corrupted = [
+        sid
+        for sid in store.stripe_ids
+        if any(
+            not (store.stripe(sid).get(b) == store.truth(sid).get(b)).all()
+            for b in store.stripe(sid).present_ids
+        )
+    ]
+    assert len(corrupted) == 2
+    # all corruption landed on fully-intact stripes
+    assert all(not store.stripe(sid).erased_ids for sid in corrupted)
+    with pytest.raises(ValueError):
+        corrupt_store(store, fraction=2.0)
+    with pytest.raises(ValueError):
+        corrupt_store(store, blocks_per_stripe=0)

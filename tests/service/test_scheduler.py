@@ -182,7 +182,7 @@ def test_batch_decode_error_wraps_and_hits_every_rider(code):
     config = ServiceConfig(batch_trigger=2, flush_interval_s=10.0)
 
     def broken(snapshots, patterns):
-        raise RuntimeError("poisoned batch")
+        raise ValueError("poisoned batch plan")
 
     scheduler, metrics = make_scheduler(code, store, config, decode=broken)
 
@@ -196,8 +196,71 @@ def test_batch_decode_error_wraps_and_hits_every_rider(code):
     assert len(results) == 2
     for exc in results:
         assert isinstance(exc, BatchDecodeError)
-        assert isinstance(exc.__cause__, RuntimeError)
+        assert isinstance(exc.__cause__, ValueError)
     assert metrics.batch_errors == 1
+
+
+def test_infrastructure_error_is_not_wrapped_as_decode_failure(code):
+    """A RuntimeError from a dying pool reaches every rider *raw*:
+    wrapping it as BatchDecodeError would tell the server layer the
+    batch was poisoned and trigger a pointless fallback decode."""
+    store = make_store(code, num_stripes=2)
+    block = store.pattern(0)[0]
+    config = ServiceConfig(batch_trigger=2, flush_interval_s=10.0)
+
+    def dying_pool(snapshots, patterns):
+        raise RuntimeError("cannot schedule new futures after shutdown")
+
+    scheduler, metrics = make_scheduler(code, store, config, decode=dying_pool)
+
+    async def main():
+        return await asyncio.gather(
+            *(scheduler.submit(sid, block) for sid in range(2)),
+            return_exceptions=True,
+        )
+
+    results = asyncio.run(main())
+    assert len(results) == 2
+    for exc in results:
+        assert isinstance(exc, RuntimeError)
+        assert not isinstance(exc, BatchDecodeError)
+    assert metrics.batch_errors == 1
+
+
+def test_decode_error_with_single_decode_falls_back_per_rider(code):
+    """With a single_decode hook, a decode-shaped batch failure routes
+    every rider through the fallback; nobody sees an exception."""
+    store = make_store(code, num_stripes=2)
+    block = store.pattern(0)[0]
+    config = ServiceConfig(batch_trigger=2, flush_interval_s=10.0)
+
+    def broken(snapshots, patterns):
+        raise ValueError("poisoned batch plan")
+
+    metrics = ServiceMetrics()
+    decoder = PPMDecoder(parallel=False, compile=False)
+
+    def single(stripe_id, blk, inject):
+        recovered = decoder.decode(
+            code, store.snapshot_blocks(stripe_id, inject=False),
+            store.pattern(stripe_id),
+        )
+        return recovered[blk]
+
+    scheduler = CoalescingScheduler(
+        store, broken, config, metrics, single_decode=single
+    )
+
+    async def main():
+        return await asyncio.gather(
+            *(scheduler.submit(sid, block) for sid in range(2))
+        )
+
+    results = asyncio.run(main())
+    for sid, region in enumerate(results):
+        assert store.verify_block(sid, block, region)
+    assert metrics.batch_errors == 1
+    assert metrics.fallbacks == 2
 
 
 def test_cancelled_read_is_skipped_by_the_flush(code):

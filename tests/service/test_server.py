@@ -139,7 +139,7 @@ def test_batch_error_falls_back_to_single_decode(code):
     async def main():
         async with BlobService(store, config=fast_config(batch_trigger=1)) as service:
             def broken(snapshots, patterns):
-                raise RuntimeError("poisoned batch")
+                raise ValueError("poisoned batch plan")
 
             service.scheduler._decode_batch = broken
             region = await service.degraded_get(0, block)
@@ -159,12 +159,35 @@ def test_batch_error_without_fallback_surfaces(code):
     async def main():
         async with BlobService(store, config=config) as service:
             def broken(snapshots, patterns):
-                raise RuntimeError("poisoned batch")
+                raise ValueError("poisoned batch plan")
 
             service.scheduler._decode_batch = broken
             with pytest.raises(BatchDecodeError):
                 await service.degraded_get(0, block)
             assert service.metrics.fallbacks == 0
+            assert service.metrics.failures == 1
+
+    run(main())
+
+
+def test_infrastructure_error_surfaces_distinctly(code):
+    """A dying pool's RuntimeError must not be masked as a decode
+    failure: no fallback attempt, the caller sees the real exception."""
+    store = make_store(code, num_stripes=1)
+    block = store.pattern(0)[0]
+
+    async def main():
+        async with BlobService(store, config=fast_config(batch_trigger=1)) as service:
+            def dying_pool(snapshots, patterns):
+                raise RuntimeError("cannot schedule new futures after shutdown")
+
+            service.scheduler._decode_batch = dying_pool
+            with pytest.raises(RuntimeError, match="after shutdown"):
+                await service.degraded_get(0, block)
+            # fallback was NOT exercised: it cannot fix a dead pool and
+            # would only mask the shutdown from the caller
+            assert service.metrics.fallbacks == 0
+            assert service.metrics.batch_errors == 1
             assert service.metrics.failures == 1
 
     run(main())
