@@ -209,6 +209,31 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .verify.check import list_rules, run_check
+
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        report = run_check(
+            args.paths or ["src"],
+            strict=args.strict,
+            samples=args.samples,
+            seed=args.seed,
+        )
+    except FileNotFoundError as exc:
+        print(f"ppm check: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_human())
+    return report.exit_code
+
+
 def _cmd_verify_code(args: argparse.Namespace) -> int:
     from .codes import get_code, verify_code
 
@@ -704,6 +729,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip compiled-program verification",
     )
     p_vfy.set_defaults(func=_cmd_verify)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="static-analysis gate: lint + race analysis (+ sweeps with --strict)",
+    )
+    p_chk.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    p_chk.add_argument(
+        "--strict",
+        action="store_true",
+        help="also sweep plan/program/dataflow verification across all codes",
+    )
+    p_chk.add_argument("--samples", type=int, default=10, help="sweep scenarios per code")
+    p_chk.add_argument("--seed", type=int, default=2015)
+    p_chk.add_argument("--json", action="store_true", help="machine-readable report")
+    p_chk.add_argument(
+        "--list-rules", action="store_true", help="print the combined rule catalogue"
+    )
+    p_chk.set_defaults(func=_cmd_check)
 
     p_ver = sub.add_parser("verify-code", help="Monte-Carlo decodability check")
     p_ver.add_argument("kind", help="registry name, e.g. sd")

@@ -14,6 +14,7 @@ the parity positions (paper, footnote 1).
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass
@@ -79,16 +80,21 @@ class _PlanningDecoder:
         self._plan_cache: dict[tuple, DecodePlan] = {}
         self._ops_cache: dict[int, RegionOps] = {}
         self._verified_plans: set[int] = set()
+        # one decoder instance may serve several asyncio.to_thread
+        # decode workers at once; its memo dicts need a lock (planning
+        # and certification run outside it, double-checked on insert)
+        self._cache_lock = threading.Lock()
 
     def ops_for(self, field: GF) -> RegionOps:
         key = id(field)
-        ops = self._ops_cache.get(key)
-        if ops is None:
-            if self.compile:
-                ops = CompiledRegionOps(field, self.counter, programs=self.programs)
-            else:
-                ops = RegionOps(field, self.counter)
-            self._ops_cache[key] = ops
+        with self._cache_lock:
+            ops = self._ops_cache.get(key)
+            if ops is None:
+                if self.compile:
+                    ops = CompiledRegionOps(field, self.counter, programs=self.programs)
+                else:
+                    ops = RegionOps(field, self.counter)
+                self._ops_cache[key] = ops
         return ops
 
     def plan(
@@ -104,15 +110,21 @@ class _PlanningDecoder:
         """
         h = source.H if isinstance(source, ErasureCode) else source
         key = (id(h), tuple(sorted(set(faulty))), self.policy)
-        plan = self._plan_cache.get(key)
+        with self._cache_lock:
+            plan = self._plan_cache.get(key)
         if plan is None:
             plan = plan_decode(h, faulty, policy=self.policy)
-            self._plan_cache[key] = plan
-        if (self.verify if verify is None else verify) and id(plan) not in self._verified_plans:
-            from ..verify import assert_plan_valid  # deferred: verify imports core
+            with self._cache_lock:
+                plan = self._plan_cache.setdefault(key, plan)
+        if (self.verify if verify is None else verify):
+            with self._cache_lock:
+                verified = id(plan) in self._verified_plans
+            if not verified:
+                from ..verify import assert_plan_valid  # deferred: verify imports core
 
-            assert_plan_valid(plan, h)
-            self._verified_plans.add(id(plan))
+                assert_plan_valid(plan, h)
+                with self._cache_lock:
+                    self._verified_plans.add(id(plan))
         return plan
 
     @staticmethod

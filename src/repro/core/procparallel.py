@@ -52,7 +52,9 @@ def _child_ops(w: int, polynomial: int, compiled: bool) -> RegionOps:
             ops = CompiledRegionOps(field)
         else:
             ops = RegionOps(field)
-        _CHILD_OPS[key] = ops
+        # per-process memo: each pool worker owns its own interpreter,
+        # so no lock is needed (or possible) across processes
+        _CHILD_OPS[key] = ops  # ppm: noqa[PPM011]
     return ops
 
 

@@ -111,7 +111,10 @@ class ProgramExecutor:
                     field.dtype.type(const), np.arange(16, dtype=field.dtype)
                 )
                 table.setflags(write=False)
-                self._small_tables[const] = table
+                # concurrent binds share this cache; reuse _bind_lock
+                # (held only around the dict insert, so no reentrancy)
+                with self._bind_lock:
+                    table = self._small_tables.setdefault(const, table)
             return table
         return split_tables(field, const)
 

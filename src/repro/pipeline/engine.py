@@ -24,6 +24,7 @@ single-stripe decoders.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -125,8 +126,9 @@ class _PatternBatch:
         maps = [blocks_list[i] for i in self.indices]
         for blocks in maps:
             sample = blocks[next(iter(needed))]
-            self.offsets.append(self.offsets[-1] + sample.shape[0])
-        self.concat = {
+            # each _PatternBatch belongs to exactly one decode_batch call
+            self.offsets.append(self.offsets[-1] + sample.shape[0])  # ppm: noqa[PPM010]
+        self.concat = {  # ppm: noqa[PPM010] - batch owned by one call
             b: np.concatenate([blocks[b] for blocks in maps]) for b in needed
         }
 
@@ -203,7 +205,11 @@ class DecodePipeline:
         self.programs = ProgramCache() if compile else None
         self.admission = PriorityAdmission(max_defer_s=max_defer_s)
         self._ops_cache: dict[int, RegionOps] = {}
-        # lifetime tallies behind metrics()
+        # lifetime tallies behind metrics(); decode_batch runs on
+        # whatever thread calls it (several asyncio.to_thread workers
+        # at once under the async service), so the tallies and the ops
+        # cache share one lock
+        self._tally_lock = threading.Lock()
         self._stripes = 0
         self._batches = 0
         self._background_batches = 0
@@ -216,13 +222,14 @@ class DecodePipeline:
 
     def _ops_for(self, field: GF) -> RegionOps:
         key = id(field)
-        ops = self._ops_cache.get(key)
-        if ops is None:
-            if self.programs is not None:
-                ops = CompiledRegionOps(field, self.counter, programs=self.programs)
-            else:
-                ops = RegionOps(field, self.counter)
-            self._ops_cache[key] = ops
+        with self._tally_lock:
+            ops = self._ops_cache.get(key)
+            if ops is None:
+                if self.programs is not None:
+                    ops = CompiledRegionOps(field, self.counter, programs=self.programs)
+                else:
+                    ops = RegionOps(field, self.counter)
+                self._ops_cache[key] = ops
         return ops
 
     @staticmethod
@@ -349,7 +356,8 @@ class DecodePipeline:
         ops = self._ops_for(code.field)
         tasks, owners = self._build_tasks(batches)
         queue_depth = len(tasks)
-        self._queue_peak = max(self._queue_peak, queue_depth)
+        with self._tally_lock:
+            self._queue_peak = max(self._queue_peak, queue_depth)
         task_results = self._run_tasks(tasks, ops)
 
         # merge phase-1 outputs, then run each pattern's serial rest phase
@@ -365,12 +373,13 @@ class DecodePipeline:
 
         wall = time.perf_counter() - t0
         after = self.counter.snapshot()
-        self._stripes += len(stripes)
-        self._batches += 1
-        if background:
-            self._background_batches += 1
-        self._patterns += len(batches)
-        self._wall += wall
+        with self._tally_lock:
+            self._stripes += len(stripes)
+            self._batches += 1
+            if background:
+                self._background_batches += 1
+            self._patterns += len(batches)
+            self._wall += wall
         stats = BatchStats(
             stripes=len(stripes),
             patterns=len(batches),
@@ -463,9 +472,10 @@ class DecodePipeline:
             else:
                 gathered = self.pool.run_buckets(run_local, buckets)
         merged: dict[int, dict[int, np.ndarray]] = {}
-        for worker_index, (out, elapsed) in enumerate(gathered):
-            self._busy[worker_index % self.workers] += elapsed
-            merged.update(out)
+        with self._tally_lock:
+            for worker_index, (out, elapsed) in enumerate(gathered):
+                self._busy[worker_index % self.workers] += elapsed
+                merged.update(out)
         return merged
 
     # -- observability / lifecycle -------------------------------------------

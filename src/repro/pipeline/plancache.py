@@ -16,6 +16,7 @@ PR-1 verification layer, amortised the same way planning is).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
@@ -82,9 +83,14 @@ class PlanCache:
         self.verify = verify
         self.stats = CacheStats()
         self._entries: OrderedDict[PlanKey, tuple[GFMatrix, DecodePlan]] = OrderedDict()
+        # decode_batch calls arrive concurrently from asyncio.to_thread
+        # workers; the OrderedDict reorder + stats tallies need a lock.
+        # Planning itself happens outside it (double-checked insert).
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def key_of(
@@ -104,26 +110,34 @@ class PlanCache:
         """Fetch (hit) or build-certify-insert (miss) the plan."""
         h = source.H if isinstance(source, ErasureCode) else source
         key = (id(h), tuple(sorted(set(faulty))), policy)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry[1]
-        self.stats.misses += 1
-        plan = plan_decode(h, faulty, policy=policy)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry[1]
+        plan = plan_decode(h, faulty, policy=policy)  # plan outside the lock
         if self.verify:
             from ..verify import assert_plan_valid  # deferred: verify imports core
 
             assert_plan_valid(plan, h)
-        self._entries[key] = (h, plan)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:  # a concurrent miss planned it first
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry[1]
+            self.stats.misses += 1
+            self._entries[key] = (h, plan)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return plan
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; use ``reset_stats`` too)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()

@@ -42,6 +42,12 @@ logger = logging.getLogger(__name__)
 #: leaking worker processes.
 _LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
 
+#: Guards :data:`_LIVE_POOLS`.  Registration happens inside
+#: ``_ensure`` on whatever thread first submits, deregistration in
+#: ``close`` on another — a WeakSet is not thread-safe, and a pool's
+#: *instance* lock cannot guard state shared across all pools.
+_REGISTRY_LOCK = threading.Lock()
+
 #: Attribute on the :mod:`atexit` module recording the installed hook.
 #: Module-level state would reset on a re-import (``importlib.reload``),
 #: stacking one duplicate hook per reload; the :mod:`atexit` module
@@ -51,12 +57,16 @@ _HOOK_ATTR = "_repro_close_live_pools_hook"
 
 def live_pools() -> tuple["WorkerPool", ...]:
     """Pools whose executor is currently spawned (observability/tests)."""
-    return tuple(pool for pool in _LIVE_POOLS if pool.alive)
+    with _REGISTRY_LOCK:
+        pools = tuple(_LIVE_POOLS)
+    return tuple(pool for pool in pools if pool.alive)
 
 
 def close_live_pools() -> None:
     """Close every live pool; installed as the atexit shutdown hook."""
-    for pool in list(_LIVE_POOLS):
+    with _REGISTRY_LOCK:
+        pools = list(_LIVE_POOLS)
+    for pool in pools:
         try:
             pool.close()
         except Exception as exc:  # noqa: BLE001 - best effort during shutdown
@@ -114,7 +124,8 @@ class WorkerPool:
                 self.spawn_seconds += time.perf_counter() - t0
                 self.spawn_count += 1
                 if self._executor is not None:
-                    _LIVE_POOLS.add(self)
+                    with _REGISTRY_LOCK:
+                        _LIVE_POOLS.add(self)
             return self._executor
 
     @property
@@ -126,7 +137,8 @@ class WorkerPool:
         """Shut the executor down; the next submit re-spawns it."""
         with self._lock:
             executor, self._executor = self._executor, None
-        _LIVE_POOLS.discard(self)
+        with _REGISTRY_LOCK:
+            _LIVE_POOLS.discard(self)
         if executor is not None:
             executor.shutdown(wait=True)
 

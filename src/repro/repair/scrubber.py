@@ -12,6 +12,7 @@ and duck-types its store: anything with ``code``, ``stripe_ids`` and
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..stripes.scrub import ScrubCursor, StripeScrubReport, scrub_stripe
@@ -48,6 +49,11 @@ class StoreScrubber:
         self.max_errors = max_errors
         self.cursor = ScrubCursor(store.stripe_ids)
         self.stripes_scrubbed = 0
+        # The manager's tick loop runs scan_chunk via asyncio.to_thread
+        # while wait_healthy may run scan_full_pass in *another* thread;
+        # one lock serializes the scans so cursor state and the
+        # stripes_scrubbed tally never interleave.
+        self._scan_lock = threading.Lock()
 
     def scan_chunk(self, size: int) -> ScanFindings:
         """Scrub the next ``size`` stripes; report every non-clean one.
@@ -56,38 +62,40 @@ class StoreScrubber:
         removed since the last chunk are picked up without restarting
         the pass.
         """
-        self.cursor.update_keys(self.store.stripe_ids)
-        passes0 = self.cursor.passes_completed
-        findings: list[tuple[int, StripeScrubReport]] = []
-        chunk = self.cursor.next_chunk(size)
-        for stripe_id in chunk:
-            report = scrub_stripe(
-                self.store.code,
-                self.store.stripe(stripe_id),
-                max_errors=self.max_errors,
+        with self._scan_lock:
+            self.cursor.update_keys(self.store.stripe_ids)
+            passes0 = self.cursor.passes_completed
+            findings: list[tuple[int, StripeScrubReport]] = []
+            chunk = self.cursor.next_chunk(size)
+            for stripe_id in chunk:
+                report = scrub_stripe(
+                    self.store.code,
+                    self.store.stripe(stripe_id),
+                    max_errors=self.max_errors,
+                )
+                if not report.healthy:
+                    findings.append((stripe_id, report))
+            self.stripes_scrubbed += len(chunk)
+            return ScanFindings(
+                scanned=len(chunk),
+                findings=tuple(findings),
+                passes_completed=self.cursor.passes_completed - passes0,
             )
-            if not report.healthy:
-                findings.append((stripe_id, report))
-        self.stripes_scrubbed += len(chunk)
-        return ScanFindings(
-            scanned=len(chunk),
-            findings=tuple(findings),
-            passes_completed=self.cursor.passes_completed - passes0,
-        )
 
     def scan_full_pass(self) -> ScanFindings:
         """Scrub every stripe once, cursor-independent (verification use)."""
-        findings: list[tuple[int, StripeScrubReport]] = []
-        keys = self.store.stripe_ids
-        for stripe_id in keys:
-            report = scrub_stripe(
-                self.store.code,
-                self.store.stripe(stripe_id),
-                max_errors=self.max_errors,
+        with self._scan_lock:
+            findings: list[tuple[int, StripeScrubReport]] = []
+            keys = self.store.stripe_ids
+            for stripe_id in keys:
+                report = scrub_stripe(
+                    self.store.code,
+                    self.store.stripe(stripe_id),
+                    max_errors=self.max_errors,
+                )
+                if not report.healthy:
+                    findings.append((stripe_id, report))
+            self.stripes_scrubbed += len(keys)
+            return ScanFindings(
+                scanned=len(keys), findings=tuple(findings), passes_completed=1
             )
-            if not report.healthy:
-                findings.append((stripe_id, report))
-        self.stripes_scrubbed += len(keys)
-        return ScanFindings(
-            scanned=len(keys), findings=tuple(findings), passes_completed=1
-        )

@@ -99,6 +99,10 @@ class BlobStore:
         self.faults = faults if faults is not None else FaultInjector(0.0)
         self._stripes: dict[int, Stripe] = {}
         self._truth: dict[int, Stripe] = {}
+        # writes land from the event loop while decode workers and the
+        # scrub thread read; serialize the mutating paths (readers stay
+        # lock-free — block arrays are replaced, never edited in place)
+        self._write_lock = threading.Lock()
 
     # -- construction --------------------------------------------------------
 
@@ -122,8 +126,10 @@ class BlobStore:
         return store
 
     def add_stripe(self, stripe_id: int, stripe: Stripe) -> None:
-        self._stripes[stripe_id] = stripe
-        self._truth[stripe_id] = stripe.copy()
+        copy = stripe.copy()
+        with self._write_lock:
+            self._stripes[stripe_id] = stripe
+            self._truth[stripe_id] = copy
 
     # -- lookups -------------------------------------------------------------
 
@@ -163,8 +169,9 @@ class BlobStore:
         (a client overwrite redefines what "correct" means)."""
         stripe = self.stripe(stripe_id)
         self.faults.check(stripe_id)
-        stripe.put(block, region)
-        self._truth[stripe_id].put(block, region)
+        with self._write_lock:
+            stripe.put(block, region)
+            self._truth[stripe_id].put(block, region)
 
     def snapshot_blocks(
         self, stripe_id: int, inject: bool = True

@@ -229,7 +229,8 @@ class ScrubCursor:
 
     def update_keys(self, keys: Sequence[int]) -> None:
         """Replace the key set (stripes added/removed) keeping the cursor."""
-        self._keys = sorted(keys)
+        # cursor calls are serialized by StoreScrubber._scan_lock
+        self._keys = sorted(keys)  # ppm: noqa[PPM010]
 
     def next_chunk(self, size: int) -> list[int]:
         """The next (up to) ``size`` keys in scrub order.
@@ -244,8 +245,9 @@ class ScrubCursor:
         if not self._keys:
             return []
         if self._position >= len(self._keys):
-            self._position = 0
-            self.passes_completed += 1
+            # serialized by StoreScrubber._scan_lock (see update_keys)
+            self._position = 0  # ppm: noqa[PPM010]
+            self.passes_completed += 1  # ppm: noqa[PPM010]
         take = min(size, len(self._keys))
         chunk = []
         for _ in range(take):

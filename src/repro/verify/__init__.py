@@ -14,17 +14,30 @@ Three analyzers, all purely symbolic (no block data touched):
   over GF(2^w) coefficient vectors and prove its transfer matrix (and
   model op counts) match the :class:`~repro.core.planner.DecodePlan` it
   was lowered from.
-- :func:`run_lint` (and ``tools/lint_repro.py``) — AST lint enforcing
-  repo invariants (see :mod:`repro.verify.lint`).
+- :func:`analyze_program` / :func:`assert_dataflow_valid` — static
+  dataflow over a compiled :class:`~repro.kernels.RegionProgram`
+  (definite-assignment, aliasing, table bindings; strict mode adds
+  liveness: dead stores, unreachable slots, pool slack) — the cheap
+  pass gates ``lower_plan`` and every ``ProgramCache`` admission.
+- :func:`run_lint` (and ``tools/lint_repro.py``) — per-file AST lint
+  enforcing repo invariants PPM001-PPM009 (:mod:`repro.verify.lint`).
+- :func:`analyze_races` — whole-program concurrency analysis
+  PPM010-PPM013 (:mod:`repro.verify.races`): shared-mutable-state map
+  plus execution-context propagation (event loop vs worker threads).
 
 :func:`sweep_code` / :func:`sweep_all` drive the verifiers across the
-code registry under random failure scenarios; the ``ppm verify`` CLI
-subcommand is a thin wrapper over them.  See ``docs/VERIFICATION.md``.
+code registry under random failure scenarios; :func:`run_check` (the
+``ppm check`` CLI subcommand) aggregates every analyzer into one gate
+with stable exit codes.  ``# ppm: noqa[PPMxxx]`` suppresses a lint or
+race finding inline.  See ``docs/VERIFICATION.md``.
 """
 
 from __future__ import annotations
 
+from .check import CheckReport, run_check
+from .dataflow import analyze_program, assert_dataflow_valid
 from .findings import (
+    DataflowVerificationError,
     Finding,
     PlanVerificationError,
     ProgramVerificationError,
@@ -35,6 +48,7 @@ from .findings import (
 )
 from .lint import RULES, LintFinding, LintRule, register_rule, run_lint
 from .plan import assert_plan_valid, verify_plan
+from .races import RACE_RULES, analyze_races
 from .program import (
     assert_program_valid,
     expected_transfer,
@@ -52,6 +66,9 @@ __all__ = [
     "PlanVerificationError",
     "ProgramVerificationError",
     "ScheduleVerificationError",
+    "DataflowVerificationError",
+    "analyze_program",
+    "assert_dataflow_valid",
     "verify_plan",
     "assert_plan_valid",
     "verify_schedule",
@@ -63,8 +80,12 @@ __all__ = [
     "LintRule",
     "LintFinding",
     "RULES",
+    "RACE_RULES",
     "register_rule",
     "run_lint",
+    "analyze_races",
+    "CheckReport",
+    "run_check",
     "DEFAULT_INSTANCES",
     "SweepResult",
     "iter_scenarios",

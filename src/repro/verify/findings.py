@@ -123,3 +123,7 @@ class ScheduleVerificationError(VerificationFailure):
 
 class ProgramVerificationError(VerificationFailure):
     """A compiled :class:`~repro.kernels.RegionProgram` does not match its plan."""
+
+
+class DataflowVerificationError(VerificationFailure):
+    """A :class:`~repro.kernels.RegionProgram` violates a dataflow invariant."""

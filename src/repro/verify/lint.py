@@ -43,8 +43,10 @@ is ``tools/lint_repro.py`` (also wired into CI).
 from __future__ import annotations
 
 import ast
+import re
 import sys
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
@@ -92,6 +94,96 @@ class LintFinding:
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.rule}] {self.message}"
+
+
+#: ``# ppm: noqa`` (suppress everything on the line) or
+#: ``# ppm: noqa[PPM010]`` / ``# ppm: noqa[PPM010,PPM012]``.
+_NOQA_RE = re.compile(r"#\s*ppm:\s*noqa(?:\[([A-Z0-9, ]+)\])?", re.IGNORECASE)
+
+
+def noqa_lines(source: str) -> dict[int, frozenset[str] | None]:
+    """Per-line suppression map: line -> codes suppressed there.
+
+    ``None`` means a bare ``# ppm: noqa`` — every code is suppressed on
+    that line.  Lines without a marker are absent.
+    """
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group(1)
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            )
+    return out
+
+
+def filter_noqa(
+    findings: Iterable[LintFinding],
+    noqa_by_path: dict[str, dict[int, frozenset[str] | None]],
+) -> tuple[list[LintFinding], int]:
+    """Drop findings whose source line carries a matching noqa marker.
+
+    Returns ``(kept, suppressed_count)``.
+    """
+    kept: list[LintFinding] = []
+    suppressed = 0
+    for f in findings:
+        codes = noqa_by_path.get(f.path, {}).get(f.line, "absent")
+        if codes == "absent" or (codes is not None and f.code not in codes):
+            kept.append(f)
+        else:
+            suppressed += 1
+    return kept, suppressed
+
+
+@dataclass
+class ParsedModule:
+    """One source file parsed exactly once and shared by every analyzer.
+
+    ``tree`` is None when the file does not parse; ``syntax_finding``
+    then carries the PPM999 diagnostic.
+    """
+
+    path: Path
+    source: str
+    tree: ast.Module | None
+    noqa: dict[int, frozenset[str] | None] = field(default_factory=dict)
+    syntax_finding: LintFinding | None = None
+
+
+def parse_module(path: Path, source: str | None = None) -> ParsedModule:
+    if source is None:
+        source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+        bad = None
+    except SyntaxError as exc:
+        tree = None
+        bad = LintFinding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            code="PPM999",
+            rule="syntax-error",
+            message=f"cannot parse module: {exc.msg}",
+        )
+    return ParsedModule(
+        path=path,
+        source=source,
+        tree=tree,
+        noqa=noqa_lines(source),
+        syntax_finding=bad,
+    )
+
+
+def parse_modules(paths: Sequence[str]) -> list[ParsedModule]:
+    """Parse every ``*.py`` under ``paths`` once, in sorted path order."""
+    return [parse_module(p) for p in iter_python_files(paths)]
 
 
 class LintRule:
@@ -444,28 +536,38 @@ class NoBlockingInServiceRule(LintRule):
                     )
 
 
+def lint_module(
+    module: ParsedModule,
+    rules: Iterable[LintRule] | None = None,
+    timings: dict[str, float] | None = None,
+) -> list[LintFinding]:
+    """Run the given (default: all) rules over one pre-parsed module.
+
+    The AST is parsed once per file (in :func:`parse_module`) and shared
+    across every rule; ``timings`` accumulates per-rule wall seconds
+    keyed by rule code when supplied.
+    """
+    if module.tree is None:
+        assert module.syntax_finding is not None
+        return [module.syntax_finding]
+    findings: list[LintFinding] = []
+    for rule in RULES.values() if rules is None else rules:
+        if not rule.applies_to(module.path):
+            continue
+        t0 = time.perf_counter()
+        findings.extend(rule.check(module.tree, module.path))
+        if timings is not None:
+            timings[rule.code] = (
+                timings.get(rule.code, 0.0) + time.perf_counter() - t0
+            )
+    return findings
+
+
 def lint_source(
     source: str, relpath: Path, rules: Iterable[LintRule] | None = None
 ) -> list[LintFinding]:
     """Lint one module's source text with the given (default: all) rules."""
-    try:
-        tree = ast.parse(source, filename=str(relpath))
-    except SyntaxError as exc:
-        return [
-            LintFinding(
-                path=str(relpath),
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                code="PPM999",
-                rule="syntax-error",
-                message=f"cannot parse module: {exc.msg}",
-            )
-        ]
-    findings: list[LintFinding] = []
-    for rule in RULES.values() if rules is None else rules:
-        if rule.applies_to(relpath):
-            findings.extend(rule.check(tree, relpath))
-    return findings
+    return lint_module(parse_module(relpath, source), rules)
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -484,16 +586,31 @@ def run_lint(
     paths: Sequence[str],
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
+    *,
+    modules: Sequence[ParsedModule] | None = None,
+    respect_noqa: bool = True,
+    timings: dict[str, float] | None = None,
 ) -> list[LintFinding]:
-    """Lint every ``*.py`` under ``paths``; returns all findings sorted."""
+    """Lint every ``*.py`` under ``paths``; returns all findings sorted.
+
+    ``modules`` lets a front-end that already parsed the files (``ppm
+    check`` shares one parse between lint and the race analyzer) skip
+    re-reading them; ``respect_noqa`` honours ``# ppm: noqa[...]``
+    markers; ``timings`` accumulates per-rule wall seconds.
+    """
     active = [
         rule
         for code, rule in sorted(RULES.items())
         if (select is None or code in select) and (ignore is None or code not in ignore)
     ]
+    if modules is None:
+        modules = parse_modules(paths)
     findings: list[LintFinding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_source(path.read_text(), path, active))
+    for module in modules:
+        findings.extend(lint_module(module, active, timings))
+    if respect_noqa:
+        noqa_by_path = {str(m.path): m.noqa for m in modules if m.noqa}
+        findings, _suppressed = filter_noqa(findings, noqa_by_path)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
 
@@ -512,10 +629,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule registry and exit"
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="with --list-rules: run the rules over the paths and report "
+        "per-rule wall time",
+    )
     args = parser.parse_args(argv)
     if args.list_rules:
+        timings: dict[str, float] = {}
+        if args.verbose:
+            try:
+                run_lint(args.paths or ["src"], timings=timings)
+            except FileNotFoundError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         for code, rule in sorted(RULES.items()):
-            print(f"{code} {rule.name}: {rule.explanation}")
+            suffix = (
+                f"  [{timings.get(code, 0.0) * 1000:.1f} ms]" if args.verbose else ""
+            )
+            print(f"{code} {rule.name}: {rule.explanation}{suffix}")
         return 0
     try:
         findings = run_lint(
@@ -533,3 +667,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 1
     print(f"lint clean ({len(RULES)} rules)")
     return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

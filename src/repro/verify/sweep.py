@@ -28,6 +28,7 @@ from ..gf.bitmatrix import expand_matrix
 from ..gf.schedule import naive_schedule, pair_reuse_schedule
 from ..kernels import lower_plan
 from ..matrix import SingularMatrixError
+from .dataflow import analyze_program
 from .findings import VerificationReport
 from .plan import verify_plan
 from .program import verify_plan_program
@@ -136,6 +137,15 @@ def sweep_code(
                 if sub.findings:
                     sub.subject = (
                         f"program faulty={list(faulty)} policy={policy.value}"
+                    )
+                    result.report.merge(sub)
+                # strict static dataflow: liveness audits (dead stores,
+                # unreachable slots, pool slack) on top of the cheap
+                # admission checks lower_plan already ran
+                sub = analyze_program(compiled.program, strict=True)
+                if sub.findings:
+                    sub.subject = (
+                        f"dataflow faulty={list(faulty)} policy={policy.value}"
                     )
                     result.report.merge(sub)
                 result.programs += 1

@@ -1,0 +1,362 @@
+"""Tests for the whole-program concurrency analysis (PPM010-PPM013).
+
+Each case feeds the analyzer a small synthetic module (or pair of
+modules) and asserts the context propagation and judgement: thread
+roots discovered through ``asyncio.to_thread`` / pool submission,
+guards recognised lexically, ``threading.local`` exemption, noqa
+suppression, and — the regression that motivated the analyzer — that
+the real source tree is clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.verify.lint import filter_noqa, parse_module
+from repro.verify.races import analyze_races, run_races
+
+
+def analyze(*sources: str):
+    modules = [
+        parse_module(Path(f"mod{i}.py"), src) for i, src in enumerate(sources)
+    ]
+    return analyze_races(modules)
+
+
+def codes_of(findings):
+    return [f.code for f in findings]
+
+
+class TestPPM010InstanceAttrs:
+    def test_unguarded_mutation_from_thread_context(self):
+        findings = analyze(
+            """
+import asyncio
+
+class Svc:
+    def __init__(self):
+        self.count = 0
+
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        self.count += 1
+"""
+        )
+        assert codes_of(findings) == ["PPM010"]
+        assert "Svc.count" in findings[0].message
+
+    def test_lock_guard_silences(self):
+        findings = analyze(
+            """
+import asyncio
+import threading
+
+class Svc:
+    def __init__(self):
+        self.count = 0
+        self._lock = threading.Lock()
+
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        with self._lock:
+            self.count += 1
+"""
+        )
+        assert findings == []
+
+    def test_loop_only_mutation_is_fine(self):
+        findings = analyze(
+            """
+class Svc:
+    def __init__(self):
+        self.count = 0
+
+    async def run(self):
+        self.count += 1
+"""
+        )
+        assert findings == []
+
+    def test_loop_mutation_flagged_when_thread_reads(self):
+        findings = analyze(
+            """
+import asyncio
+
+class Svc:
+    def __init__(self):
+        self.stats = {}
+
+    async def run(self):
+        self.stats["x"] = 1
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        return len(self.stats)
+"""
+        )
+        assert codes_of(findings) == ["PPM010"]
+
+    def test_threading_local_attr_exempt(self):
+        findings = analyze(
+            """
+import asyncio
+import threading
+
+class Svc:
+    def __init__(self):
+        self._local = threading.local()
+
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        self._local.cell = 1
+"""
+        )
+        assert findings == []
+
+    def test_mutator_method_call_detected(self):
+        findings = analyze(
+            """
+import asyncio
+
+class Svc:
+    def __init__(self):
+        self.items = []
+
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        self.items.append(1)
+"""
+        )
+        assert codes_of(findings) == ["PPM010"]
+
+    def test_pool_submit_is_a_thread_root(self):
+        findings = analyze(
+            """
+class Engine:
+    def __init__(self, pool):
+        self.pool = pool
+        self.done = 0
+
+    def decode(self):
+        self.pool.submit(self.work)
+
+    def work(self):
+        self.done += 1
+"""
+        )
+        assert codes_of(findings) == ["PPM010"]
+
+    def test_context_propagates_across_modules(self):
+        findings = analyze(
+            """
+import asyncio
+
+class Manager:
+    def __init__(self, scrubber: Scrubber):
+        self.scrubber = scrubber
+
+    async def tick(self):
+        await asyncio.to_thread(self.scrubber.scan_chunk_xx)
+""",
+            """
+class Scrubber:
+    def __init__(self):
+        self.scanned = 0
+
+    def scan_chunk_xx(self):
+        self.scanned += 1
+""",
+        )
+        assert codes_of(findings) == ["PPM010"]
+        assert "Scrubber.scanned" in findings[0].message
+
+
+class TestPPM011Globals:
+    def test_unguarded_global_from_thread(self):
+        findings = analyze(
+            """
+import asyncio
+
+_REGISTRY = set()
+
+class Pool:
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        _REGISTRY.add(self)
+"""
+        )
+        assert codes_of(findings) == ["PPM011"]
+        assert "_REGISTRY" in findings[0].message
+
+    def test_module_level_lock_guards_global(self):
+        findings = analyze(
+            """
+import asyncio
+import threading
+
+_REGISTRY = set()
+_REGISTRY_LOCK = threading.Lock()
+
+class Pool:
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        with _REGISTRY_LOCK:
+            _REGISTRY.add(self)
+"""
+        )
+        assert findings == []
+
+    def test_instance_lock_does_not_guard_global(self):
+        findings = analyze(
+            """
+import asyncio
+import threading
+
+_REGISTRY = set()
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        with self._lock:
+            _REGISTRY.add(self)
+"""
+        )
+        assert codes_of(findings) == ["PPM011"]
+
+    def test_import_time_registry_is_fine(self):
+        # no concurrent context ever reaches the decorator
+        findings = analyze(
+            """
+RULES = {}
+
+def register(cls):
+    RULES[cls.code] = cls
+    return cls
+"""
+        )
+        assert findings == []
+
+
+class TestPPM012AwaitUnderLock:
+    def test_await_inside_sync_lock(self):
+        findings = analyze(
+            """
+import asyncio
+import threading
+
+class Svc:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    async def run(self):
+        with self._lock:
+            await asyncio.sleep(0)
+"""
+        )
+        assert codes_of(findings) == ["PPM012"]
+
+    def test_async_with_is_fine(self):
+        findings = analyze(
+            """
+import asyncio
+
+class Svc:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+
+    async def run(self):
+        async with self._lock:
+            await asyncio.sleep(0)
+"""
+        )
+        assert codes_of(findings) == []
+
+
+class TestPPM013AsyncioPrimitives:
+    def test_event_set_from_thread(self):
+        findings = analyze(
+            """
+import asyncio
+
+class Svc:
+    def __init__(self):
+        self._wake = asyncio.Event()
+
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        self._wake.set()
+"""
+        )
+        assert "PPM013" in codes_of(findings)
+
+    def test_event_set_from_loop_is_fine(self):
+        findings = analyze(
+            """
+import asyncio
+
+class Svc:
+    def __init__(self):
+        self._wake = asyncio.Event()
+
+    async def run(self):
+        self._wake.set()
+"""
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    SOURCE = """
+import asyncio
+
+class Svc:
+    def __init__(self):
+        self.count = 0
+
+    async def run(self):
+        await asyncio.to_thread(self.work)
+
+    def work(self):
+        self.count += 1  # ppm: noqa[PPM010]
+"""
+
+    def test_noqa_suppresses_via_filter(self):
+        module = parse_module(Path("mod.py"), self.SOURCE)
+        raw = analyze_races([module])
+        assert codes_of(raw) == ["PPM010"]  # analyzer reports raw
+        kept, suppressed = filter_noqa(raw, {"mod.py": module.noqa})
+        assert kept == [] and suppressed == 1
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = self.SOURCE.replace("noqa[PPM010]", "noqa")
+        module = parse_module(Path("mod.py"), source)
+        kept, suppressed = filter_noqa(
+            analyze_races([module]), {"mod.py": module.noqa}
+        )
+        assert kept == [] and suppressed == 1
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_unsuppressed_findings(self):
+        root = Path(__file__).resolve().parents[2]
+        findings = run_races([str(root / "src")])
+        assert findings == [], "\n".join(f.format() for f in findings)
