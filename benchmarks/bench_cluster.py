@@ -1,0 +1,76 @@
+"""Acceptance benchmark for the sharded multi-node cluster layer.
+
+Runs the shared :func:`repro.bench.cluster.run_cluster_bench`
+experiments — router throughput vs a single service under the same
+simulated device envelope, a whole-node-kill rebuild storm under live
+foreground load, and join/drain rebalance accounting — and writes the
+full result to ``BENCH_cluster.json`` at the repo root.  The
+assertions encode the acceptance bar: the N-node router must beat one
+service by >= 2x on the same stripe population, the storm must heal to
+zero erased blocks with every block verifying against ground truth,
+and foreground p99 under the storm must stay within 2x of the no-storm
+baseline.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py``
+or via ``ppm cluster-bench``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.cluster import run_cluster_bench
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+def test_cluster_routes_storms_and_rebalances_within_bounds():
+    result = run_cluster_bench(min_speedup=2.0, max_p99_ratio=2.0)
+    OUT.write_text(json.dumps(result, indent=2) + "\n")
+    tp = result["throughput"]
+    assert tp["single_rps"] > 0
+    assert result["gates"]["speedup_ok"], (
+        f"{tp['nodes']}-node router reached {tp['speedup']:.2f}x over one "
+        "service (gate 2x); sharding is not aggregating device envelopes"
+    )
+    storm = result["storm"]
+    assert storm["storm_stripes"] > 0, (
+        "killing the busiest node re-homed nothing; the storm gates nothing"
+    )
+    assert result["gates"]["healed_ok"], (
+        f"storm left erased={storm['verify']['erased']} "
+        f"mismatched={storm['verify']['mismatched']} after the heal window"
+    )
+    assert result["gates"]["p99_ok"], (
+        f"foreground p99 under the storm degraded {storm['p99_ratio']:.2f}x "
+        "(bound 2x); background repair is starving serving"
+    )
+    rebalance = result["rebalance"]
+    assert rebalance["join"]["stripes_moved"] > 0, (
+        "a joining node took no stripes; the ring is not rebalancing"
+    )
+    assert rebalance["drain"]["stripes_moved"] == rebalance["join"]["stripes_moved"], (
+        "draining the joined node must hand back exactly what it took"
+    )
+    assert result["ok"]
+
+
+def test_cluster_kernel(benchmark):
+    """Microbenchmark: one small cluster bench cycle."""
+    from repro.bench.cluster import bench_defaults
+    from repro.config import apply_overrides
+
+    config = apply_overrides(
+        bench_defaults(),
+        {
+            "store.stripes": 12,
+            "store.symbols": 32,
+            "cluster.nodes": 3,
+            "workload.requests": 60,
+            "workload.concurrency": 16,
+        },
+    )
+    benchmark.pedantic(
+        lambda: run_cluster_bench(config, min_speedup=0.0),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,283 @@
+"""Acceptance benchmark for the sharded cluster layer.
+
+Three experiments, one JSON document (``BENCH_cluster.json``):
+
+1. **Router throughput** — the same seeded healthy-read workload is
+   served by a single :class:`~repro.service.BlobService` and by an
+   N-node :class:`~repro.cluster.Cluster` holding the *same total
+   stripe population* under the *same per-node service config*,
+   including the simulated storage-device envelope
+   (:attr:`~repro.service.ServiceConfig.io_latency_s` /
+   ``io_queue_depth``).  A single node owns exactly one device envelope
+   no matter how fast the CPU is; the router aggregates N of them, so
+   sharding must win by roughly the node count on an I/O-bound mix —
+   the gate requires ``>= min_speedup`` (default 2x).  Degraded
+   decodes are deliberately absent here: they are CPU-bound and belong
+   to the pipeline/service benches, not to the sharding story.
+2. **Rebuild storm** — a cluster with background repair takes a
+   whole-node kill mid-life: the dead node's stripes re-home to
+   survivors with a disk-loss erasure, foreground load keeps running
+   while the survivors' repair queues rebuild at background priority.
+   Gates: the cluster heals to zero erased blocks, every block
+   truth-verifies, and foreground p99 under the storm stays within
+   ``max_p99_ratio`` (default 2x) of the pre-kill baseline.
+3. **Rebalance accounting** — one node joins (taking ~1/N stripes)
+   and is then drained; the stripes/blocks/bytes moved and the token-
+   bucket wait are recorded.
+
+Checked by ``benchmarks/bench_cluster.py`` and the CI ``cluster-smoke``
+job via ``ppm cluster-bench``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..config import (
+    AppConfig,
+    apply_overrides,
+    build_cluster,
+    build_service,
+    to_dict,
+)
+from ..service import build_request_schedule, run_loadgen
+
+
+def bench_defaults() -> AppConfig:
+    """The cluster-bench workload shape, as one config.
+
+    Six nodes over a 48-stripe population, a 4 ms / depth-4 device
+    envelope per node (one node caps at ~1000 IOPS before decode cost),
+    no transient faults or bit rot (those are other benches' subjects),
+    half the stripes pre-damaged, and a repair loop fast enough to
+    drain a rebuild storm within the bench window.
+    """
+    return apply_overrides(
+        AppConfig(),
+        {
+            "store.stripes": 48,
+            "store.symbols": 512,
+            "store.fault_rate": 0.0,
+            "store.damaged": 0.5,
+            "store.corrupt_fraction": 0.0,
+            "service.io_latency_s": 0.004,
+            "service.io_queue_depth": 4,
+            "service.repair": True,
+            "service.repair.scrub_interval_s": 0.002,
+            "service.repair.scrub_stripes": 16,
+            "cluster.nodes": 6,
+            "cluster.rebalance_blocks_per_s": 2048.0,
+            "cluster.rebalance_burst_blocks": 128,
+            "workload.requests": 400,
+            "workload.concurrency": 64,
+        },
+    )
+
+
+async def _throughput_and_rebalance(config: AppConfig) -> tuple[dict, dict]:
+    """Experiment 1 + 3: single vs cluster throughput, then join/drain."""
+    # A healthy-array read mix: repair off so the scrub loop does not
+    # compete for CPU, and no erasures so no request needs a decode.
+    # Decode throughput is CPU-bound and covered by pipeline/service
+    # benches; this experiment isolates what sharding is supposed to
+    # scale — the per-node device envelope.  The storm experiment keeps
+    # the degraded mix and the repair loop.
+    config = apply_overrides(
+        config,
+        {
+            "service.repair": None,
+            "store.damaged": 0.0,
+            "workload.degraded_fraction": 0.0,
+        },
+    )
+    workload = config.workload
+    service = build_service(config)
+    schedule = build_request_schedule(
+        service,
+        workload.requests,
+        seed=config.store.seed,
+        degraded_fraction=workload.degraded_fraction,
+    )
+    async with service:
+        single = await run_loadgen(
+            service, schedule, concurrency=workload.concurrency, verify=True
+        )
+
+    cluster = build_cluster(config)
+    schedule = build_request_schedule(
+        cluster,
+        workload.requests,
+        seed=config.store.seed,
+        degraded_fraction=workload.degraded_fraction,
+    )
+    async with cluster:
+        clustered = await run_loadgen(
+            cluster, schedule, concurrency=workload.concurrency, verify=True
+        )
+        spread = cluster.metrics.as_dict()["routed"]
+
+        # experiment 3 on the same live cluster: join, then drain
+        before = cluster.metrics.as_dict()["rebalance"]
+        joined = await cluster.add_node()
+        after_join = cluster.metrics.as_dict()["rebalance"]
+        await cluster.drain_node(joined)
+        after_drain = cluster.metrics.as_dict()["rebalance"]
+
+    def delta(a: dict, b: dict, key: str) -> float:
+        return b[key] - a[key]
+
+    single_rps = single["requests_per_sec"]
+    cluster_rps = clustered["requests_per_sec"]
+    throughput = {
+        "nodes": config.cluster.nodes,
+        "stripes": config.store.stripes,
+        "requests": workload.requests,
+        "concurrency": workload.concurrency,
+        "io_latency_s": config.service.io_latency_s,
+        "io_queue_depth": config.service.io_queue_depth,
+        "single": single,
+        "cluster": clustered,
+        "routed_per_node": spread,
+        "single_rps": single_rps,
+        "cluster_rps": cluster_rps,
+        "speedup": (cluster_rps / single_rps) if single_rps > 0 else 0.0,
+    }
+    rebalance = {
+        "joined_node": joined,
+        "join": {
+            key: delta(before, after_join, key)
+            for key in ("stripes_moved", "blocks_moved", "bytes_moved")
+        },
+        "drain": {
+            key: delta(after_join, after_drain, key)
+            for key in ("stripes_moved", "blocks_moved", "bytes_moved")
+        },
+        "rate_blocks_per_s": config.cluster.rebalance_blocks_per_s,
+        "wait_seconds": after_drain["wait_seconds"],
+    }
+    return throughput, rebalance
+
+
+async def _storm(config: AppConfig, heal_timeout_s: float) -> dict:
+    """Experiment 2: whole-node kill under live foreground load."""
+    workload = config.workload
+    cluster = build_cluster(config)
+    async with cluster:
+        baseline_schedule = build_request_schedule(
+            cluster,
+            workload.requests,
+            seed=config.store.seed,
+            degraded_fraction=workload.degraded_fraction,
+        )
+        baseline = await run_loadgen(
+            cluster,
+            baseline_schedule,
+            concurrency=workload.concurrency,
+            verify=True,
+        )
+        # kill the busiest node so the storm is as large as placement allows
+        victim = max(
+            cluster.nodes.values(), key=lambda node: len(node.store.stripe_ids)
+        ).node_id
+        loop = asyncio.get_running_loop()
+        t_kill = loop.time()
+        stormed = await cluster.kill_node(victim)
+        storm_run = await run_loadgen(
+            cluster,
+            baseline_schedule,
+            concurrency=workload.concurrency,
+            verify=True,
+        )
+        healed = await cluster.wait_healthy(timeout_s=heal_timeout_s)
+        heal_seconds = loop.time() - t_kill
+        verify = cluster.verify_all()
+        metrics = cluster.metrics_dict()
+
+    base_p99 = baseline["latency"]["p99_s"]
+    storm_p99 = storm_run["latency"]["p99_s"]
+    return {
+        "killed_node": victim,
+        "storm_stripes": stormed,
+        "baseline": baseline,
+        "under_storm": storm_run,
+        "baseline_p99_s": base_p99,
+        "storm_p99_s": storm_p99,
+        "p99_ratio": (storm_p99 / base_p99) if base_p99 > 0 else 0.0,
+        "healed": healed,
+        "heal_seconds": heal_seconds,
+        "verify": verify,
+        "truth_verified": verify["erased"] == 0 and verify["mismatched"] == 0,
+        "storm_metrics": metrics["cluster"]["storm"],
+    }
+
+
+def run_cluster_bench(
+    config: AppConfig | None = None,
+    *,
+    heal_timeout_s: float = 60.0,
+    min_speedup: float = 2.0,
+    max_p99_ratio: float = 2.0,
+) -> dict:
+    """Run all three cluster experiments; returns a JSON-ready dict.
+
+    ``config`` defaults to :func:`bench_defaults`; pass an
+    :class:`~repro.config.AppConfig` to reshape the workload (the
+    repair section must be enabled for the storm to heal).
+    """
+    config = config if config is not None else bench_defaults()
+    throughput, rebalance = asyncio.run(_throughput_and_rebalance(config))
+    storm = asyncio.run(_storm(config, heal_timeout_s))
+    result = {
+        "config": to_dict(config),
+        "throughput": throughput,
+        "rebalance": rebalance,
+        "storm": storm,
+        "gates": {
+            "min_speedup": min_speedup,
+            "speedup_ok": throughput["speedup"] >= min_speedup,
+            "max_p99_ratio": max_p99_ratio,
+            "p99_ok": storm["p99_ratio"] <= max_p99_ratio
+            or storm["baseline_p99_s"] <= 0,
+            "healed_ok": bool(storm["healed"]) and storm["truth_verified"],
+        },
+    }
+    gates = result["gates"]
+    result["ok"] = bool(
+        gates["speedup_ok"] and gates["p99_ok"] and gates["healed_ok"]
+    )
+    return result
+
+
+def format_cluster_report(result: dict) -> str:
+    """Human-readable summary of :func:`run_cluster_bench` output."""
+    tp = result["throughput"]
+    rb = result["rebalance"]
+    st = result["storm"]
+    gates = result["gates"]
+    lines = [
+        f"workload       {tp['stripes']} stripes, {tp['requests']} requests @ "
+        f"concurrency {tp['concurrency']}; device envelope "
+        f"{tp['io_latency_s'] * 1e3:.1f} ms x depth {tp['io_queue_depth']}",
+        f"single node    {tp['single_rps']:.1f} req/s  "
+        f"p99 {tp['single']['latency']['p99_s'] * 1e3:.2f} ms",
+        f"{tp['nodes']}-node router  {tp['cluster_rps']:.1f} req/s  "
+        f"p99 {tp['cluster']['latency']['p99_s'] * 1e3:.2f} ms",
+        f"speedup        {tp['speedup']:.2f}x "
+        f"(gate >= {gates['min_speedup']:.1f}x: "
+        f"{'ok' if gates['speedup_ok'] else 'FAILED'})",
+        f"rebalance      join moved {rb['join']['stripes_moved']:.0f} stripes "
+        f"({rb['join']['bytes_moved']:.0f} bytes), drain moved "
+        f"{rb['drain']['stripes_moved']:.0f} stripes "
+        f"({rb['drain']['bytes_moved']:.0f} bytes), "
+        f"bucket wait {rb['wait_seconds']:.3f}s",
+        f"storm          killed {st['killed_node']} "
+        f"({st['storm_stripes']} stripes re-homed), healed in "
+        f"{st['heal_seconds']:.1f}s: "
+        f"{'yes' if st['healed'] else 'NO'}, truth "
+        f"{'verified' if st['truth_verified'] else 'MISMATCH'}",
+        f"storm p99      {st['storm_p99_s'] * 1e3:.2f} ms vs baseline "
+        f"{st['baseline_p99_s'] * 1e3:.2f} ms = {st['p99_ratio']:.2f}x "
+        f"(bound {gates['max_p99_ratio']:.1f}x: "
+        f"{'ok' if gates['p99_ok'] else 'EXCEEDED'})",
+    ]
+    return "\n".join(lines)

@@ -21,8 +21,11 @@ extra NAME      extra experiments (c2-share, energy, parallel-strategies,
 pipeline-bench  batched DecodePipeline vs per-stripe decode throughput
 kernel-bench    compiled region programs vs interpreted decode throughput
 serve           run the degraded-read BlobService on a TCP port
-loadgen         drive a service (in-process or TCP) with seeded load
+cluster         run a sharded multi-node cluster behind one TCP port
+loadgen         drive services/clusters (in-process or TCP) with seeded load
 service-bench   coalesced batched serving vs naive per-request decode
+repair-bench    online scrub-and-repair vs no-repair baseline under load
+cluster-bench   sharded router vs single service; storm p99; rebalance
 encode-file     split + encode a file into per-disk strip files
 decode-file     reconstruct a file from surviving strips (erasure-decoding)
 repair-files    regenerate missing strip files in place
@@ -375,59 +378,87 @@ def _cmd_kernel_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_service(args: argparse.Namespace):
-    """Shared serve/loadgen construction: damaged store + BlobService."""
-    from .codes import SDCode
-    from .repair import RepairConfig
-    from .service import (
-        BlobService,
-        BlobStore,
-        FaultInjector,
-        ServiceConfig,
-        corrupt_store,
-        damage_store,
-    )
+#: CLI flag → dotted path in the layered config (see repro.config);
+#: flags default to None so only *explicitly passed* values override
+#: the config file, which overrides the dataclass defaults
+_FLAG_PATHS = {
+    "n": "store.n",
+    "r": "store.r",
+    "m": "store.m",
+    "s": "store.s",
+    "stripes": "store.stripes",
+    "symbols": "store.symbols",
+    "fault_rate": "store.fault_rate",
+    "damaged": "store.damaged",
+    "corrupt_fraction": "store.corrupt_fraction",
+    "seed": "store.seed",
+    "batch_trigger": "service.batch_trigger",
+    "scrub_stripes": "service.repair.scrub_stripes",
+    "repair_rate": "service.repair.rate_blocks_per_s",
+    "nodes": "cluster.nodes",
+    "transport": "cluster.transport",
+    "requests": "workload.requests",
+    "concurrency": "workload.concurrency",
+    "degraded_fraction": "workload.degraded_fraction",
+}
 
-    code = SDCode(args.n, args.r, args.m, args.s)
-    store = BlobStore.build(
-        code,
-        args.stripes,
-        args.symbols,
-        rng=args.seed,
-        faults=FaultInjector(args.fault_rate, rng=args.seed),
-    )
-    damage_store(store, fraction=args.damaged, seed=args.seed)
-    if getattr(args, "corrupt_fraction", 0.0):
-        corrupt_store(store, fraction=args.corrupt_fraction, seed=args.seed)
-    repair = None
-    if getattr(args, "repair", False):
-        repair = RepairConfig(
-            scrub_stripes=args.scrub_stripes,
-            rate_blocks_per_s=args.repair_rate,
-        )
-    config = ServiceConfig(
-        batch_trigger=args.batch_trigger,
-        flush_interval_s=args.flush_ms / 1e3,
-        coalesce=not getattr(args, "naive", False),
-        repair=repair,
-    )
-    return BlobService(store, config=config)
+
+def _app_config(args: argparse.Namespace, base=None):
+    """The three config layers, bottom to top: dataclass defaults (or a
+    command-specific ``base``), then ``--config FILE``, then explicit
+    flags and ``--set path=value`` overrides."""
+    import json
+
+    from . import config as appcfg
+
+    cfg = base if base is not None else appcfg.AppConfig()
+    if getattr(args, "config", None):
+        with open(args.config) as fh:
+            cfg = appcfg.apply_overrides(cfg, appcfg.flatten(json.load(fh)))
+    overrides: dict = {}
+    if getattr(args, "repair", False) and cfg.service.repair is None:
+        overrides["service.repair"] = True
+    if getattr(args, "flush_ms", None) is not None:
+        overrides["service.flush_interval_s"] = args.flush_ms / 1e3
+    if getattr(args, "naive", False):
+        overrides["service.coalesce"] = False
+    for flag, path in _FLAG_PATHS.items():
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[path] = value
+    # one --seed keeps the whole world deterministic: it feeds the
+    # placement ring too unless cluster.seed was set separately
+    if "store.seed" in overrides:
+        overrides.setdefault("cluster.seed", overrides["store.seed"])
+    cfg = appcfg.apply_overrides(cfg, overrides)
+    for item in getattr(args, "set", None) or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--set needs path=value, got {item!r}")
+        cfg = appcfg.apply_overrides(cfg, {key: value})
+    return cfg
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
+    from .config import build_service
     from .service import serve
 
+    cfg = _app_config(args)
+
     async def main() -> int:
-        service = _build_service(args)
+        service = build_service(cfg)
+        service.start_repair()
         server = await serve(service, host=args.host, port=args.port)
         host, port = server.sockets[0].getsockname()[:2]
-        print(f"serving SD(n={args.n}, r={args.r}, m={args.m}, s={args.s}) "
-              f"x {args.stripes} stripes on {host}:{port}")
-        print(f"coalescing: trigger {args.batch_trigger}, "
-              f"flush {args.flush_ms:.1f} ms, fault rate {args.fault_rate:.0%}")
+        store = cfg.store
+        print(f"serving SD(n={store.n}, r={store.r}, m={store.m}, s={store.s}) "
+              f"x {store.stripes} stripes on {host}:{port}")
+        print(f"coalescing: trigger {cfg.service.batch_trigger}, "
+              f"flush {cfg.service.flush_interval_s * 1e3:.1f} ms, "
+              f"fault rate {store.fault_rate:.0%}")
         try:
             async with server:
                 await server.serve_forever()
@@ -444,82 +475,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
-def _cmd_loadgen(args: argparse.Namespace) -> int:
+def _cmd_cluster(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from .service import ServiceClient, build_request_schedule, run_loadgen
+    from .config import build_cluster
+    from .service import serve
 
-    async def run_inprocess() -> tuple[dict, dict]:
-        service = _build_service(args)
-        schedule = build_request_schedule(
-            service.store, args.requests, seed=args.seed,
-            degraded_fraction=args.degraded_fraction,
-        )
-        async with service:
-            summary = await run_loadgen(
-                service, schedule, concurrency=args.concurrency, verify=True
+    cfg = _app_config(args)
+
+    async def main() -> int:
+        cluster = build_cluster(cfg)
+        async with cluster:
+            server = await serve(cluster, host=args.host, port=args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            store = cfg.store
+            print(
+                f"cluster of {cfg.cluster.nodes} nodes "
+                f"(SD(n={store.n}, r={store.r}, m={store.m}, s={store.s}) "
+                f"x {store.stripes} stripes, transport "
+                f"{cfg.cluster.transport}) on {host}:{port}"
             )
-            return summary, service.metrics_dict()
+            try:
+                async with server:
+                    await server.serve_forever()
+            except asyncio.CancelledError:  # pragma: no cover - signal-driven
+                pass
+            finally:
+                print(json.dumps(cluster.metrics_dict(), indent=2))
+        return 0
 
-    async def run_remote() -> tuple[dict, dict]:
-        host, _, port = args.connect.rpartition(":")
-        loop = asyncio.get_running_loop()
-        clients = [
-            await ServiceClient.connect(host or "127.0.0.1", int(port))
-            for _ in range(args.concurrency)
-        ]
-        queue: asyncio.Queue = asyncio.Queue()
-        rng_schedule = [
-            (i % args.stripes, 0) for i in range(args.requests)
-        ]
-        for item in rng_schedule:
-            queue.put_nowait(item)
-        completed = failed = corrupt = 0
-        errors: dict[str, int] = {}
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
 
-        async def worker(client: ServiceClient) -> None:
-            nonlocal completed, failed, corrupt
-            while True:
-                try:
-                    sid, block = queue.get_nowait()
-                except asyncio.QueueEmpty:
-                    return
-                try:
-                    _data, verified = await client.get_verified(sid, block)
-                except Exception as exc:
-                    # classify the failure (NodeFault vs DeadlineExceeded
-                    # vs connection loss) instead of one generic bucket
-                    failed += 1
-                    name = type(exc).__name__
-                    errors[name] = errors.get(name, 0) + 1
-                else:
-                    completed += 1
-                    if not verified:
-                        # completed but wrong bytes: real corruption,
-                        # counted so the smoke gate can fail on it
-                        corrupt += 1
 
-        t0 = loop.time()
-        await asyncio.gather(*(worker(c) for c in clients))
-        wall = loop.time() - t0
-        metrics = await clients[0].metrics()
-        for client in clients:
-            await client.close()
-        summary = {
-            "requests": args.requests,
-            "completed": completed,
-            "failed": failed,
-            "corrupt": corrupt,
-            "errors": errors,
-            "wall_seconds": wall,
-            "requests_per_sec": (completed / wall) if wall > 0 else 0.0,
-        }
-        return summary, metrics
-
-    summary, metrics = asyncio.run(run_remote() if args.connect else run_inprocess())
+def _print_loadgen_summary(summary: dict, label: str | None = None) -> None:
+    prefix = f"[{label}] " if label else ""
     print(
-        f"{summary['completed']}/{summary['requests']} requests ok, "
+        f"{prefix}{summary['completed']}/{summary['requests']} requests ok, "
         f"{summary['failed']} failed, {summary.get('corrupt', 0)} corrupt, "
         f"{summary['requests_per_sec']:.1f} req/s"
     )
@@ -527,26 +522,107 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         breakdown = ", ".join(
             f"{name}={count}" for name, count in sorted(summary["errors"].items())
         )
-        print(f"failure breakdown: {breakdown}")
+        print(f"{prefix}failure breakdown: {breakdown}")
     if "latency" in summary:
         lat = summary["latency"]
         print(
-            f"latency p50 {lat['p50_s'] * 1e3:.2f} ms  "
+            f"{prefix}latency p50 {lat['p50_s'] * 1e3:.2f} ms  "
             f"p99 {lat['p99_s'] * 1e3:.2f} ms  max {lat['max_s'] * 1e3:.2f} ms"
         )
-    coal = metrics.get("coalescing", {})
-    if coal:
-        print(
-            f"coalesce factor {coal['coalesce_factor']:.2f} "
-            f"({coal['flushed_reads']} reads / {coal['flushes']} flushes), "
-            f"queue peak {coal['queue_depth_peak']}"
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .config import build_cluster, build_service
+    from .service import (
+        build_request_schedule,
+        connect,
+        run_loadgen,
+        run_loadgen_multi,
+    )
+
+    cfg = _app_config(args)
+    workload = cfg.workload
+
+    async def run_inprocess() -> tuple[dict, dict]:
+        """One in-process backend: a service, or a cluster (--cluster)."""
+        use_cluster = args.cluster or args.nodes is not None
+        backend = build_cluster(cfg) if use_cluster else build_service(cfg)
+        schedule = build_request_schedule(
+            backend, workload.requests, seed=cfg.store.seed,
+            degraded_fraction=workload.degraded_fraction,
         )
+        async with backend:
+            summary = await run_loadgen(
+                backend, schedule, concurrency=workload.concurrency, verify=True
+            )
+            return summary, backend.metrics_dict()
+
+    async def run_remote() -> tuple[dict, dict]:
+        """One or more ``--connect`` endpoints, driven concurrently."""
+        clients = [
+            await connect(endpoint, connections=workload.concurrency)
+            for endpoint in args.connect
+        ]
+        # a remote client cannot see the store, so the schedule is a
+        # plain round-robin over --stripes present block 0 reads
+        schedule = [
+            ("get", i % cfg.store.stripes, 0) for i in range(workload.requests)
+        ]
+        try:
+            if len(clients) == 1:
+                summary = await run_loadgen(
+                    clients[0],
+                    schedule,
+                    concurrency=workload.concurrency,
+                    verify=True,
+                )
+                metrics = await clients[0].metrics()
+                return summary, metrics
+            multi = await run_loadgen_multi(
+                clients,
+                [schedule] * len(clients),
+                concurrency=workload.concurrency,
+                verify=True,
+            )
+            # label client summaries by their endpoint strings
+            multi["endpoints"] = dict(
+                zip(args.connect, multi["endpoints"].values())
+            )
+            metrics = {
+                endpoint: await client.metrics()
+                for endpoint, client in zip(args.connect, clients)
+            }
+            return multi, metrics
+        finally:
+            for client in clients:
+                await client.close()
+
+    remote = bool(args.connect)
+    summary, metrics = asyncio.run(run_remote() if remote else run_inprocess())
+    if "aggregate" in summary:  # multi-endpoint result
+        for endpoint, endpoint_summary in summary["endpoints"].items():
+            _print_loadgen_summary(endpoint_summary, label=endpoint)
+        _print_loadgen_summary(summary["aggregate"], label="aggregate")
+        flat = summary["aggregate"]
+    else:
+        _print_loadgen_summary(summary)
+        flat = summary
+        coal = metrics.get("coalescing", {})
+        if coal:
+            print(
+                f"coalesce factor {coal['coalesce_factor']:.2f} "
+                f"({coal['flushed_reads']} reads / {coal['flushes']} flushes), "
+                f"queue peak {coal['queue_depth_peak']}"
+            )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump({"loadgen": summary, "service": metrics}, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.json}")
-    if summary["failed"] or summary.get("corrupt", 0):
+    if flat["failed"] or flat.get("corrupt", 0):
         print("FAIL: requests failed or responses corrupt")
         return 1
     return 0
@@ -556,20 +632,24 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     import json
 
     from .bench.service import format_service_report, run_service_bench
+    from .config import AppConfig, apply_overrides
 
+    cfg = _app_config(
+        args, base=apply_overrides(AppConfig(), {"workload.concurrency": 32})
+    )
     result = run_service_bench(
-        n=args.n,
-        r=args.r,
-        m=args.m,
-        s=args.s,
-        num_stripes=args.stripes,
-        sector_symbols=args.symbols,
-        requests=args.requests,
-        concurrency=args.concurrency,
-        fault_rate=args.fault_rate,
-        batch_trigger=args.batch_trigger,
-        flush_interval_s=args.flush_ms / 1e3,
-        seed=args.seed,
+        n=cfg.store.n,
+        r=cfg.store.r,
+        m=cfg.store.m,
+        s=cfg.store.s,
+        num_stripes=cfg.store.stripes,
+        sector_symbols=cfg.store.symbols,
+        requests=cfg.workload.requests,
+        concurrency=cfg.workload.concurrency,
+        fault_rate=cfg.store.fault_rate,
+        batch_trigger=cfg.service.batch_trigger,
+        flush_interval_s=cfg.service.flush_interval_s,
+        seed=cfg.store.seed,
     )
     print(format_service_report(result))
     if args.json:
@@ -593,24 +673,33 @@ def _cmd_repair_bench(args: argparse.Namespace) -> int:
     import json
 
     from .bench.repair import format_repair_report, run_repair_bench
+    from .config import AppConfig, apply_overrides
 
+    cfg = _app_config(
+        args,
+        base=apply_overrides(
+            AppConfig(), {"service.repair": True, "service.repair.scrub_stripes": 8}
+        ),
+    )
+    repair = cfg.service.repair
     result = run_repair_bench(
-        n=args.n,
-        r=args.r,
-        m=args.m,
-        s=args.s,
-        num_stripes=args.stripes,
-        sector_symbols=args.symbols,
-        requests=args.requests,
-        concurrency=args.concurrency,
-        fault_rate=args.fault_rate,
-        damaged_fraction=args.damaged,
-        corrupt_fraction=args.corrupt_fraction,
-        scrub_stripes=args.scrub_stripes,
-        rate_blocks_per_s=args.repair_rate,
+        n=cfg.store.n,
+        r=cfg.store.r,
+        m=cfg.store.m,
+        s=cfg.store.s,
+        num_stripes=cfg.store.stripes,
+        sector_symbols=cfg.store.symbols,
+        requests=cfg.workload.requests,
+        concurrency=cfg.workload.concurrency,
+        fault_rate=cfg.store.fault_rate,
+        damaged_fraction=cfg.store.damaged,
+        corrupt_fraction=cfg.store.corrupt_fraction,
+        degraded_fraction=cfg.workload.degraded_fraction,
+        scrub_stripes=repair.scrub_stripes,
+        rate_blocks_per_s=repair.rate_blocks_per_s,
         heal_timeout_s=args.heal_timeout,
         max_p99_ratio=args.max_p99_ratio,
-        seed=args.seed,
+        seed=cfg.store.seed,
     )
     print(format_repair_report(result))
     if args.json:
@@ -625,6 +714,46 @@ def _cmd_repair_bench(args: argparse.Namespace) -> int:
         print(
             f"FAIL: foreground p99 degraded {result['p99_ratio']:.2f}x with "
             f"repair on (bound {result['max_p99_ratio']:.1f}x)"
+        )
+        return 1
+    return 0
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.cluster import (
+        bench_defaults,
+        format_cluster_report,
+        run_cluster_bench,
+    )
+
+    cfg = _app_config(args, base=bench_defaults())
+    result = run_cluster_bench(
+        cfg,
+        heal_timeout_s=args.heal_timeout,
+        min_speedup=args.min_speedup,
+        max_p99_ratio=args.max_p99_ratio,
+    )
+    print(format_cluster_report(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if not result["gates"]["healed_ok"]:
+        print("FAIL: rebuild storm did not heal to verified ground truth")
+        return 1
+    if not result["gates"]["speedup_ok"]:
+        print(
+            f"FAIL: router speedup {result['throughput']['speedup']:.2f}x < "
+            f"required {args.min_speedup:.2f}x"
+        )
+        return 1
+    if not result["gates"]["p99_ok"]:
+        print(
+            f"FAIL: foreground p99 degraded {result['storm']['p99_ratio']:.2f}x "
+            f"under the storm (bound {args.max_p99_ratio:.1f}x)"
         )
         return 1
     return 0
@@ -838,29 +967,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_kern.set_defaults(func=_cmd_kernel_bench)
 
     def _service_store_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--n", type=int, default=10)
-        p.add_argument("--r", type=int, default=8)
-        p.add_argument("--m", type=int, default=2)
-        p.add_argument("--s", type=int, default=2)
-        p.add_argument("--stripes", type=int, default=32)
-        p.add_argument("--symbols", type=int, default=512)
-        p.add_argument("--fault-rate", type=float, default=0.1,
+        # defaults live in repro.config (the layered model), not here:
+        # a flag left unset (None) never overrides --config or defaults
+        p.add_argument("--config", metavar="FILE",
+                       help="JSON config file layered over the defaults "
+                            "(see repro.config / docs/SERVICE.md)")
+        p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                       help="dotted-path config override, e.g. "
+                            "--set service.batch_trigger=4 (repeatable)")
+        p.add_argument("--n", type=int, default=None)
+        p.add_argument("--r", type=int, default=None)
+        p.add_argument("--m", type=int, default=None)
+        p.add_argument("--s", type=int, default=None)
+        p.add_argument("--stripes", type=int, default=None)
+        p.add_argument("--symbols", type=int, default=None)
+        p.add_argument("--fault-rate", type=float, default=None,
                        help="transient node-fault injection rate")
-        p.add_argument("--damaged", type=float, default=0.75,
+        p.add_argument("--damaged", type=float, default=None,
                        help="fraction of stripes given a worst-case erasure")
-        p.add_argument("--corrupt-fraction", type=float, default=0.0,
+        p.add_argument("--corrupt-fraction", type=float, default=None,
                        help="fraction of stripes silently corrupted (bit "
                             "rot; only a scrub can see it)")
-        p.add_argument("--batch-trigger", type=int, default=8)
-        p.add_argument("--flush-ms", type=float, default=2.0,
+        p.add_argument("--batch-trigger", type=int, default=None)
+        p.add_argument("--flush-ms", type=float, default=None,
                        help="coalescing flush deadline in milliseconds")
         p.add_argument("--repair", action="store_true",
                        help="run the background scrub-and-repair manager")
-        p.add_argument("--scrub-stripes", type=int, default=8,
+        p.add_argument("--scrub-stripes", type=int, default=None,
                        help="stripes syndrome-checked per repair tick")
-        p.add_argument("--repair-rate", type=float, default=0.0,
+        p.add_argument("--repair-rate", type=float, default=None,
                        help="repair rate limit in blocks/sec (0 = unlimited)")
-        p.add_argument("--seed", type=int, default=2015)
+        p.add_argument("--seed", type=int, default=None)
+
+    def _workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--requests", type=int, default=None)
+        p.add_argument("--concurrency", type=int, default=None)
+        p.add_argument("--degraded-fraction", type=float, default=None,
+                       help="fraction of reads steered at erased blocks")
+
+    def _cluster_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", type=int, default=None,
+                       help="cluster node count")
+        p.add_argument("--transport", choices=("local", "tcp"), default=None,
+                       help="node transport: in-process or per-node TCP")
 
     p_srv = sub.add_parser(
         "serve", help="run the degraded-read BlobService on a TCP port"
@@ -872,18 +1021,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable coalescing (per-request decode)")
     p_srv.set_defaults(func=_cmd_serve)
 
+    p_clu = sub.add_parser(
+        "cluster",
+        help="run a sharded multi-node cluster behind one TCP port",
+    )
+    _service_store_args(p_clu)
+    _cluster_args(p_clu)
+    p_clu.add_argument("--host", default="127.0.0.1")
+    p_clu.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p_clu.set_defaults(func=_cmd_cluster)
+
     p_load = sub.add_parser(
-        "loadgen", help="drive a service (in-process or TCP) with seeded load"
+        "loadgen", help="drive services/clusters (in-process or TCP) with seeded load"
     )
     _service_store_args(p_load)
-    p_load.add_argument("--requests", type=int, default=200)
-    p_load.add_argument("--concurrency", type=int, default=16)
-    p_load.add_argument("--degraded-fraction", type=float, default=0.5,
-                        help="fraction of reads steered at erased blocks")
+    _workload_args(p_load)
+    _cluster_args(p_load)
     p_load.add_argument("--naive", action="store_true",
                         help="disable coalescing (per-request decode)")
-    p_load.add_argument("--connect", metavar="HOST:PORT",
-                        help="drive a running `ppm serve` over TCP instead")
+    p_load.add_argument("--cluster", action="store_true",
+                        help="drive an in-process cluster instead of one service")
+    p_load.add_argument("--connect", action="append", metavar="HOST:PORT",
+                        help="drive a running `ppm serve`/`ppm cluster` over "
+                             "TCP; repeat for several endpoints (per-endpoint "
+                             "+ aggregate summaries)")
     p_load.add_argument("--json", help="also write summary + metrics to a file")
     p_load.set_defaults(func=_cmd_loadgen)
 
@@ -892,8 +1053,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalesced batched serving vs naive per-request decode",
     )
     _service_store_args(p_sbench)
-    p_sbench.add_argument("--requests", type=int, default=200)
-    p_sbench.add_argument("--concurrency", type=int, default=32)
+    _workload_args(p_sbench)
     p_sbench.add_argument("--json", help="also write the JSON-ready result to a file")
     p_sbench.add_argument(
         "--min-speedup",
@@ -908,8 +1068,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="online scrub-and-repair vs no-repair baseline under load",
     )
     _service_store_args(p_rbench)
-    p_rbench.add_argument("--requests", type=int, default=200)
-    p_rbench.add_argument("--concurrency", type=int, default=16)
+    _workload_args(p_rbench)
     p_rbench.add_argument("--heal-timeout", type=float, default=30.0,
                           help="seconds allowed for the array to fully heal")
     p_rbench.add_argument("--max-p99-ratio", type=float, default=2.0,
@@ -917,6 +1076,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "multiple of the no-repair baseline")
     p_rbench.add_argument("--json", help="also write the JSON-ready result to a file")
     p_rbench.set_defaults(func=_cmd_repair_bench)
+
+    p_cbench = sub.add_parser(
+        "cluster-bench",
+        help="sharded router vs single service; rebuild-storm p99; rebalance",
+    )
+    _service_store_args(p_cbench)
+    _workload_args(p_cbench)
+    _cluster_args(p_cbench)
+    p_cbench.add_argument("--heal-timeout", type=float, default=60.0,
+                          help="seconds allowed for the storm to fully heal")
+    p_cbench.add_argument("--min-speedup", type=float, default=2.0,
+                          help="required router speedup over one service")
+    p_cbench.add_argument("--max-p99-ratio", type=float, default=2.0,
+                          help="bound on foreground p99 under the storm vs "
+                               "the no-storm baseline")
+    p_cbench.add_argument("--json", help="also write the JSON-ready result to a file")
+    p_cbench.set_defaults(func=_cmd_cluster_bench)
 
     p_enc = sub.add_parser("encode-file", help="encode a file into strip files")
     p_enc.add_argument("file")

@@ -1,0 +1,100 @@
+"""Declarative shape of a cluster, in one frozen record.
+
+:class:`ClusterConfig` is the cluster half of the layered config model
+(:mod:`repro.config`): everything a :class:`~repro.cluster.Cluster`
+needs beyond the store contents — membership, placement, transport,
+rebalance metering and storm shape — plus the per-node
+:class:`~repro.service.ServiceConfig` (which itself carries the
+repair/admission knobs).  One record builds one cluster; two clusters
+built from equal configs place every stripe identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..service.config import ServiceConfig
+from .placement import default_node_ids
+
+#: transports the router can fan requests out over
+TRANSPORTS = ("local", "tcp")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Immutable configuration of a :class:`~repro.cluster.Cluster`.
+
+    Parameters
+    ----------
+    nodes:
+        Node count; members are named ``node-0`` .. ``node-N-1``.
+    vnodes:
+        Virtual points per node on the placement ring (balance knob).
+    seed:
+        Placement hash key *and* the base for per-node fault-injector
+        seeds — the whole cluster is deterministic from it.
+    transport:
+        ``"local"`` awaits each node's :class:`BlobService` in-process;
+        ``"tcp"`` runs every node behind its own JSON-lines wire server
+        and fans requests out through pooled
+        :class:`~repro.service.net.Client` connections (the same
+        protocol ``ppm serve`` speaks).
+    connections_per_node:
+        TCP-transport connection-pool width per node (ignored for
+        ``"local"``).
+    rebalance_blocks_per_s:
+        Token-bucket refill for background stripe migration, in blocks
+        per second.  ``0`` disables metering (move as fast as possible).
+    rebalance_burst_blocks:
+        Token-bucket capacity for migration bursts.
+    storm_z:
+        Shape of the erasure a whole-node death inflicts on each stripe
+        it hosted: the ``z`` handed to
+        :func:`repro.stripes.failures.worst_case_sd` when the stripe is
+        re-homed onto a survivor (see ``docs/CLUSTER.md`` for the
+        simulation contract).
+    service:
+        Per-node :class:`~repro.service.ServiceConfig` — coalescing,
+        deadlines, retries and (via its ``repair`` field) the
+        scrub-and-repair loop every node runs.
+    """
+
+    nodes: int = 3
+    vnodes: int = 64
+    seed: int = 2015
+    transport: str = "local"
+    connections_per_node: int = 4
+    rebalance_blocks_per_s: float = 0.0
+    rebalance_burst_blocks: int = 256
+    storm_z: int = 1
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
+            )
+        if self.connections_per_node < 1:
+            raise ValueError(
+                f"connections_per_node must be >= 1, got {self.connections_per_node}"
+            )
+        if self.rebalance_blocks_per_s < 0:
+            raise ValueError("rebalance_blocks_per_s must be >= 0")
+        if self.rebalance_burst_blocks < 1:
+            raise ValueError(
+                f"rebalance_burst_blocks must be >= 1, got {self.rebalance_burst_blocks}"
+            )
+        if self.storm_z < 1:
+            raise ValueError(f"storm_z must be >= 1, got {self.storm_z}")
+
+    @property
+    def node_ids(self) -> tuple[str, ...]:
+        return default_node_ids(self.nodes)
+
+    def with_service(self, service: ServiceConfig) -> "ClusterConfig":
+        """Copy with a different per-node service config."""
+        return replace(self, service=service)

@@ -224,16 +224,23 @@ class RepairManager:
             return
         blocks_due = sum(len(t.blocks) for t in tasks)
         self.metrics.rate_wait_seconds += await self.bucket.acquire(blocks_due)
-        snapshots, patterns = [], []
+        kept, snapshots, patterns = [], [], []
         for task in tasks:
-            snapshot = self.store.snapshot_blocks(task.stripe_id, inject=False)
+            try:
+                snapshot = self.store.snapshot_blocks(task.stripe_id, inject=False)
+                pattern = self.store.pattern(task.stripe_id)
+            except LookupError:
+                continue  # migrated away between the scrub and the drain
             for block in task.blocks:
                 # corrupt blocks are present but untrusted: decode must
                 # treat them as erased and not read them as survivors
                 snapshot.pop(block, None)
+            kept.append(task)
             snapshots.append(snapshot)
-            patterns.append(tuple(sorted(set(self.store.pattern(task.stripe_id))
-                                         | set(task.blocks))))
+            patterns.append(tuple(sorted(set(pattern) | set(task.blocks))))
+        tasks = kept
+        if not tasks:
+            return
         self.metrics.repair_batches += 1
         try:
             results = await asyncio.to_thread(
@@ -280,7 +287,10 @@ class RepairManager:
         # block that became erased between queueing and drain (the
         # pattern was re-read at snapshot time, so it is in `recovered`)
         payload = dict(recovered)
-        self.store.repair(task.stripe_id, payload)
+        try:
+            self.store.repair(task.stripe_id, payload)
+        except LookupError:
+            return  # migrated away mid-decode; its new home rescrubs it
         if self.config.verify_repairs:
             report = scrub_stripe(
                 self.store.code, self.store.stripe(task.stripe_id), max_errors=1

@@ -68,10 +68,12 @@ class StoreScrubber:
             findings: list[tuple[int, StripeScrubReport]] = []
             chunk = self.cursor.next_chunk(size)
             for stripe_id in chunk:
+                try:
+                    stripe = self.store.stripe(stripe_id)
+                except LookupError:
+                    continue  # migrated away since the cursor snapshot
                 report = scrub_stripe(
-                    self.store.code,
-                    self.store.stripe(stripe_id),
-                    max_errors=self.max_errors,
+                    self.store.code, stripe, max_errors=self.max_errors
                 )
                 if not report.healthy:
                     findings.append((stripe_id, report))
@@ -88,10 +90,12 @@ class StoreScrubber:
             findings: list[tuple[int, StripeScrubReport]] = []
             keys = self.store.stripe_ids
             for stripe_id in keys:
+                try:
+                    stripe = self.store.stripe(stripe_id)
+                except LookupError:
+                    continue  # migrated away since the cursor snapshot
                 report = scrub_stripe(
-                    self.store.code,
-                    self.store.stripe(stripe_id),
-                    max_errors=self.max_errors,
+                    self.store.code, stripe, max_errors=self.max_errors
                 )
                 if not report.healthy:
                     findings.append((stripe_id, report))

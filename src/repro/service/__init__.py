@@ -52,9 +52,18 @@ from .loadgen import (
     corrupt_store,
     damage_store,
     run_loadgen,
+    run_loadgen_multi,
 )
 from .metrics import LatencyHistogram, ServiceMetrics
-from .net import ServiceClient, serve
+from .net import (
+    Client,
+    ClientPool,
+    LocalClient,
+    ServiceClient,
+    TcpClient,
+    connect,
+    serve,
+)
 from .scheduler import CoalescingScheduler
 from .server import BlobService
 from .store import BlobStore, FaultInjector
@@ -62,14 +71,20 @@ from .store import BlobStore, FaultInjector
 __all__ = [
     "BlobService",
     "BlobStore",
+    "Client",
+    "ClientPool",
     "CoalescingScheduler",
     "FaultInjector",
     "LatencyHistogram",
+    "LocalClient",
     "ServiceClient",
     "ServiceConfig",
     "ServiceMetrics",
+    "TcpClient",
+    "connect",
     "serve",
     "run_loadgen",
+    "run_loadgen_multi",
     "build_request_schedule",
     "corrupt_store",
     "damage_store",

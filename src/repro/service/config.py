@@ -59,6 +59,16 @@ class ServiceConfig:
         the request path (started on ``__aenter__``/``start_repair``,
         stopped on ``close``).  ``None`` (the default) disables
         scrub-and-repair entirely.
+    io_latency_s / io_queue_depth:
+        Simulated storage-device envelope: every request pays one
+        ``io_latency_s`` service time through a queue admitting
+        ``io_queue_depth`` concurrent I/Os, capping one node at
+        ``io_queue_depth / io_latency_s`` requests/sec the way a real
+        disk or NIC does.  ``io_latency_s = 0`` (the default) disables
+        the simulation entirely.  This is what makes *sharding*
+        measurable: a cluster of N nodes aggregates N of these
+        envelopes, while a single service has exactly one (see
+        ``ppm cluster-bench`` and ``docs/CLUSTER.md``).
     """
 
     batch_trigger: int = 8
@@ -71,6 +81,8 @@ class ServiceConfig:
     coalesce: bool = True
     fallback_single: bool = True
     repair: RepairConfig | None = None
+    io_latency_s: float = 0.0
+    io_queue_depth: int = 8
 
     def __post_init__(self) -> None:
         if self.batch_trigger < 1:
@@ -85,6 +97,10 @@ class ServiceConfig:
             raise ValueError("max_retries must be >= 0")
         if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
             raise ValueError("need 0 <= backoff_base_s <= backoff_cap_s")
+        if self.io_latency_s < 0:
+            raise ValueError("io_latency_s must be >= 0")
+        if self.io_queue_depth < 1:
+            raise ValueError(f"io_queue_depth must be >= 1, got {self.io_queue_depth}")
 
     def backoff(self, attempt: int) -> float:
         """Sleep before retry number ``attempt`` (0-based), in seconds."""

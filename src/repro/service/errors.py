@@ -46,5 +46,11 @@ class BatchDecodeError(ServiceError):
     """The coalesced batch decode failed; riders should fall back."""
 
 
-class BlockUnavailableError(ServiceError):
-    """The requested block does not exist or cannot be recovered."""
+class BlockUnavailableError(ServiceError, LookupError):
+    """The requested block does not exist or cannot be recovered.
+
+    Also a :class:`LookupError` so duck-typed consumers that cannot
+    import this package (the repair scrubber) can catch "that stripe is
+    gone" — e.g. when a cluster rebalance migrates a stripe away
+    between a scan chunk's cursor snapshot and its stripe read.
+    """

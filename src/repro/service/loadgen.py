@@ -1,18 +1,21 @@
-"""Closed-loop load generator for the degraded-read service.
+"""Closed-loop load generator for any degraded-read backend.
 
-Drives a :class:`~repro.service.BlobService` (in-process) or a
-:class:`~repro.service.net.ServiceClient` (over TCP) with a seeded,
+Drives a :class:`~repro.service.BlobService`, a whole
+:class:`~repro.cluster.Cluster`, or any
+:class:`~repro.service.net.Client` (in-process or TCP) with a seeded,
 reproducible request mix: ``concurrency`` workers each pull the next
 request from a shared schedule and issue it, so the offered load is
 closed-loop (a worker never has more than one request outstanding —
-what a fixed client fleet looks like).
+what a fixed client fleet looks like).  :func:`run_loadgen_multi`
+drives several targets *concurrently* and reports per-endpoint plus
+aggregate summaries (``ppm loadgen --connect a --connect b``).
 
 The schedule is built against a store whose stripes were damaged with
 :func:`repro.stripes.failures.worst_case_sd` scenarios; reads that land
-on an erased block exercise the full degraded path.  Every in-process
-response is verified bit-for-bit against the store's ground truth, so
-the summary's ``corrupt`` count turns any would-be wrong answer into a
-loud failure.
+on an erased block exercise the full degraded path.  Responses are
+verified bit-for-bit against the backend's ground truth (server-side
+over the wire), so the summary's ``corrupt`` count turns any would-be
+wrong answer into a loud failure.
 """
 
 from __future__ import annotations
@@ -23,31 +26,56 @@ from typing import Sequence
 import numpy as np
 
 from .errors import ServiceError
-from .server import BlobService
+from .net import Client, LocalClient
 from .store import BlobStore
 
 
+def _block_index(target) -> dict[int, tuple[tuple[int, ...], tuple[int, ...]]]:
+    """``{stripe_id: (erased_ids, present_ids)}`` for any local target.
+
+    Accepts a :class:`BlobStore`, a service wrapping one (``.store``),
+    or a cluster of nodes (``.nodes`` of ``.store``-holders).
+    """
+    if isinstance(target, LocalClient):
+        target = target.backend
+    if hasattr(target, "nodes"):  # a cluster: union of live node stores
+        stores = [
+            node.store for node in target.nodes.values() if node.state != "dead"
+        ]
+    elif hasattr(target, "store"):  # a service
+        stores = [target.store]
+    else:  # a bare store
+        stores = [target]
+    index: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    for store in stores:
+        for sid in store.stripe_ids:
+            stripe = store.stripe(sid)
+            index[sid] = (tuple(stripe.erased_ids), tuple(stripe.present_ids))
+    return index
+
+
 def build_request_schedule(
-    store: BlobStore,
+    target: BlobStore | object,
     requests: int,
     seed: int = 2015,
     degraded_fraction: float = 0.5,
 ) -> list[tuple[str, int, int]]:
     """A reproducible list of ``(op, stripe_id, block)`` requests.
 
+    ``target`` is a store, service or cluster (see :func:`_block_index`).
     ``degraded_fraction`` steers reads toward erased blocks (when the
-    store has any); the rest are plain reads of present blocks.
+    target has any); the rest are plain reads of present blocks.
     """
     rng = np.random.default_rng(seed)
-    stripe_ids = store.stripe_ids
-    if not stripe_ids:
-        raise ValueError("store has no stripes to generate load against")
+    index = _block_index(target)
+    if not index:
+        raise ValueError("target has no stripes to generate load against")
     erased: list[tuple[int, int]] = []
     present: list[tuple[int, int]] = []
-    for sid in stripe_ids:
-        stripe = store.stripe(sid)
-        erased.extend((sid, b) for b in stripe.erased_ids)
-        present.extend((sid, b) for b in stripe.present_ids)
+    for sid in sorted(index):
+        erased_ids, present_ids = index[sid]
+        erased.extend((sid, b) for b in erased_ids)
+        present.extend((sid, b) for b in present_ids)
     schedule: list[tuple[str, int, int]] = []
     for _ in range(requests):
         pool = erased if (erased and rng.random() < degraded_fraction) else present
@@ -56,23 +84,27 @@ def build_request_schedule(
     return schedule
 
 
-async def run_loadgen(
-    service: BlobService,
+def _as_client(target) -> Client:
+    """Backend → :class:`LocalClient`; a :class:`Client` passes through."""
+    if isinstance(target, Client):
+        return target
+    if hasattr(target, "degraded_get") and hasattr(target, "metrics_dict"):
+        return LocalClient(target)
+    raise TypeError(
+        f"cannot drive {type(target).__name__}: expected a Client or a "
+        "backend with degraded_get/metrics_dict"
+    )
+
+
+async def _drive(
+    client: Client,
     schedule: Sequence[tuple[str, int, int]],
     *,
-    concurrency: int = 16,
-    deadline_s: float | None = None,
-    verify: bool = True,
-) -> dict:
-    """Replay ``schedule`` against ``service``; returns a summary dict.
-
-    The summary separates ``completed`` / ``failed`` / ``corrupt`` and
-    reports wall-clock throughput plus client-observed latency
-    percentiles (measured here, independently of the server's own
-    histograms).
-    """
-    if concurrency < 1:
-        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    concurrency: int,
+    deadline_s: float | None,
+    verify: bool,
+) -> tuple[dict, list[float]]:
+    """Replay a schedule; returns (raw counters, client latencies)."""
     loop = asyncio.get_running_loop()
     queue: asyncio.Queue = asyncio.Queue()
     for item in schedule:
@@ -90,14 +122,18 @@ async def run_loadgen(
                 op, sid, block = queue.get_nowait()
             except asyncio.QueueEmpty:
                 return
+            degraded = op == "degraded_get"
             t0 = loop.time()
             try:
-                if op == "degraded_get":
-                    region = await service.degraded_get(
-                        sid, block, deadline_s=deadline_s
+                if verify:
+                    method = (
+                        client.degraded_get_verified if degraded else client.get_verified
                     )
+                    _region, ok = await method(sid, block, deadline_s)
                 else:
-                    region = await service.get(sid, block, deadline_s=deadline_s)
+                    method = client.degraded_get if degraded else client.get
+                    await method(sid, block, deadline_s)
+                    ok = True
             except ServiceError as exc:
                 failed += 1
                 name = type(exc).__name__
@@ -105,21 +141,13 @@ async def run_loadgen(
                 continue
             latencies.append(loop.time() - t0)
             completed += 1
-            if verify and not service.store.verify_block(sid, block, region):
+            if not ok:
                 corrupt += 1
 
     t_start = loop.time()
     await asyncio.gather(*(worker() for _ in range(concurrency)))
     wall = loop.time() - t_start
-
-    lat = np.array(sorted(latencies), dtype=np.float64)
-
-    def pct(p: float) -> float:
-        if lat.size == 0:
-            return 0.0
-        return float(lat[min(lat.size - 1, int(p / 100.0 * lat.size))])
-
-    return {
+    counters = {
         "requests": len(schedule),
         "completed": completed,
         "failed": failed,
@@ -128,14 +156,127 @@ async def run_loadgen(
         "concurrency": concurrency,
         "wall_seconds": wall,
         "requests_per_sec": (completed / wall) if wall > 0 else 0.0,
-        "latency": {
-            "p50_s": pct(50),
-            "p90_s": pct(90),
-            "p99_s": pct(99),
-            "max_s": float(lat[-1]) if lat.size else 0.0,
-            "mean_s": float(lat.mean()) if lat.size else 0.0,
-        },
     }
+    return counters, latencies
+
+
+def _latency_summary(latencies: Sequence[float]) -> dict:
+    lat = np.array(sorted(latencies), dtype=np.float64)
+
+    def pct(p: float) -> float:
+        if lat.size == 0:
+            return 0.0
+        return float(lat[min(lat.size - 1, int(p / 100.0 * lat.size))])
+
+    return {
+        "p50_s": pct(50),
+        "p90_s": pct(90),
+        "p99_s": pct(99),
+        "max_s": float(lat[-1]) if lat.size else 0.0,
+        "mean_s": float(lat.mean()) if lat.size else 0.0,
+    }
+
+
+async def run_loadgen(
+    target,
+    schedule: Sequence[tuple[str, int, int]],
+    *,
+    concurrency: int = 16,
+    deadline_s: float | None = None,
+    verify: bool = True,
+) -> dict:
+    """Replay ``schedule`` against any target; returns a summary dict.
+
+    ``target`` is a service, a cluster, or a
+    :class:`~repro.service.net.Client` (so one code path drives
+    in-process and TCP backends alike).  The summary separates
+    ``completed`` / ``failed`` / ``corrupt`` and reports wall-clock
+    throughput plus client-observed latency percentiles (measured here,
+    independently of the server's own histograms).
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    counters, latencies = await _drive(
+        _as_client(target),
+        schedule,
+        concurrency=concurrency,
+        deadline_s=deadline_s,
+        verify=verify,
+    )
+    counters["latency"] = _latency_summary(latencies)
+    return counters
+
+
+def _target_label(target, index: int) -> str:
+    if isinstance(target, str):
+        return target
+    if isinstance(target, tuple):
+        return f"{target[0]}:{target[1]}"
+    name = type(target).__name__.lower()
+    if isinstance(target, LocalClient):
+        name = type(target.backend).__name__.lower()
+    return f"{name}-{index}"
+
+
+async def run_loadgen_multi(
+    targets: Sequence,
+    schedules: Sequence[Sequence[tuple[str, int, int]]],
+    *,
+    concurrency: int = 16,
+    deadline_s: float | None = None,
+    verify: bool = True,
+) -> dict:
+    """Drive several targets *concurrently*, one schedule each.
+
+    Returns ``{"endpoints": {label: summary}, "aggregate": summary}``:
+    per-endpoint summaries shaped exactly like :func:`run_loadgen`'s,
+    and an aggregate whose throughput is total completed requests over
+    the shared wall clock (the endpoints ran side by side) with latency
+    percentiles over the merged samples.
+    """
+    if len(targets) != len(schedules):
+        raise ValueError(
+            f"{len(targets)} target(s) but {len(schedules)} schedule(s)"
+        )
+    if not targets:
+        raise ValueError("need at least one target")
+    clients = [_as_client(t) for t in targets]
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    results = await asyncio.gather(
+        *(
+            _drive(
+                client,
+                schedule,
+                concurrency=concurrency,
+                deadline_s=deadline_s,
+                verify=verify,
+            )
+            for client, schedule in zip(clients, schedules)
+        )
+    )
+    wall = loop.time() - t0
+    endpoints: dict[str, dict] = {}
+    all_latencies: list[float] = []
+    totals = {"requests": 0, "completed": 0, "failed": 0, "corrupt": 0}
+    agg_errors: dict[str, int] = {}
+    for index, (target, (counters, latencies)) in enumerate(zip(targets, results)):
+        counters["latency"] = _latency_summary(latencies)
+        endpoints[_target_label(target, index)] = counters
+        all_latencies.extend(latencies)
+        for key in totals:
+            totals[key] += counters[key]
+        for name, count in counters["errors"].items():
+            agg_errors[name] = agg_errors.get(name, 0) + count
+    aggregate = dict(totals)
+    aggregate["errors"] = agg_errors
+    aggregate["concurrency"] = concurrency * len(targets)
+    aggregate["wall_seconds"] = wall
+    aggregate["requests_per_sec"] = (
+        (totals["completed"] / wall) if wall > 0 else 0.0
+    )
+    aggregate["latency"] = _latency_summary(all_latencies)
+    return {"endpoints": endpoints, "aggregate": aggregate}
 
 
 def damage_store(

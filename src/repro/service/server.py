@@ -97,9 +97,20 @@ class BlobService:
             if self.config.repair is not None
             else None
         )
+        #: simulated storage-device envelope: at most io_queue_depth
+        #: requests in service at once, io_latency_s each (see
+        #: ServiceConfig); a no-op when io_latency_s == 0
+        self._io_gate = asyncio.Semaphore(self.config.io_queue_depth)
         self._closed = False
 
     # -- decode plumbing -----------------------------------------------------
+
+    async def _simulate_io(self) -> None:
+        """Pay one device service time through the node's I/O queue."""
+        if self.config.io_latency_s <= 0:
+            return
+        async with self._io_gate:
+            await asyncio.sleep(self.config.io_latency_s)
 
     def _decode_batch(self, snapshots, patterns):
         """Worker-thread hop into the pipeline (scheduler callback)."""
@@ -132,6 +143,7 @@ class BlobService:
     ) -> np.ndarray:
         """Serve one block, decoding transparently if it is erased."""
         self._check_open()
+        await self._simulate_io()
         loop = asyncio.get_running_loop()
         t0 = loop.time()
         budget = deadline_s if deadline_s is not None else self.config.default_deadline_s
@@ -158,6 +170,7 @@ class BlobService:
     async def put(self, stripe_id: int, block: int, region: np.ndarray) -> None:
         """Write one block through to the store (and its ground truth)."""
         self._check_open()
+        await self._simulate_io()
         for attempt in range(self.config.max_retries + 1):
             try:
                 self.store.write(stripe_id, block, region)
@@ -182,6 +195,9 @@ class BlobService:
         when omitted).
         """
         self._check_open()
+        # survivor reads are device I/O too, so a degraded read reached
+        # through get() pays the envelope twice (probe + reconstruction)
+        await self._simulate_io()
         loop = asyncio.get_running_loop()
         t0 = loop.time()
         budget = deadline_s if deadline_s is not None else self.config.default_deadline_s
@@ -233,6 +249,19 @@ class BlobService:
                 self.metrics.retries += 1
                 await asyncio.sleep(self.config.backoff(attempt))
         raise AssertionError("unreachable: retry loop always returns or raises")
+
+    # -- backend protocol ----------------------------------------------------
+    # (shared with repro.cluster.Cluster so repro.service.net's serve()
+    # and connect() treat one service and a whole cluster identically)
+
+    @property
+    def dtype(self):
+        """Element dtype regions must be encoded with on the way in."""
+        return self.store.code.field.dtype
+
+    def verify_block(self, stripe_id: int, block: int, region) -> bool:
+        """Is ``region`` bit-identical to the ground truth block?"""
+        return self.store.verify_block(stripe_id, block, region)
 
     # -- observability -------------------------------------------------------
 

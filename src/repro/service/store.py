@@ -131,6 +131,30 @@ class BlobStore:
             self._stripes[stripe_id] = stripe
             self._truth[stripe_id] = copy
 
+    def adopt_stripe(self, stripe_id: int, stripe: Stripe, truth: Stripe) -> None:
+        """Take ownership of a migrated stripe with its *original* truth.
+
+        Unlike :meth:`add_stripe` (which snapshots the incoming stripe
+        as its own ground truth), adoption keeps the truth the stripe
+        had at its previous home — so a stripe re-homed *with erasures*
+        (a node-death rebuild) is still verified against the bytes it
+        held before the failure, and a decode that heals it back is
+        provably correct.
+        """
+        with self._write_lock:
+            self._stripes[stripe_id] = stripe
+            self._truth[stripe_id] = truth
+
+    def remove_stripe(self, stripe_id: int) -> tuple[Stripe, Stripe]:
+        """Release a stripe for migration; returns ``(stripe, truth)``."""
+        with self._write_lock:
+            try:
+                stripe = self._stripes.pop(stripe_id)
+            except KeyError:
+                raise BlockUnavailableError(f"no stripe {stripe_id}") from None
+            truth = self._truth.pop(stripe_id)
+        return stripe, truth
+
     # -- lookups -------------------------------------------------------------
 
     @property

@@ -73,7 +73,7 @@ GF_PACKAGES = ("gf", "matrix", "kernels")
 DECODER_PACKAGES = ("core", "pipeline")
 
 #: Async-serving packages where blocking calls stall the event loop (PPM009).
-ASYNC_PACKAGES = ("service", "repair")
+ASYNC_PACKAGES = ("service", "repair", "cluster")
 
 #: NumPy constructors that default to ``np.int64`` without ``dtype=``.
 _NP_CONSTRUCTORS = frozenset(

@@ -1,0 +1,102 @@
+"""Property tests for the consistent-hash ring.
+
+The three placement properties the router leans on (module docstring of
+:mod:`repro.cluster.placement`): determinism from the seed, balance
+across members, and stability under membership change (~1/N of stripes
+move on join, exactly the departed share on leave).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing, default_node_ids, spread
+
+NODE_COUNTS = st.integers(min_value=2, max_value=8)
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+STRIPE_COUNTS = st.integers(min_value=32, max_value=256)
+
+
+@given(nodes=NODE_COUNTS, seed=SEEDS, stripes=STRIPE_COUNTS)
+@settings(max_examples=25, deadline=None)
+def test_placement_is_deterministic_from_seed(nodes, seed, stripes):
+    ids = default_node_ids(nodes)
+    a = HashRing(ids, seed=seed).table(range(stripes))
+    b = HashRing(reversed(ids), seed=seed).table(range(stripes))
+    assert a == b, "placement must depend on the member *set*, not join order"
+
+
+@given(seed=SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_different_seeds_place_independently(seed):
+    ids = default_node_ids(4)
+    a = HashRing(ids, seed=seed).table(range(128))
+    b = HashRing(ids, seed=seed + 1).table(range(128))
+    assert a != b
+
+
+@given(nodes=NODE_COUNTS, seed=SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_placement_is_balanced(nodes, seed):
+    ids = default_node_ids(nodes)
+    stripes = 64 * nodes  # enough stripes that shares can average out
+    table = HashRing(ids, seed=seed).table(range(stripes))
+    shares = HashRing.shares(table)
+    assert set(shares) <= set(ids)
+    # every node holds something, and no node hoards: the default 64
+    # vnodes keep max/min within a small constant factor
+    assert spread(table, ids) <= 4.0
+
+
+@given(nodes=NODE_COUNTS, seed=SEEDS, stripes=STRIPE_COUNTS)
+@settings(max_examples=25, deadline=None)
+def test_join_moves_about_one_nth(nodes, seed, stripes):
+    ids = default_node_ids(nodes)
+    ring = HashRing(ids, seed=seed)
+    before = ring.table(range(stripes))
+    ring.add(f"node-{nodes}")
+    after = ring.table(range(stripes))
+    moved = HashRing.moved(before, after)
+    # only stripes whose successor became the new node may move, and
+    # every move lands on it
+    assert all(
+        after[sid] == f"node-{nodes}"
+        for sid in before
+        if before[sid] != after[sid]
+    )
+    # the new node's expected share is stripes/(N+1); allow generous
+    # slack for hash variance but reject wholesale reshuffles
+    assert moved <= 3 * stripes / (nodes + 1)
+
+
+@given(nodes=st.integers(min_value=3, max_value=8), seed=SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_leave_moves_exactly_departed_share(nodes, seed):
+    ids = default_node_ids(nodes)
+    ring = HashRing(ids, seed=seed)
+    stripes = 48 * nodes
+    before = ring.table(range(stripes))
+    victim = ids[0]
+    ring.remove(victim)
+    after = ring.table(range(stripes))
+    departed = [sid for sid, owner in before.items() if owner == victim]
+    assert HashRing.moved(before, after) == len(departed)
+    assert all(after[sid] == before[sid] for sid in before if sid not in departed)
+
+
+def test_membership_errors():
+    ring = HashRing(["a", "b"])
+    with pytest.raises(ValueError):
+        ring.add("a")
+    with pytest.raises(ValueError):
+        ring.remove("c")
+    ring.remove("a")
+    ring.remove("b")
+    with pytest.raises(ValueError):
+        ring.place(0)
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    with pytest.raises(ValueError):
+        default_node_ids(0)

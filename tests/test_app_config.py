@@ -1,0 +1,219 @@
+"""The layered config model: defaults → dict → dotted overrides.
+
+Pins the three-layer precedence, the strictness guarantees (unknown
+keys raise, values coerce to field types), the builders, and the
+legacy flat-kwargs shim — including the parity regression test the
+shim's docstring promises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    AppConfig,
+    StoreConfig,
+    WorkloadConfig,
+    apply_overrides,
+    build_cluster,
+    build_code,
+    build_service,
+    flatten,
+    from_dict,
+    to_dict,
+)
+from repro.repair import RepairConfig
+from repro.service import ServiceConfig
+
+
+def test_defaults_round_trip_through_dict():
+    config = AppConfig()
+    assert from_dict(to_dict(config)) == config
+
+
+def test_overridden_config_round_trips():
+    config = apply_overrides(
+        AppConfig(),
+        {
+            "store.stripes": 64,
+            "service.repair": True,
+            "service.repair.scrub_stripes": 4,
+            "cluster.nodes": 6,
+            "workload.concurrency": 32,
+        },
+    )
+    assert from_dict(to_dict(config)) == config
+
+
+def test_from_dict_is_partial_and_strict():
+    config = from_dict({"store": {"stripes": 8}, "cluster": {"nodes": 5}})
+    assert config.store.stripes == 8
+    assert config.store.n == StoreConfig().n  # untouched defaults
+    assert config.cluster.nodes == 5
+    with pytest.raises(ValueError, match="unknown config section"):
+        from_dict({"storage": {}})
+    with pytest.raises(ValueError, match="unknown config key store.shards"):
+        from_dict({"store": {"shards": 3}})
+
+
+def test_from_dict_repair_forms():
+    assert from_dict({"service": {"repair": None}}).service.repair is None
+    assert from_dict({"service": {"repair": True}}).service.repair == RepairConfig()
+    config = from_dict({"service": {"repair": {"scrub_stripes": 4}}})
+    assert config.service.repair.scrub_stripes == 4
+
+
+def test_flatten_inverts_nesting_but_keeps_repair_whole():
+    flat = flatten({"store": {"stripes": 8}, "service": {"repair": {"scrub_stripes": 4}}})
+    assert flat == {"store.stripes": 8, "service.repair": {"scrub_stripes": 4}}
+    config = apply_overrides(AppConfig(), flat)
+    assert config.store.stripes == 8
+    assert config.service.repair.scrub_stripes == 4
+
+
+def test_apply_overrides_coerces_strings():
+    config = apply_overrides(
+        AppConfig(),
+        {
+            "store.stripes": "8",
+            "store.fault_rate": "0.25",
+            "service.coalesce": "false",
+            "service.repair": "true",
+        },
+    )
+    assert config.store.stripes == 8
+    assert config.store.fault_rate == 0.25
+    assert config.service.coalesce is False
+    assert config.service.repair == RepairConfig()
+    with pytest.raises(ValueError, match="not a bool"):
+        apply_overrides(AppConfig(), {"service.coalesce": "maybe"})
+
+
+def test_apply_overrides_rejects_unknown_paths():
+    for path in ("store.shards", "nope.x", "store", "service.repair.nope"):
+        with pytest.raises(ValueError):
+            apply_overrides(AppConfig(), {path: 1})
+
+
+def test_repair_subkey_materialises_default_config():
+    config = apply_overrides(AppConfig(), {"service.repair.scrub_stripes": 4})
+    assert config.service.repair is not None
+    assert config.service.repair.scrub_stripes == 4
+    off = apply_overrides(config, {"service.repair": "false"})
+    assert off.service.repair is None
+
+
+def test_overrides_never_mutate_the_input():
+    base = AppConfig()
+    apply_overrides(base, {"store.stripes": 99})
+    assert base.store.stripes == StoreConfig().stripes
+    assert dataclasses.is_dataclass(base.store)
+
+
+def test_section_validation_still_applies():
+    with pytest.raises(ValueError):
+        apply_overrides(AppConfig(), {"store.fault_rate": 1.5})
+    with pytest.raises(ValueError):
+        apply_overrides(AppConfig(), {"cluster.transport": "carrier-pigeon"})
+    with pytest.raises(ValueError):
+        WorkloadConfig(requests=0)
+
+
+SMALL = {
+    "store.n": 6,
+    "store.r": 4,
+    "store.m": 2,
+    "store.s": 2,
+    "store.stripes": 4,
+    "store.symbols": 16,
+    "store.fault_rate": 0.0,
+}
+
+
+def test_builders_produce_live_objects():
+    config = apply_overrides(AppConfig(), {**SMALL, "cluster.nodes": 2})
+    code = build_code(config.store)
+    assert (code.n, code.r) == (6, 4)
+    service = build_service(config)
+    assert len(service.store.stripe_ids) == 4
+    assert service.config is config.service
+    cluster = build_cluster(config)
+    assert len(cluster.nodes) == 2
+    assert cluster.stripe_ids == (0, 1, 2, 3)
+
+
+def test_build_cluster_stitches_the_service_section():
+    config = apply_overrides(
+        AppConfig(),
+        {**SMALL, "cluster.nodes": 2, "service.batch_trigger": 3},
+    )
+    cluster = build_cluster(config)
+    for node in cluster.nodes.values():
+        assert node.service.config.batch_trigger == 3
+
+
+# -- legacy flat-kwargs shim --------------------------------------------------
+
+
+def test_legacy_kwargs_warn_and_match_layered_config():
+    """Parity regression: the flat keyword soup must build the exact
+    config the layered API builds, so old callers keep working."""
+    with pytest.warns(DeprecationWarning, match="flat service kwargs"):
+        legacy = AppConfig.from_legacy_kwargs(
+            n=6,
+            r=4,
+            m=2,
+            s=2,
+            stripes=4,
+            symbols=16,
+            fault_rate=0.0,
+            seed=99,
+            batch_trigger=3,
+            flush_ms=5.0,
+            naive=True,
+            repair=True,
+            scrub_stripes=4,
+            nodes=2,
+            requests=50,
+            concurrency=8,
+            degraded_fraction=0.25,
+        )
+    layered = apply_overrides(
+        AppConfig(),
+        {
+            **SMALL,
+            "store.seed": 99,
+            "service.batch_trigger": 3,
+            "service.flush_interval_s": 0.005,
+            "service.coalesce": False,
+            "service.repair": True,
+            "service.repair.scrub_stripes": 4,
+            "cluster.nodes": 2,
+            "cluster.seed": 99,
+            "workload.requests": 50,
+            "workload.concurrency": 8,
+            "workload.degraded_fraction": 0.25,
+        },
+    )
+    assert legacy == layered
+
+
+def test_legacy_seed_feeds_the_placement_ring():
+    with pytest.warns(DeprecationWarning):
+        config = AppConfig.from_legacy_kwargs(seed=123)
+    assert config.store.seed == 123
+    assert config.cluster.seed == 123
+
+
+def test_legacy_unknown_kwarg_raises():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="unknown legacy kwarg"):
+            AppConfig.from_legacy_kwargs(shards=3)
+
+
+def test_service_config_is_default_constructed_sections():
+    config = AppConfig()
+    assert config.service == ServiceConfig()
+    assert config.workload == WorkloadConfig()
