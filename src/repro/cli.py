@@ -183,6 +183,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             seed=args.seed,
             check_schedules=not args.no_schedules,
             check_programs=not args.no_programs,
+            check_backends=args.strict,
         )
     else:
         params = dict(pair.split("=", 1) for pair in args.param)
@@ -194,6 +195,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 check_schedules=not args.no_schedules,
                 check_programs=not args.no_programs,
+                check_backends=args.strict,
             )
         ]
     failed = 0
@@ -348,6 +350,12 @@ def _cmd_pipeline_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_choices() -> tuple[str, ...]:
+    from .kernels import BACKEND_CHOICES
+
+    return BACKEND_CHOICES
+
+
 def _cmd_kernel_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -362,6 +370,8 @@ def _cmd_kernel_bench(args: argparse.Namespace) -> int:
         iters=args.iters,
         repeats=args.repeats,
         seed=args.seed,
+        backend=args.backend,
+        encode_stripes=args.encode_stripes,
     )
     print(format_kernel_report(result))
     if args.json:
@@ -369,13 +379,44 @@ def _cmd_kernel_bench(args: argparse.Namespace) -> int:
             json.dump(result, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.json}")
+    failed = False
     if args.min_speedup and result["speedup"] < args.min_speedup:
         print(
             f"FAIL: compiled speedup {result['speedup']:.2f}x < "
             f"required {args.min_speedup:.2f}x"
         )
-        return 1
-    return 0
+        failed = True
+    if args.min_backend_speedup:
+        # the gated class: the SD decode program over w=8 regions of
+        # --gate-symbols (default 64K: past the paired-table residency
+        # crossover, where the bitsliced backend is designed to win)
+        gated = next(
+            (
+                c
+                for c in result["backends"]["classes"]
+                if c["w"] == 8 and c["symbols"] == args.gate_symbols
+            ),
+            result["backends"]["classes"][0],
+        )
+        got = (
+            gated["backends"]
+            .get(args.gate_backend, {})
+            .get("speedup_vs_baseline", 0.0)
+        )
+        if got < args.min_backend_speedup:
+            print(
+                f"FAIL: {args.gate_backend} speedup {got:.2f}x < required "
+                f"{args.min_backend_speedup:.2f}x at w={gated['w']} "
+                f"{gated['symbols']} symbols"
+            )
+            failed = True
+    if args.min_encode_speedup and result["encode"]["speedup"] < args.min_encode_speedup:
+        print(
+            f"FAIL: batched encode speedup {result['encode']['speedup']:.2f}x < "
+            f"required {args.min_encode_speedup:.2f}x"
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 #: CLI flag → dotted path in the layered config (see repro.config);
@@ -857,6 +898,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip compiled-program verification",
     )
+    p_vfy.add_argument(
+        "--strict",
+        action="store_true",
+        help="also byte-compare every executor backend against the baseline "
+        "on each certified program (decode scenarios + the encode program)",
+    )
     p_vfy.set_defaults(func=_cmd_verify)
 
     p_chk = sub.add_parser(
@@ -959,10 +1006,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_kern.add_argument("--seed", type=int, default=2015)
     p_kern.add_argument("--json", help="also write the JSON-ready result to a file")
     p_kern.add_argument(
+        "--backend",
+        choices=_backend_choices(),
+        default="auto",
+        help="pin the compiled path's executor backend "
+             "(auto = per-class auto-tune; the per-backend table always "
+             "covers every registered backend)",
+    )
+    p_kern.add_argument("--encode-stripes", type=int, default=32,
+                        help="stripes in the naive-vs-batched encode section")
+    p_kern.add_argument(
         "--min-speedup",
         type=float,
         default=0.0,
         help="exit nonzero unless the compiled path beats this speedup",
+    )
+    p_kern.add_argument(
+        "--min-backend-speedup",
+        type=float,
+        default=0.0,
+        help="exit nonzero unless --gate-backend beats this speedup over "
+             "the baseline on the gated (w=8, --symbols) class",
+    )
+    p_kern.add_argument(
+        "--gate-backend",
+        default="bitsliced",
+        help="backend the --min-backend-speedup gate checks",
+    )
+    p_kern.add_argument(
+        "--gate-symbols",
+        type=int,
+        default=65536,
+        help="region length (symbols) of the gated w=8 backend class",
+    )
+    p_kern.add_argument(
+        "--min-encode-speedup",
+        type=float,
+        default=0.0,
+        help="exit nonzero unless batched encode beats this speedup over "
+             "the naive per-stripe loop",
     )
     p_kern.set_defaults(func=_cmd_kernel_bench)
 

@@ -144,9 +144,13 @@ class Cluster:
         layout = StripeLayout.of_code(code)
         encoder = TraditionalDecoder()
         stripe_rng = np.random.default_rng(seed)
-        for stripe_id in range(num_stripes):
-            stripe = Stripe.random(layout, code.field, sector_symbols, stripe_rng)
-            encoder.encode_into(code, stripe)
+        stripes = [
+            Stripe.random(layout, code.field, sector_symbols, stripe_rng)
+            for _ in range(num_stripes)
+        ]
+        # one fused batched encode instead of num_stripes naive calls
+        encoder.encode_into_batch(code, stripes)
+        for stripe_id, stripe in enumerate(stripes):
             home = cluster.ring.place(stripe_id)
             stores[home].add_stripe(stripe_id, stripe)
             cluster._placement[stripe_id] = home

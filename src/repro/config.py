@@ -82,6 +82,36 @@ class StoreConfig:
 
 
 @dataclass(frozen=True)
+class KernelsConfig:
+    """Compiled GF kernel knobs.
+
+    ``backend`` pins the process-wide executor backend selection:
+    ``"auto"`` (default) micro-benchmarks the registered backends per
+    (program shape, w, region size) class and caches the winner; a
+    backend name forces it for every supporting program.  Applied by
+    the builders via
+    :func:`repro.kernels.backends.set_default_backend`.
+    """
+
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        from .kernels.backends import BACKEND_CHOICES
+
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"kernels.backend must be one of {BACKEND_CHOICES}, "
+                f"got {self.backend!r}"
+            )
+
+    def apply(self) -> None:
+        """Install this section's backend policy process-wide."""
+        from .kernels.backends import set_default_backend
+
+        set_default_backend(self.backend)
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """The load generator's offered load (closed-loop)."""
 
@@ -113,6 +143,7 @@ class AppConfig:
     service: ServiceConfig = field(default_factory=ServiceConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    kernels: KernelsConfig = field(default_factory=KernelsConfig)
 
     # -- legacy flat-kwargs shim ---------------------------------------------
 
@@ -174,7 +205,7 @@ class AppConfig:
 
 
 #: nested dataclass sections, in the order they appear in a config file
-_SECTIONS = ("store", "service", "cluster", "workload")
+_SECTIONS = ("store", "service", "cluster", "workload", "kernels")
 
 
 def to_dict(config: AppConfig) -> dict[str, Any]:
@@ -218,6 +249,7 @@ def from_dict(data: Mapping[str, Any]) -> AppConfig:
         "service": ServiceConfig,
         "cluster": ClusterConfig,
         "workload": WorkloadConfig,
+        "kernels": KernelsConfig,
     }
     for key, value in data.items():
         if key not in classes:
@@ -316,6 +348,7 @@ def build_store(config: AppConfig):
     """One seeded, damaged (and optionally bit-rotted) BlobStore."""
     from .service import BlobStore, FaultInjector, corrupt_store, damage_store
 
+    config.kernels.apply()
     store_cfg = config.store
     store = BlobStore.build(
         build_code(store_cfg),
@@ -345,6 +378,7 @@ def build_cluster(config: AppConfig):
     from .cluster import Cluster
     from .service import corrupt_store, damage_store
 
+    config.kernels.apply()
     store_cfg = config.store
     cluster = Cluster.build(
         build_code(store_cfg),

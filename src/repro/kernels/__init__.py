@@ -10,6 +10,19 @@ table binding and L2-chunked ``np.take`` gathers.  See ``docs/KERNELS.md``.
 
 from __future__ import annotations
 
+from .backends import (
+    BACKEND_CHOICES,
+    BASELINE_BACKEND,
+    BackendTuning,
+    ExecutorBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    numba_available,
+    register_backend,
+    set_default_backend,
+    unregister_backend,
+)
 from .cache import DEFAULT_PROGRAM_CACHE_SIZE, ProgramCache, ProgramCacheStats
 from .executor import ProgramExecutor
 from .ir import (
@@ -24,6 +37,7 @@ from .ir import (
 from .lower import (
     PlanProgram,
     ProgramBuilder,
+    lower_encode,
     lower_linear_combination,
     lower_matrix,
     lower_matrix_chain,
@@ -38,8 +52,12 @@ __all__ = [
     "OP_MULXOR",
     "OP_XOR",
     "OP_ZERO",
+    "BACKEND_CHOICES",
+    "BASELINE_BACKEND",
     "DEFAULT_PROGRAM_CACHE_SIZE",
+    "BackendTuning",
     "CompiledRegionOps",
+    "ExecutorBackend",
     "Instruction",
     "PlanProgram",
     "ProgramBuilder",
@@ -47,12 +65,20 @@ __all__ = [
     "ProgramCacheStats",
     "ProgramExecutor",
     "RegionProgram",
+    "available_backends",
     "compact_slots",
+    "default_backend",
     "eliminate_dead",
+    "get_backend",
+    "lower_encode",
     "lower_linear_combination",
     "lower_matrix",
     "lower_matrix_chain",
     "lower_plan",
+    "numba_available",
     "optimize_program",
+    "register_backend",
+    "set_default_backend",
     "share_pairs",
+    "unregister_backend",
 ]

@@ -1,0 +1,120 @@
+"""Optional numba-JIT backend: one fused nopython loop per chunk.
+
+numba is **never required** — this module imports cleanly without it,
+:func:`numba_available` reports whether the backend registered, and
+nothing else in the package references numba.  When present, the
+backend packs the instruction stream into flat arrays (opcode / dst /
+src / table-row index) plus one stacked ``(num_tables, 256)`` uint8
+table matrix, and a cached ``@njit`` kernel walks the whole stream
+symbol-by-symbol in compiled code — no per-instruction ufunc dispatch
+at all.
+
+Only w=8 programs are JITted (the stacked-row layout is the mul8 row
+table); other widths report ``supports() == False`` and the executor
+never selects the backend for them.  Any runtime failure (a numba
+installation breaking mid-process included) is caught by the executor,
+which falls back to the baseline, quarantines this backend and bumps
+the ``backend_fallbacks`` stat — see the executor docs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..ir import OP_MUL, OP_MULXOR
+from .base import ExecutorBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...gf.field import GF
+    from ..ir import RegionProgram
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - the common case in CI images
+    _numba = None
+
+
+def numba_available() -> bool:
+    """Whether numba imported at package load (backend registered)."""
+    return _numba is not None
+
+
+_KERNEL = None
+
+
+def _kernel():  # pragma: no cover - requires numba
+    """Build (once) the jitted instruction-stream interpreter."""
+    global _KERNEL
+    if _KERNEL is None:
+        @_numba.njit(cache=True)
+        def run(ops, dsts, srcs, rows, tables, pool, n):
+            for j in range(ops.shape[0]):
+                op = ops[j]
+                d = pool[dsts[j]]
+                if op == 2:  # OP_XOR
+                    s = pool[srcs[j]]
+                    for k in range(n):
+                        # nopython-compiled, not a Python-level loop
+                        d[k] ^= s[k]  # ppm: noqa[PPM003]
+                elif op == 4:  # OP_MULXOR
+                    s = pool[srcs[j]]
+                    t = tables[rows[j]]
+                    for k in range(n):
+                        d[k] ^= t[s[k]]  # ppm: noqa[PPM003]
+                elif op == 3:  # OP_MUL
+                    s = pool[srcs[j]]
+                    t = tables[rows[j]]
+                    for k in range(n):
+                        d[k] = t[s[k]]
+                elif op == 1:  # OP_COPY
+                    s = pool[srcs[j]]
+                    for k in range(n):
+                        d[k] = s[k]
+                else:  # OP_ZERO
+                    for k in range(n):
+                        d[k] = 0
+
+        _KERNEL = run
+    return _KERNEL
+
+
+class NumbaBackend(ExecutorBackend):
+    """JIT-compiled instruction-stream backend (w=8, optional)."""
+
+    name = "numba"
+
+    def supports(self, field: "GF", program: "RegionProgram") -> bool:
+        return _numba is not None and field.w == 8
+
+    def bind(self, field: "GF", program: "RegionProgram") -> tuple:
+        if _numba is None:  # defensive: bind after a broken install
+            raise RuntimeError("numba is not available")
+        instrs = program.instructions
+        ops = np.array([i[0] for i in instrs], dtype=np.int64)
+        dsts = np.array([i[1] for i in instrs], dtype=np.int64)
+        srcs = np.array([max(i[2], 0) for i in instrs], dtype=np.int64)
+        consts = sorted({i[3] for i in instrs if i[0] in (OP_MUL, OP_MULXOR)})
+        row_of = {c: r for r, c in enumerate(consts)}
+        rows = np.array(
+            [row_of.get(i[3], 0) if i[0] in (OP_MUL, OP_MULXOR) else 0 for i in instrs],
+            dtype=np.int64,
+        )
+        tables = np.stack(
+            [field.mul8_table[c] for c in consts]
+        ) if consts else np.zeros((1, 256), dtype=np.uint8)
+        for arr in (ops, dsts, srcs, rows):
+            arr.setflags(write=False)
+        return (ops, dsts, srcs, rows, np.ascontiguousarray(tables))
+
+    def execute_chunk(
+        self,
+        bound: tuple,
+        pool: Sequence[np.ndarray],
+        n: int,
+        scratch: object,
+    ) -> None:  # pragma: no cover - requires numba
+        ops, dsts, srcs, rows, tables = bound
+        # typed list: numba reflects a homogeneous list of 1-D uint8 views
+        _kernel()(ops, dsts, srcs, rows, tables, list(pool), n)

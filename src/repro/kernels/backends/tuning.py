@@ -1,0 +1,87 @@
+"""Auto-tune state: per-class backend winners, quarantine, fallbacks.
+
+The executor micro-benchmarks the registered backends the first time it
+executes a given *(program shape, w, region-size)* class and records the
+winner here; every later execution of that class skips straight to the
+chosen backend.  The state lives on the :class:`ProgramCache` (one per
+decoder / pipeline), so winners persist exactly as long as the compiled
+programs they were measured for — per-process, shared across threads.
+
+Quarantine is the safety valve: a backend that *raises* during a real
+execution is excluded from every future selection (and every recorded
+win it holds is voided), the execution replays on the baseline, and the
+executor's ``backend_fallbacks`` stat is bumped.  A quarantine is
+process-wide sticky per tuning instance — a backend whose JIT broke
+mid-process stays benched until restart.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..ir import RegionProgram
+
+
+def shape_key(program: RegionProgram, size_class: int) -> tuple:
+    """The auto-tune class of one execution.
+
+    Programs with equal instruction mix and pool geometry perform
+    identically, so tuning keys off the *shape*, not the identity —
+    every same-shaped erasure pattern shares one measured winner.
+    ``size_class`` buckets the region length by power of two.
+    """
+    return (
+        program.w,
+        program.num_inputs,
+        program.pool_size,
+        len(program.instructions),
+        program.mult_xors,
+        program.xor_only,
+        size_class,
+    )
+
+
+def size_class(length: int) -> int:
+    """Power-of-two bucket of a region length (0 for empty)."""
+    return int(length).bit_length()
+
+
+class BackendTuning:
+    """Thread-safe winner/quarantine store (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._choices: dict[tuple, str] = {}
+        self._quarantined: set[str] = set()
+
+    def choice(self, key: tuple) -> str | None:
+        with self._lock:
+            name = self._choices.get(key)
+            if name is not None and name in self._quarantined:
+                return None
+            return name
+
+    def record(self, key: tuple, name: str) -> None:
+        with self._lock:
+            self._choices[key] = name
+
+    def quarantine(self, name: str) -> None:
+        with self._lock:
+            self._quarantined.add(name)
+            # void every win the backend holds so re-tunes pick fresh
+            for key, chosen in list(self._choices.items()):
+                if chosen == name:
+                    del self._choices[key]
+
+    def is_quarantined(self, name: str) -> bool:
+        with self._lock:
+            return name in self._quarantined
+
+    def quarantined(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._quarantined)
+
+    def choices(self) -> dict[tuple, str]:
+        """Snapshot of recorded winners (for observability/tests)."""
+        with self._lock:
+            return dict(self._choices)

@@ -26,9 +26,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..gf.field import GF
+from .backends import BackendTuning
 from .ir import RegionProgram
 from .lower import (
     PlanProgram,
+    lower_encode,
     lower_linear_combination,
     lower_matrix,
     lower_matrix_chain,
@@ -95,6 +97,10 @@ class ProgramCache:
         # key -> (value, pin); pin keeps identity-keyed objects alive
         self._entries: OrderedDict[tuple, tuple[object, object]] = OrderedDict()
         self.stats = ProgramCacheStats()
+        #: Backend auto-tune state (winners + quarantine), shared by
+        #: every executor built over this cache so a winner measured
+        #: for a program class survives as long as the programs do.
+        self.tuning = BackendTuning()
 
     def __len__(self) -> int:
         with self._lock:
@@ -175,4 +181,26 @@ class ProgramCache:
         key = ("plan", field.w, field.polynomial, id(plan), optimize)
         return self._get_or_build(
             key, lambda: lower_plan(field, plan, optimize=optimize), pin=plan
+        )
+
+    def encode_program(
+        self, field: GF, code, policy=None, optimize: bool = True
+    ) -> PlanProgram:
+        """The fused all-parities encode program for ``code``.
+
+        Content-keyed on the parity-check matrix (plus the sequence
+        policy), so equivalent code instances — e.g. one per pipeline
+        worker — share one compiled program.
+        """
+        key = (
+            "encode",
+            field.w,
+            field.polynomial,
+            code.H.array.shape,
+            code.H.array.tobytes(),
+            None if policy is None else policy.value,
+            optimize,
+        )
+        return self._get_or_build(
+            key, lambda: lower_encode(field, code, policy=policy, optimize=optimize)
         )

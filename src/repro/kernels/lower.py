@@ -12,7 +12,7 @@ group stages feed their recovered slots straight into the rest stage
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -30,7 +30,9 @@ from .ir import (
 from .optimize import Term, optimize_program, share_pairs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports kernels)
+    from ..codes.base import ErasureCode
     from ..core.planner import DecodePlan
+    from ..core.sequences import SequencePolicy
 
 
 class ProgramBuilder:
@@ -278,3 +280,36 @@ def lower_plan(
         [slot_of[b] for b in output_ids], optimize=optimize
     )
     return PlanProgram(program=program, input_ids=input_ids, output_ids=output_ids)
+
+
+def lower_encode(
+    field: GF,
+    code: "ErasureCode",
+    *,
+    policy: "SequencePolicy | None" = None,
+    optimize: bool = True,
+    share: bool = True,
+) -> PlanProgram:
+    """Compile all parity computations of ``code`` into one fused program.
+
+    Encoding is decoding with every parity position faulty (paper,
+    footnote 1), so this lowers that decode plan; under the default
+    ``matrix_first`` policy the single emitted stage *is* the generator
+    matrix's parity rows (``W = F^-1 S``).  ``input_ids`` are the data
+    blocks the program reads, ``output_ids`` the parity blocks it
+    produces.  Pass the decoder's own ``policy`` to book exactly the op
+    counts its per-stripe encode path would.
+    """
+    from ..core.planner import plan_decode  # deferred: core imports kernels
+    from ..core.sequences import SequencePolicy
+
+    if policy is None:
+        policy = SequencePolicy.MATRIX_FIRST
+    plan = plan_decode(code.H, code.parity_block_ids, policy=policy)
+    lowered = lower_plan(field, plan, optimize=optimize, share=share)
+    program = replace(lowered.program, label=f"encode:{plan.mode.value}")
+    return PlanProgram(
+        program=program,
+        input_ids=lowered.input_ids,
+        output_ids=lowered.output_ids,
+    )

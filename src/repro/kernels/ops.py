@@ -40,6 +40,9 @@ class CompiledRegionOps(RegionOps):
         every compiled program.  Off is useful for debugging only.
     chunk_symbols:
         L2 blocking factor for the executor.
+    backend:
+        Executor backend selection: ``"auto"`` (default, per-class
+        auto-tune) or a registered backend name to force it.
     """
 
     def __init__(
@@ -50,11 +53,19 @@ class CompiledRegionOps(RegionOps):
         programs: ProgramCache | None = None,
         optimize: bool = True,
         chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS,
+        backend: str = "auto",
     ):
         super().__init__(field, counter)
         self.programs = programs if programs is not None else ProgramCache()
         self.optimize = optimize
-        self.executor = ProgramExecutor(field, chunk_symbols=chunk_symbols)
+        # tuning state lives on the program cache: backend winners are
+        # shared by every ops/executor built over the same cache
+        self.executor = ProgramExecutor(
+            field,
+            chunk_symbols=chunk_symbols,
+            backend=backend,
+            tuning=self.programs.tuning,
+        )
 
     def _compilable(self, regions: list[np.ndarray]) -> bool:
         return all(r.ndim == 1 for r in regions)
@@ -152,3 +163,26 @@ class CompiledRegionOps(RegionOps):
             raise ValueError("run_plan requires 1-D block regions")
         outs = self.executor.execute(plan_prog.program, inputs, counter=self.counter)
         return dict(zip(plan_prog.output_ids, outs))
+
+    # -- fused encode execution --------------------------------------------
+
+    def encode_program(self, code, policy=None) -> PlanProgram:
+        """The compiled (cached) all-parities encode program for ``code``."""
+        return self.programs.encode_program(
+            self.field, code, policy=policy, optimize=self.optimize
+        )
+
+    def run_encode(self, code, blocks, policy=None) -> dict[int, np.ndarray]:
+        """Compute every parity block of ``code`` as one fused program.
+
+        ``blocks`` maps block id -> region and must contain the data
+        blocks; parity entries, stale or otherwise, are never read.
+        Returns ``{parity_id: region}``.  Pass the owning decoder's
+        ``policy`` to book its exact op counts.
+        """
+        enc = self.encode_program(code, policy=policy)
+        inputs = [blocks[b] for b in enc.input_ids]
+        if not self._compilable(inputs):
+            raise ValueError("run_encode requires 1-D block regions")
+        outs = self.executor.execute(enc.program, inputs, counter=self.counter)
+        return dict(zip(enc.output_ids, outs))

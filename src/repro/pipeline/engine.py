@@ -394,6 +394,38 @@ class DecodePipeline:
             return results, stats
         return results
 
+    def encode_batch(
+        self,
+        code: ErasureCode,
+        stripes: Sequence[Stripe | Mapping[int, np.ndarray]],
+        *,
+        return_stats: bool = False,
+        priority: str = "foreground",
+    ):
+        """Compute every stripe's parity blocks in one submission.
+
+        Encoding is decoding with every parity position faulty (paper,
+        footnote 1), so this delegates to :meth:`decode_batch` with the
+        parity ids as the shared erasure pattern: all stripes fuse into
+        one pattern batch and the compiled program sweeps their
+        concatenated data sectors at once.  Only the data blocks are
+        read — stale parity in the input never leaks into the output.
+        Returns one ``{parity_id: region}`` dict per stripe (plus a
+        :class:`BatchStats` with ``return_stats=True``).
+        """
+        data_ids = code.data_block_ids
+        data_only = [
+            {b: blocks[b] for b in data_ids}
+            for blocks in (_PlanningDecoder._blocks_of(s) for s in stripes)
+        ]
+        return self.decode_batch(
+            code,
+            data_only,
+            list(code.parity_block_ids),
+            return_stats=return_stats,
+            priority=priority,
+        )
+
     def rebuild(self, array) -> int:
         """Batched full-array rebuild; returns blocks repaired.
 
@@ -517,18 +549,31 @@ class DecodePipeline:
             ),
         )
 
-    def executor_stats(self) -> dict[str, float]:
+    def executor_stats(self) -> dict[str, object]:
         """Merged compiled-kernel execution tallies (empty when
-        interpreted; process-pool child executions are not visible)."""
-        stats: dict[str, float] = {}
+        interpreted; process-pool child executions are not visible).
+
+        The ``backends`` entry nests per-backend splits; everything
+        else is a flat numeric tally (see
+        :meth:`repro.kernels.ProgramExecutor.stats`)."""
+        stats: dict[str, object] = {}
         if self.programs is None:
             return stats
+        backends: dict[str, dict[str, float]] = {}
         for ops in self._ops_cache.values():
             executor = getattr(ops, "executor", None)
             if executor is None:
                 continue
             for key, value in executor.stats().items():
-                stats[key] = stats.get(key, 0) + value
+                if key == "backends":
+                    for name, split in value.items():
+                        agg = backends.setdefault(name, {})
+                        for k, v in split.items():
+                            agg[k] = agg.get(k, 0) + v
+                else:
+                    stats[key] = stats.get(key, 0) + value
+        if backends:
+            stats["backends"] = backends
         return stats
 
     def close(self) -> None:

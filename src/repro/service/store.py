@@ -119,9 +119,13 @@ class BlobStore:
         rng = np.random.default_rng(rng)
         store = cls(code, sector_symbols, faults=faults)
         encoder = TraditionalDecoder()
-        for stripe_id in range(num_stripes):
-            stripe = Stripe.random(store.layout, code.field, sector_symbols, rng)
-            encoder.encode_into(code, stripe)
+        stripes = [
+            Stripe.random(store.layout, code.field, sector_symbols, rng)
+            for _ in range(num_stripes)
+        ]
+        # one fused batched encode instead of num_stripes naive calls
+        encoder.encode_into_batch(code, stripes)
+        for stripe_id, stripe in enumerate(stripes):
             store.add_stripe(stripe_id, stripe)
         return store
 

@@ -26,7 +26,8 @@ from ..core.planner import plan_decode
 from ..core.sequences import SequencePolicy
 from ..gf.bitmatrix import expand_matrix
 from ..gf.schedule import naive_schedule, pair_reuse_schedule
-from ..kernels import lower_plan
+from ..kernels import BASELINE_BACKEND, available_backends, get_backend, lower_encode, lower_plan
+from ..kernels.executor import ProgramExecutor
 from ..matrix import SingularMatrixError
 from .dataflow import analyze_program
 from .findings import VerificationReport
@@ -56,6 +57,8 @@ class SweepResult:
     skipped_undecodable: int = 0
     schedules: int = 0
     programs: int = 0
+    encode_programs: int = 0
+    backend_checks: int = 0
     report: VerificationReport = field(
         default_factory=lambda: VerificationReport(subject="sweep")
     )
@@ -66,10 +69,15 @@ class SweepResult:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.report.errors)} error(s)"
+        extras = ""
+        if self.encode_programs:
+            extras += f", {self.encode_programs} encode program(s)"
+        if self.backend_checks:
+            extras += f", {self.backend_checks} backend check(s)"
         return (
             f"{self.code}: {self.scenarios} scenario(s) verified, "
             f"{self.schedules} schedule(s), {self.programs} compiled "
-            f"program(s), "
+            f"program(s){extras}, "
             f"{self.skipped_undecodable} undecodable draw(s) skipped -> {status}"
         )
 
@@ -98,6 +106,60 @@ def iter_scenarios(
         yield tuple(sorted(int(b) for b in picks))
 
 
+#: Region length for the numeric backend-equivalence certification:
+#: odd, so the paired-gather backends exercise their scalar tail paths.
+_BACKEND_CHECK_SYMBOLS = 1021
+
+
+def _certify_backends(
+    field,
+    program,
+    report: VerificationReport,
+    subject: str,
+    seed: int,
+) -> int:
+    """Byte-compare every registered backend against the baseline.
+
+    Runs the compiled program over deterministic pseudo-random regions
+    once per registered, supporting backend and demands bit-identical
+    outputs.  Returns the number of backend executions performed; any
+    divergence (or backend crash) is recorded as an error finding.
+    """
+    rng = np.random.default_rng(seed)
+    inputs = [
+        rng.integers(0, 1 << field.w, size=_BACKEND_CHECK_SYMBOLS, dtype=field.dtype)
+        for _ in range(program.num_inputs)
+    ]
+    expected = ProgramExecutor(field, backend=BASELINE_BACKEND).execute(
+        program, inputs
+    )
+    checked = 0
+    for name in available_backends():
+        if name == BASELINE_BACKEND:
+            continue
+        if not get_backend(name).supports(field, program):
+            continue
+        try:
+            got = ProgramExecutor(field, backend=name).execute(program, inputs)
+        except Exception as exc:  # a crash is a certification failure too
+            report.add(
+                "sweep/backend-crash",
+                f"backend {name!r} raised while executing a certified "
+                f"program: {exc}",
+                subject,
+            )
+            continue
+        checked += 1
+        if not all(np.array_equal(g, e) for g, e in zip(got, expected)):
+            report.add(
+                "sweep/backend-divergence",
+                f"backend {name!r} output differs from the {BASELINE_BACKEND!r} "
+                f"baseline on a certified program (w={field.w})",
+                subject,
+            )
+    return checked
+
+
 def sweep_code(
     code: ErasureCode,
     samples: int = 50,
@@ -105,9 +167,17 @@ def sweep_code(
     policies: Sequence[SequencePolicy] = (SequencePolicy.PAPER, SequencePolicy.AUTO),
     check_schedules: bool = True,
     check_programs: bool = True,
+    check_backends: bool = False,
     max_faults: int | None = None,
 ) -> SweepResult:
-    """Plan + statically verify random failure scenarios on one code."""
+    """Plan + statically verify random failure scenarios on one code.
+
+    With ``check_backends`` every lowered program (decode scenarios and
+    the fused encode program alike) is additionally executed on every
+    registered executor backend and byte-compared against the baseline —
+    the numeric half of the certification the rest of the sweep does
+    symbolically.
+    """
     result = SweepResult(code=code.describe())
     result.report.subject = f"sweep of {code.kind}"
     scheduled = 0
@@ -148,6 +218,14 @@ def sweep_code(
                         f"dataflow faulty={list(faulty)} policy={policy.value}"
                     )
                     result.report.merge(sub)
+                if check_backends:
+                    result.backend_checks += _certify_backends(
+                        code.field,
+                        compiled.program,
+                        result.report,
+                        f"faulty={list(faulty)} policy={policy.value}",
+                        seed,
+                    )
                 result.programs += 1
         result.scenarios += 1
         if check_schedules and scheduled < 2:
@@ -166,6 +244,30 @@ def sweep_code(
                     result.report.merge(sub)
                 result.schedules += 1
             scheduled += 1
+    if check_programs:
+        # the fused encode program gets the same certification a decode
+        # program gets: transfer-matrix proof against its plan, strict
+        # dataflow, and (opted in) numeric backend equivalence
+        for policy in policies:
+            plan = plan_decode(code, code.parity_block_ids, policy=policy)
+            compiled = lower_encode(code.field, code, policy=policy)
+            sub = verify_plan_program(compiled, code.field, plan)
+            if sub.findings:
+                sub.subject = f"encode program policy={policy.value}"
+                result.report.merge(sub)
+            sub = analyze_program(compiled.program, strict=True)
+            if sub.findings:
+                sub.subject = f"encode dataflow policy={policy.value}"
+                result.report.merge(sub)
+            if check_backends:
+                result.backend_checks += _certify_backends(
+                    code.field,
+                    compiled.program,
+                    result.report,
+                    f"encode policy={policy.value}",
+                    seed,
+                )
+            result.encode_programs += 1
     return result
 
 
@@ -174,6 +276,7 @@ def sweep_all(
     seed: int = 2015,
     check_schedules: bool = True,
     check_programs: bool = True,
+    check_backends: bool = False,
     instances: Mapping[str, dict[str, int]] | None = None,
 ) -> list[SweepResult]:
     """Run :func:`sweep_code` over every registered code kind."""
@@ -191,6 +294,7 @@ def sweep_all(
                 seed=seed,
                 check_schedules=check_schedules,
                 check_programs=check_programs,
+                check_backends=check_backends,
             )
         )
     return results

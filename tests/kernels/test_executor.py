@@ -102,10 +102,12 @@ def test_binding_is_reused_across_calls():
     program = lower_matrix(field, matrix)
     executor = ProgramExecutor(field)
     executor.execute(program, regions)
-    assert id(program) in executor._bound
-    before = executor._bound[id(program)]
+    keys = [key for key in executor._bound if key[0] == id(program)]
+    assert keys  # bound at least once (for whichever backend ran)
+    before = {key: executor._bound[key] for key in keys}
     executor.execute(program, regions)
-    assert executor._bound[id(program)] is before
+    for key, entry in before.items():
+        assert executor._bound[key] is entry
 
 
 def test_rejects_nonpositive_chunk():

@@ -92,8 +92,10 @@ class TestProgramCacheAdmission:
 
 class TestExecutorSmallTables:
     def test_w4_table_cache_single_instance(self):
+        from repro.kernels.backends import get_backend
+
         field = GF(4)
-        executor = ProgramExecutor(field)
+        executor = ProgramExecutor(field, backend="numpy")
         rng = np.random.default_rng(7)
         matrix = rng.integers(1, 16, size=(3, 4), dtype=field.dtype)
         program = lower_matrix(field, matrix)
@@ -107,8 +109,9 @@ class TestExecutorSmallTables:
             for result in result_list:
                 for a, b in zip(first, result):
                     np.testing.assert_array_equal(a, b)
+        baseline = get_backend("numpy")
         for const in program.constants:
-            table = executor._small_tables.get(const)
+            table = baseline._tables.get((4, field.polynomial, const))
             assert table is not None and not table.flags.writeable
 
 

@@ -217,3 +217,35 @@ def test_service_config_is_default_constructed_sections():
     config = AppConfig()
     assert config.service == ServiceConfig()
     assert config.workload == WorkloadConfig()
+
+
+def test_kernels_section_defaults_and_round_trip():
+    from repro.config import KernelsConfig
+
+    config = AppConfig()
+    assert config.kernels == KernelsConfig()
+    assert config.kernels.backend == "auto"
+    overridden = apply_overrides(config, {"kernels.backend": "bitsliced"})
+    assert overridden.kernels.backend == "bitsliced"
+    assert from_dict(to_dict(overridden)) == overridden
+
+
+def test_kernels_backend_is_validated():
+    from repro.config import KernelsConfig
+
+    with pytest.raises(ValueError, match="backend"):
+        KernelsConfig(backend="nonesuch")
+    with pytest.raises(ValueError, match="backend"):
+        from_dict({"kernels": {"backend": "nonesuch"}})
+
+
+def test_kernels_apply_sets_process_default():
+    from repro.config import KernelsConfig
+    from repro.kernels import default_backend, set_default_backend
+
+    previous = default_backend()
+    try:
+        KernelsConfig(backend="bitsliced").apply()
+        assert default_backend() == "bitsliced"
+    finally:
+        set_default_backend(previous)

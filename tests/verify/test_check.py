@@ -146,3 +146,19 @@ def repo_src():
     from pathlib import Path
 
     return str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestBackendsScope:
+    """The backends package stays inside the check/race-lint perimeter."""
+
+    REPO = __import__("pathlib").Path(__file__).resolve().parents[2]
+
+    def test_backends_package_is_clean(self):
+        report = run_check([str(self.REPO / "src/repro/kernels/backends")])
+        assert report.ok, report.format_human()
+        # every backend module was actually parsed, not skipped
+        assert report.files >= 6
+
+    def test_kernels_tree_is_clean(self):
+        report = run_check([str(self.REPO / "src/repro/kernels")])
+        assert report.ok, report.format_human()

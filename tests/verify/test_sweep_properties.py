@@ -91,3 +91,59 @@ def test_worst_case_disk_failures_verify():
         plan = plan_decode(code, faulty, policy=SequencePolicy.PAPER)
         report = verify_plan(plan, code)
         assert report.ok and not report.findings, f"{kind}: " + report.format()
+
+
+def test_sweep_certifies_encode_programs():
+    code = get_code("rs", n=6, k=4)
+    result = sweep_code(code, samples=4, check_schedules=False)
+    assert result.ok, result.summary()
+    assert result.encode_programs == 2  # one per swept policy
+
+
+def test_strict_sweep_certifies_backends_numerically():
+    code = get_code("rs", n=6, k=4)
+    result = sweep_code(
+        code, samples=4, check_schedules=False, check_backends=True
+    )
+    assert result.ok, result.summary()
+    # bitsliced supports every w=8 program: decode scenarios + encode
+    assert result.backend_checks >= result.programs + result.encode_programs
+
+
+def test_strict_sweep_flags_a_divergent_backend():
+    from repro.kernels import register_backend, unregister_backend
+    from repro.kernels.backends import ExecutorBackend
+
+    class Corrupting(ExecutorBackend):
+        """Executes as the baseline, then flips a bit in slot 0."""
+
+        name = "corrupting"
+
+        def supports(self, field, program):
+            return field.w == 8
+
+        def bind(self, field, program):
+            from repro.kernels import get_backend
+
+            return (get_backend("numpy").bind(field, program), program.outputs)
+
+        def execute_chunk(self, bound, pool, n, scratch):
+            from repro.kernels import get_backend
+
+            inner, outputs = bound
+            get_backend("numpy").execute_chunk(inner, pool, n, scratch)
+            pool[outputs[0]][0] ^= 1
+
+    register_backend(Corrupting())
+    try:
+        code = get_code("rs", n=6, k=4)
+        result = sweep_code(
+            code, samples=2, check_schedules=False, check_backends=True
+        )
+    finally:
+        unregister_backend("corrupting")
+    assert not result.ok
+    assert any(
+        f.check == "sweep/backend-divergence" and "corrupting" in f.message
+        for f in result.report.findings
+    )
