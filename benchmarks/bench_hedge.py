@@ -1,0 +1,40 @@
+"""Acceptance benchmark for hedged, syndrome-verified worker decode.
+
+Runs the shared :func:`repro.bench.hedge.run_hedge_bench` experiment —
+the same SD(6, 4, 2, 2) decode workload, clean vs 5% workers stalled
+10x the typical bucket time plus 1% silently bit-flipped worker
+outputs — and writes the full result to ``BENCH_hedge.json`` at the
+repo root.  The assertions encode the acceptance bar: hedging must
+hold the faulty-phase p99 within 2x the clean p99, the syndrome check
+must demonstrably fire, and no corrupt region may reach a caller
+(every decode result is compared against the encoded ground truth).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_hedge.py``
+or via ``ppm hedge-bench``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.hedge import run_hedge_bench
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_hedge.json"
+
+
+def test_hedged_decode_tail_latency_and_verification():
+    result = run_hedge_bench()
+    OUT.write_text(json.dumps(result, indent=2) + "\n")
+    gates = result["gates"]
+    assert gates["p99_ratio_ok"], (
+        f"p99 under 5% stragglers is {result['p99_ratio']:.2f}x clean "
+        f"(gate <= {gates['max_p99_ratio']:.2f}x)"
+    )
+    assert gates["verify_rejects_ok"], (
+        f"{result['injection']['corrupt_injected']} corruptions injected but "
+        f"only {result['slow']['verify_rejects']} verify rejects"
+    )
+    assert result["corrupt_merges"] == 0, (
+        f"{result['corrupt_merges']} corrupt region(s) reached a caller"
+    )
+    # hedging actually fired against the injected stragglers
+    assert result["slow"]["hedges"] > 0

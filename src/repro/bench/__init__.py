@@ -13,6 +13,7 @@ from .measure import (
     measure_improvement,
     measure_wall,
 )
+from .hedge import format_hedge_report, run_hedge_bench
 from .pipeline import build_batch, format_pipeline_report, run_pipeline_bench
 from .report import Report, format_reports
 from .workloads import (
@@ -41,6 +42,8 @@ __all__ = [
     "measure_improvement",
     "measure_wall",
     "build_batch",
+    "format_hedge_report",
+    "run_hedge_bench",
     "format_pipeline_report",
     "run_pipeline_bench",
     "Report",

@@ -19,6 +19,7 @@ extra NAME      extra experiments (c2-share, energy, parallel-strategies,
                 rebuild-strategies, degraded-read-io, xor-scheduling,
                 paper-average)
 pipeline-bench  batched DecodePipeline vs per-stripe decode throughput
+hedge-bench     tail latency under injected slow/corrupt workers, gated
 kernel-bench    compiled region programs vs interpreted decode throughput
 serve           run the degraded-read BlobService on a TCP port
 cluster         run a sharded multi-node cluster behind one TCP port
@@ -350,6 +351,36 @@ def _cmd_pipeline_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hedge_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.hedge import format_hedge_report, run_hedge_bench
+
+    result = run_hedge_bench(
+        n=args.n,
+        r=args.r,
+        m=args.m,
+        s=args.s,
+        num_stripes=args.stripes,
+        sector_symbols=args.symbols,
+        calls=150 if args.quick else args.calls,
+        warmup=30 if args.quick else args.warmup,
+        workers=args.workers,
+        slow_rate=args.slow_rate,
+        slow_factor=args.slow_factor,
+        corrupt_rate=args.corrupt_rate,
+        max_p99_ratio=args.max_p99_ratio,
+        seed=args.seed,
+    )
+    print(format_hedge_report(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if result["gates"]["passed"] else 1
+
+
 def _backend_choices() -> tuple[str, ...]:
     from .kernels import BACKEND_CHOICES
 
@@ -434,6 +465,8 @@ _FLAG_PATHS = {
     "corrupt_fraction": "store.corrupt_fraction",
     "seed": "store.seed",
     "batch_trigger": "service.batch_trigger",
+    "hedge": "pipeline.hedge",
+    "verify_workers": "pipeline.verify_workers",
     "scrub_stripes": "service.repair.scrub_stripes",
     "repair_rate": "service.repair.rate_blocks_per_s",
     "nodes": "cluster.nodes",
@@ -992,6 +1025,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_pipe.add_argument("--json", help="also write the JSON-ready result to a file")
     p_pipe.set_defaults(func=_cmd_pipeline_bench)
 
+    p_hedge = sub.add_parser(
+        "hedge-bench",
+        help="p99 decode latency under injected slow/corrupt workers, "
+             "with hedging + worker verification on (gated)",
+    )
+    p_hedge.add_argument("--n", type=int, default=6)
+    p_hedge.add_argument("--r", type=int, default=4)
+    p_hedge.add_argument("--m", type=int, default=2)
+    p_hedge.add_argument("--s", type=int, default=2)
+    p_hedge.add_argument("--stripes", type=int, default=4)
+    p_hedge.add_argument("--symbols", type=int, default=2048)
+    p_hedge.add_argument("--calls", type=int, default=400,
+                         help="measured decode_batch calls per phase")
+    p_hedge.add_argument("--warmup", type=int, default=40,
+                         help="unmeasured calls that prime caches and the "
+                              "hedge latency tracker")
+    p_hedge.add_argument("--workers", type=int, default=4)
+    p_hedge.add_argument("--slow-rate", type=float, default=0.05,
+                         help="fraction of worker executions stalled")
+    p_hedge.add_argument("--slow-factor", type=float, default=10.0,
+                         help="stall duration as a multiple of the clean "
+                              "median call latency")
+    p_hedge.add_argument("--corrupt-rate", type=float, default=0.01,
+                         help="fraction of worker outputs silently bit-flipped")
+    p_hedge.add_argument("--max-p99-ratio", type=float, default=2.0,
+                         help="exit nonzero if faulty-phase p99 exceeds this "
+                              "multiple of the clean p99")
+    p_hedge.add_argument("--quick", action="store_true",
+                         help="CI mode: 150 calls / 30 warmup")
+    p_hedge.add_argument("--seed", type=int, default=2015)
+    p_hedge.add_argument("--json", help="also write the JSON-ready result to a file")
+    p_hedge.set_defaults(func=_cmd_hedge_bench)
+
     p_kern = sub.add_parser(
         "kernel-bench",
         help="compiled region programs vs interpreted single-stripe decode",
@@ -1071,6 +1137,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fraction of stripes silently corrupted (bit "
                             "rot; only a scrub can see it)")
         p.add_argument("--batch-trigger", type=int, default=None)
+        p.add_argument("--hedge", action="store_true", default=None,
+                       help="speculatively resubmit straggling decode "
+                            "buckets (pipeline.hedge; tune via --set "
+                            "pipeline.hedge_factor= etc.)")
+        p.add_argument("--verify-workers", action="store_true", default=None,
+                       help="syndrome-check every decode worker result "
+                            "before merging (pipeline.verify_workers)")
         p.add_argument("--flush-ms", type=float, default=None,
                        help="coalescing flush deadline in milliseconds")
         p.add_argument("--repair", action="store_true",

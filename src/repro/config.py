@@ -112,6 +112,70 @@ class KernelsConfig:
 
 
 @dataclass(frozen=True)
+class PipelineConfig:
+    """The decode pipeline behind a service node.
+
+    ``pool``/``workers`` shape the phase-1 worker pool (``"serial"``
+    stays the low-overhead default on small hosts — decode already runs
+    off the event loop).  The straggler-tolerance knobs mirror
+    :class:`~repro.pipeline.DecodePipeline`: ``hedge`` speculatively
+    resubmits a bucket once its worker exceeds
+    ``max(pX, ewma) * hedge_factor`` of similar work,
+    ``verify_workers`` syndrome-checks every worker result before it
+    can merge, and ``deadline_s`` (0 = unbounded) abandons a batch
+    gather that outlives its budget with a
+    :class:`~repro.pipeline.StragglerTimeout`.
+    """
+
+    pool: str = "serial"
+    workers: int = 4
+    hedge: bool = False
+    hedge_percentile: float = 0.95
+    hedge_factor: float = 2.0
+    hedge_min_samples: int = 8
+    verify_workers: bool = False
+    deadline_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pool not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"pipeline.pool must be serial, thread or process, got {self.pool!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not 0.0 < self.hedge_percentile <= 1.0:
+            raise ValueError(
+                f"hedge_percentile must be in (0, 1], got {self.hedge_percentile}"
+            )
+        if self.hedge_factor < 1.0:
+            raise ValueError(
+                f"hedge_factor must be >= 1.0, got {self.hedge_factor}"
+            )
+        if self.hedge_min_samples < 1:
+            raise ValueError(
+                f"hedge_min_samples must be >= 1, got {self.hedge_min_samples}"
+            )
+        if self.deadline_s < 0:
+            raise ValueError(f"deadline_s must be >= 0, got {self.deadline_s}")
+
+    def build(self, *, faults=None):
+        """A live :class:`~repro.pipeline.DecodePipeline` per this section."""
+        from .pipeline import DecodePipeline
+
+        return DecodePipeline(
+            pool=self.pool,
+            workers=self.workers,
+            hedge=self.hedge,
+            hedge_percentile=self.hedge_percentile,
+            hedge_factor=self.hedge_factor,
+            hedge_min_samples=self.hedge_min_samples,
+            verify_workers=self.verify_workers,
+            deadline_s=self.deadline_s or None,
+            faults=faults,
+        )
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """The load generator's offered load (closed-loop)."""
 
@@ -141,6 +205,7 @@ class AppConfig:
 
     store: StoreConfig = field(default_factory=StoreConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     kernels: KernelsConfig = field(default_factory=KernelsConfig)
@@ -205,7 +270,7 @@ class AppConfig:
 
 
 #: nested dataclass sections, in the order they appear in a config file
-_SECTIONS = ("store", "service", "cluster", "workload", "kernels")
+_SECTIONS = ("store", "service", "pipeline", "cluster", "workload", "kernels")
 
 
 def to_dict(config: AppConfig) -> dict[str, Any]:
@@ -247,6 +312,7 @@ def from_dict(data: Mapping[str, Any]) -> AppConfig:
     classes = {
         "store": StoreConfig,
         "service": ServiceConfig,
+        "pipeline": PipelineConfig,
         "cluster": ClusterConfig,
         "workload": WorkloadConfig,
         "kernels": KernelsConfig,
@@ -365,10 +431,21 @@ def build_store(config: AppConfig):
 
 def build_service(config: AppConfig):
     """A single-node :class:`~repro.service.BlobService` over
-    :func:`build_store`."""
+    :func:`build_store`.
+
+    The service decodes through a pipeline built from
+    ``config.pipeline`` (straggler hedging, worker verification,
+    deadlines) and owns it; the store's fault injector is shared into
+    the pipeline so injected slow/corrupt *worker* modes flow through
+    the same seeded stream as read faults.
+    """
     from .service import BlobService
 
-    return BlobService(build_store(config), config=config.service)
+    store = build_store(config)
+    pipeline = config.pipeline.build(faults=store.faults)
+    return BlobService(
+        store, config=config.service, pipeline=pipeline, own_pipeline=True
+    )
 
 
 def build_cluster(config: AppConfig):

@@ -383,6 +383,11 @@ class PPMDecoder(_PlanningDecoder):
     parallel:
         When False, groups run serially on the caller's thread — the mode
         used for measured cost-reduction experiments on the 1-core host.
+    deadline_s:
+        When set, bounds every parallel phase: a straggling worker
+        raises :class:`~repro.pipeline.pool.StragglerTimeout` instead
+        of stalling the decode forever.  ``None`` (the default) waits
+        indefinitely, matching the paper's fault-free assumption.
     """
 
     def __init__(
@@ -394,12 +399,16 @@ class PPMDecoder(_PlanningDecoder):
         counter: OpCounter | None = None,
         verify: bool = False,
         compile: bool = True,
+        deadline_s: float | None = None,
     ):
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         super().__init__(policy, counter, verify=verify, compile=compile)
         self.threads = threads
         self.parallel = parallel
+        self.deadline_s = deadline_s
 
     def execute(self, plan, blocks, ops):
         if not plan.uses_partition:
@@ -411,7 +420,7 @@ class PPMDecoder(_PlanningDecoder):
         if self.parallel and self.threads > 1:
             # per-group compiled matrix programs keep thread parallelism
             recovered, timing = run_groups_parallel(
-                plan.groups, blocks, ops, self.threads
+                plan.groups, blocks, ops, self.threads, deadline_s=self.deadline_s
             )
         else:
             t0 = time.perf_counter()

@@ -64,6 +64,7 @@ def run_groups_parallel(
     ops: RegionOps,
     threads: int,
     pool: WorkerPool | None = None,
+    deadline_s: float | None = None,
 ) -> tuple[dict[int, np.ndarray], PhaseTiming]:
     """Decode groups on ``threads`` workers, group i on worker i mod T.
 
@@ -73,6 +74,9 @@ def run_groups_parallel(
     creating multiple threads", §III-C).  Passing a persistent pool
     (see :mod:`repro.pipeline.pool`) amortises that spawn across calls;
     ``spawn_seconds`` then reports only what this call actually paid.
+    ``deadline_s`` bounds the phase: a straggling worker raises
+    :class:`~repro.pipeline.pool.StragglerTimeout` instead of stalling
+    the decode forever.
     """
     threads = max(1, min(threads, len(groups)))
     if threads == 1 or len(groups) <= 1:
@@ -93,7 +97,7 @@ def run_groups_parallel(
     wall0 = time.perf_counter()
     spawn_before = active.spawn_seconds
     try:
-        results = active.run_buckets(worker, buckets)
+        results = active.run_buckets(worker, buckets, deadline_s=deadline_s)
     finally:
         if owned:
             active.close()

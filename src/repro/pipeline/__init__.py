@@ -26,9 +26,11 @@ from __future__ import annotations
 
 from .admission import PriorityAdmission
 from .metrics import PipelineMetrics
+from .metrics import LatencyTracker
 from .pool import (
     ProcessWorkerPool,
     SerialPool,
+    StragglerTimeout,
     ThreadWorkerPool,
     WorkerPool,
     available_pools,
@@ -39,7 +41,9 @@ from .pool import (
 
 __all__ = [
     "PipelineMetrics",
+    "LatencyTracker",
     "PriorityAdmission",
+    "StragglerTimeout",
     "CacheStats",
     "PlanCache",
     "WorkerPool",

@@ -26,25 +26,27 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import FIRST_COMPLETED, FIRST_EXCEPTION, Future, wait
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..codes.base import ErasureCode
 from ..core.decoder import _PlanningDecoder, _run_rest
-from ..core.planner import DecodePlan
+from ..core.planner import DecodePlan, GroupPlan, TraditionalPlan
 from ..core.procparallel import _child_ops
 from ..core.sequences import ExecutionMode, SequencePolicy
 from ..gf.field import GF
 from ..gf.region import OpCounter, RegionOps
 from ..kernels import CompiledRegionOps, ProgramCache
 from ..parallel.assignment import assign_lpt, assign_round_robin
+from ..stripes.scrub import verify_rows
 from ..stripes.store import Stripe
 from .admission import PriorityAdmission
-from .metrics import PipelineMetrics
+from .metrics import LatencyTracker, PipelineMetrics
 from .plancache import PlanCache
-from .pool import WorkerPool, make_pool
+from .pool import StragglerTimeout, WorkerPool, make_pool
 
 #: One schedulable unit: apply ``m1`` (then optionally ``m2``) to the
 #: concatenated survivor regions.  ``(m1, None)`` covers independent
@@ -175,6 +177,35 @@ class DecodePipeline:
         How long a ``priority="background"`` batch may be held waiting
         for in-flight foreground batches to drain (see
         :class:`~repro.pipeline.admission.PriorityAdmission`).
+    hedge:
+        Speculatively resubmit a phase-1 bucket whose worker has run
+        longer than ``max(pX, ewma) * hedge_factor`` of similar work
+        (per-shape :class:`~repro.pipeline.metrics.LatencyTracker`),
+        and take whichever execution finishes first.  The loser's
+        output is discarded, never merged.  Requires a concurrent pool
+        (no-op on ``serial``).
+    hedge_percentile / hedge_factor / hedge_min_samples:
+        The hedge trigger: the pX of the recent latency window for the
+        bucket's shape, times ``hedge_factor``; no hedging until a
+        shape has ``hedge_min_samples`` observations.
+    verify_workers:
+        Syndrome-check every phase-1 worker result against the parity
+        rows that produced it before merging; a failing result is
+        quarantined and recomputed on the caller's thread (the trusted
+        serial path), counted in ``verify_rejects``.  Roughly doubles
+        the phase-1 region work — the price of not merging a silently
+        corrupt worker output.
+    deadline_s:
+        Default per-batch bound on the phase-1 gather; on expiry
+        outstanding buckets are abandoned and
+        :class:`~repro.pipeline.pool.StragglerTimeout` is raised.
+        Overridable per call via ``decode_batch(..., deadline_s=...)``.
+    faults:
+        Optional :class:`~repro.service.store.FaultInjector` whose
+        slow-worker/corrupt-worker modes apply to primary worker
+        executions on the thread/serial path (hedges and process-pool
+        children are not injected) — the test/bench hook proving the
+        hedging and verification machinery works.
     """
 
     def __init__(
@@ -189,11 +220,30 @@ class DecodePipeline:
         counter: OpCounter | None = None,
         compile: bool = True,
         max_defer_s: float = 0.05,
+        hedge: bool = False,
+        hedge_percentile: float = 0.95,
+        hedge_factor: float = 2.0,
+        hedge_min_samples: int = 8,
+        verify_workers: bool = False,
+        deadline_s: float | None = None,
+        faults=None,
     ):
         if assignment not in ("lpt", "round_robin"):
             raise ValueError(
                 f"assignment must be 'lpt' or 'round_robin', got {assignment!r}"
             )
+        if not 0.0 < hedge_percentile <= 1.0:
+            raise ValueError(
+                f"hedge_percentile must be in (0, 1], got {hedge_percentile}"
+            )
+        if hedge_factor < 1.0:
+            raise ValueError(f"hedge_factor must be >= 1.0, got {hedge_factor}")
+        if hedge_min_samples < 1:
+            raise ValueError(
+                f"hedge_min_samples must be >= 1, got {hedge_min_samples}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         self.pool = pool if isinstance(pool, WorkerPool) else make_pool(pool, workers)
         self.workers = self.pool.workers
         self.policy = policy
@@ -204,7 +254,16 @@ class DecodePipeline:
         self.compile = compile
         self.programs = ProgramCache() if compile else None
         self.admission = PriorityAdmission(max_defer_s=max_defer_s)
+        self.hedge = hedge
+        self.hedge_percentile = hedge_percentile
+        self.hedge_factor = hedge_factor
+        self.hedge_min_samples = hedge_min_samples
+        self.verify_workers = verify_workers
+        self.deadline_s = deadline_s
+        self.faults = faults
+        self.latency = LatencyTracker()
         self._ops_cache: dict[int, RegionOps] = {}
+        self._hedge_ops_cache: dict[int, RegionOps] = {}
         # lifetime tallies behind metrics(); decode_batch runs on
         # whatever thread calls it (several asyncio.to_thread workers
         # at once under the async service), so the tallies and the ops
@@ -217,6 +276,10 @@ class DecodePipeline:
         self._wall = 0.0
         self._busy = [0.0] * self.workers
         self._queue_peak = 0
+        self._hedges = 0
+        self._hedge_wins = 0
+        self._verify_rejects = 0
+        self._straggler_timeouts = 0
 
     # -- plumbing -----------------------------------------------------------
 
@@ -230,6 +293,26 @@ class DecodePipeline:
                 else:
                     ops = RegionOps(field, self.counter)
                 self._ops_cache[key] = ops
+        return ops
+
+    def _hedge_ops_for(self, field: GF) -> RegionOps:
+        """Ops for hedge executions: shared program cache, private counter.
+
+        A hedged bucket runs *twice*; booking both runs into the
+        pipeline's :class:`OpCounter` would inflate the paper's
+        operation accounting, so hedges compute with a throwaway
+        counter.  The primary always runs to completion in the pool and
+        is counted exactly once, win or lose.
+        """
+        key = id(field)
+        with self._tally_lock:
+            ops = self._hedge_ops_cache.get(key)
+            if ops is None:
+                if self.programs is not None:
+                    ops = CompiledRegionOps(field, OpCounter(), programs=self.programs)
+                else:
+                    ops = RegionOps(field, OpCounter())
+                self._hedge_ops_cache[key] = ops
         return ops
 
     @staticmethod
@@ -298,6 +381,7 @@ class DecodePipeline:
         *,
         return_stats: bool = False,
         priority: str = "foreground",
+        deadline_s: float | None = None,
     ):
         """Recover the faulty blocks of many stripes in one submission.
 
@@ -312,6 +396,11 @@ class DecodePipeline:
         ``"background"`` (scrub/repair — deferred while foreground
         batches are in flight, bounded by the pipeline's
         ``max_defer_s``).
+
+        ``deadline_s`` bounds this batch's phase-1 gather (default: the
+        pipeline's ``deadline_s``); on expiry outstanding workers are
+        abandoned and :class:`~repro.pipeline.pool.StragglerTimeout`
+        propagates — no partial batch is ever returned.
         """
         with self.admission.admit(priority):
             return self._decode_batch_admitted(
@@ -320,6 +409,7 @@ class DecodePipeline:
                 faulty,
                 return_stats=return_stats,
                 background=priority == "background",
+                deadline_s=self.deadline_s if deadline_s is None else deadline_s,
             )
 
     def _decode_batch_admitted(
@@ -330,6 +420,7 @@ class DecodePipeline:
         *,
         return_stats: bool,
         background: bool,
+        deadline_s: float | None = None,
     ):
         t0 = time.perf_counter()
         before = self.counter.snapshot()
@@ -354,11 +445,13 @@ class DecodePipeline:
             batch.fuse(blocks_list)
 
         ops = self._ops_for(code.field)
-        tasks, owners = self._build_tasks(batches)
+        tasks, owners, specs = self._build_tasks(batches)
         queue_depth = len(tasks)
         with self._tally_lock:
             self._queue_peak = max(self._queue_peak, queue_depth)
-        task_results = self._run_tasks(tasks, ops)
+        task_results = self._run_tasks(tasks, ops, deadline_s=deadline_s)
+        if self.verify_workers:
+            self._verify_task_results(code, tasks, owners, specs, task_results, ops)
 
         # merge phase-1 outputs, then run each pattern's serial rest phase
         for task_id, recovered in task_results.items():
@@ -438,10 +531,20 @@ class DecodePipeline:
 
     def _build_tasks(
         self, batches: Mapping[tuple[int, ...], _PatternBatch]
-    ) -> tuple[list[_Task], dict[int, _PatternBatch]]:
-        """One task per (pattern, sub-matrix); whole-matrix plans get one."""
+    ) -> tuple[
+        list[_Task],
+        dict[int, _PatternBatch],
+        dict[int, "GroupPlan | TraditionalPlan"],
+    ]:
+        """One task per (pattern, sub-matrix); whole-matrix plans get one.
+
+        ``specs`` maps each task id back to the plan record (group or
+        traditional) that produced it — the verification pass needs the
+        record's ``row_ids`` to syndrome-check the worker's output.
+        """
         tasks: list[_Task] = []
         owners: dict[int, _PatternBatch] = {}
+        specs: dict[int, GroupPlan | TraditionalPlan] = {}
         for batch in batches.values():
             plan = batch.plan
             if plan.uses_partition:
@@ -452,6 +555,7 @@ class DecodePipeline:
                         (task_id, group.weights.array, None, regions, group.faulty_ids)
                     )
                     owners[task_id] = batch
+                    specs[task_id] = group
             else:
                 tp = plan.traditional
                 task_id = len(tasks)
@@ -462,12 +566,57 @@ class DecodePipeline:
                     m1, m2 = tp.s.array, tp.f_inv.array
                 tasks.append((task_id, m1, m2, regions, tp.faulty_ids))
                 owners[task_id] = batch
-        return tasks, owners
+                specs[task_id] = tp
+        return tasks, owners, specs
+
+    def _verify_task_results(
+        self,
+        code: ErasureCode,
+        tasks: list[_Task],
+        owners: dict[int, _PatternBatch],
+        specs: dict[int, "GroupPlan | TraditionalPlan"],
+        task_results: dict[int, dict[int, np.ndarray]],
+        ops: RegionOps,
+    ) -> None:
+        """Syndrome-check every worker result; recompute the ones that fail.
+
+        The check is :func:`repro.stripes.scrub.verify_rows` over the
+        task's plan rows: survivors (from the fused batch) plus the
+        recovered regions must zero those parity rows, and since the
+        plan's ``F`` sub-matrix is invertible, *any* corruption of the
+        recovered regions is caught.  A failing result is quarantined —
+        replaced by a recompute on this (caller) thread via the same
+        counted ops, the trusted path no injection or hedging touches —
+        so a wrong worker output is never merged.  Verification itself
+        uses fresh uncounted ops, leaving the paper's operation
+        accounting untouched.
+        """
+        check_ops = RegionOps(code.field)
+        for task_id in sorted(task_results):
+            recovered = task_results[task_id]
+            spec = specs[task_id]
+            blocks = dict(owners[task_id].concat)
+            blocks.update(recovered)
+            if verify_rows(code, spec.row_ids, blocks, ops=check_ops):
+                continue
+            _tid, m1, m2, regions, faulty_ids = tasks[task_id]
+            outs = _apply_task(ops, m1, m2, regions)
+            task_results[task_id] = dict(zip(faulty_ids, outs))
+            with self._tally_lock:
+                self._verify_rejects += 1
 
     def _run_tasks(
-        self, tasks: list[_Task], ops: RegionOps
+        self,
+        tasks: list[_Task],
+        ops: RegionOps,
+        deadline_s: float | None = None,
     ) -> dict[int, dict[int, np.ndarray]]:
-        """Spread tasks over the pool (LPT by fused cost) and gather."""
+        """Spread tasks over the pool (LPT by fused cost) and gather.
+
+        The gather is hedging- and deadline-aware: see
+        :meth:`_gather_hedged`.  Fault injection (``self.faults``)
+        applies to primary executions on the thread/serial path.
+        """
         if not tasks:
             return {}
         costs = [
@@ -476,39 +625,188 @@ class DecodePipeline:
         ]
         assign = assign_lpt if self.assignment == "lpt" else assign_round_robin
         buckets = [b for b in assign(costs, self.workers) if b]
-        if self.pool.kind == "process" and len(buckets) > 1:
-            field = ops.field
-            payloads = [[tasks[i] for i in bucket] for bucket in buckets]
-            futures = [
-                self.pool.submit(
-                    _run_task_bucket, field.w, field.polynomial, payload, self.compile
-                )
-                for payload in payloads
-            ]
-            gathered = [f.result() for f in futures]
-            self._account_remote_tasks(tasks)
-        else:
-            # threads/serial share the parent's counted RegionOps; a
-            # single bucket also stays local to skip pickling
+        # latency-tracker shape key: total mult-entries x fused symbols,
+        # banded to powers of two so similar buckets share a history
+        length = tasks[0][3][0].shape[0] if tasks[0][3] else 0
+        keys = [
+            (sum(costs[i] for i in bucket) * max(1, length)).bit_length()
+            for bucket in buckets
+        ]
+        faults = self.faults
+
+        def run_local_with(local_ops: RegionOps, inject: bool):
             def run_local(bucket: list[int]):
                 t0 = time.perf_counter()
+                if inject and faults is not None:
+                    delay = faults.worker_delay()
+                    if delay > 0.0:
+                        time.sleep(delay)
                 out: dict[int, dict[int, np.ndarray]] = {}
                 for i in bucket:
                     task_id, m1, m2, regions, faulty_ids = tasks[i]
-                    outs = _apply_task(ops, m1, m2, regions)
-                    out[task_id] = dict(zip(faulty_ids, outs))
+                    outs = _apply_task(local_ops, m1, m2, regions)
+                    recovered = dict(zip(faulty_ids, outs))
+                    if inject and faults is not None:
+                        faults.corrupt_worker_output(recovered)
+                    out[task_id] = recovered
                 return out, time.perf_counter() - t0
 
-            if self.pool.kind == "process":
-                gathered = [run_local(bucket) for bucket in buckets]
-            else:
-                gathered = self.pool.run_buckets(run_local, buckets)
+            return run_local
+
+        if self.pool.kind == "process" and len(buckets) > 1:
+            field = ops.field
+            payloads = [[tasks[i] for i in bucket] for bucket in buckets]
+
+            def submit(index: int, hedged: bool) -> Future:
+                return self.pool.submit(
+                    _run_task_bucket,
+                    field.w,
+                    field.polynomial,
+                    payloads[index],
+                    self.compile,
+                )
+
+            gathered = self._gather_hedged(submit, keys, deadline_s)
+            self._account_remote_tasks(tasks)
+        elif self.pool.kind in ("process", "serial"):
+            # serial pool, or a single bucket on a process pool: run on
+            # the caller's thread (skips pickling; nothing to hedge —
+            # there is no concurrent worker to race)
+            run_local = run_local_with(ops, inject=True)
+            gathered = [run_local(bucket) for bucket in buckets]
+        else:
+            primary = run_local_with(ops, inject=True)
+            hedged_run = run_local_with(self._hedge_ops_for(ops.field), inject=False)
+
+            def submit(index: int, hedged: bool) -> Future:
+                fn = hedged_run if hedged else primary
+                return self.pool.submit(fn, buckets[index])
+
+            gathered = self._gather_hedged(submit, keys, deadline_s)
         merged: dict[int, dict[int, np.ndarray]] = {}
         with self._tally_lock:
             for worker_index, (out, elapsed) in enumerate(gathered):
                 self._busy[worker_index % self.workers] += elapsed
                 merged.update(out)
         return merged
+
+    def _gather_hedged(
+        self,
+        submit: Callable[[int, bool], Future],
+        keys: Sequence[object],
+        deadline_s: float | None,
+    ) -> list[tuple[dict[int, dict[int, np.ndarray]], float]]:
+        """Gather one result per bucket with hedging and a deadline.
+
+        ``submit(index, hedged)`` starts one execution of bucket
+        ``index`` and returns its future.  Every bucket gets a primary
+        immediately; when hedging is on and a primary has been in
+        flight longer than the latency tracker's trigger for its shape,
+        a hedge is submitted and whichever execution finishes first
+        becomes the bucket's result — the loser keeps running in the
+        pool but its output is discarded (each execution builds its own
+        output dict, so a discard can never half-merge).  A worker
+        exception cancels all outstanding work and re-raises; deadline
+        expiry raises :class:`StragglerTimeout` naming the finished
+        buckets.  Completed latencies feed the tracker, so the trigger
+        adapts as the workload shifts.
+        """
+        n = len(keys)
+        t0 = time.perf_counter()
+        primaries = [submit(i, False) for i in range(n)]
+        starts = [time.perf_counter() for _ in range(n)]
+        owner: dict[Future, tuple[int, bool]] = {
+            f: (i, False) for i, f in enumerate(primaries)
+        }
+        hedges: dict[int, Future] = {}
+        results: list[tuple[dict, float] | None] = [None] * n
+        resolved = [False] * n
+        outstanding = set(primaries)
+        hedging = self.hedge and self.pool.kind != "serial"
+
+        if not hedging and deadline_s is None:
+            # plain gather: first failure cancels the siblings
+            done, _ = wait(primaries, return_when=FIRST_EXCEPTION)
+            for future in done:
+                if future.exception() is not None:
+                    for other in primaries:
+                        other.cancel()
+                    future.result()
+            return [f.result() for f in primaries]
+
+        def trigger_for(index: int) -> float | None:
+            return self.latency.hedge_after(
+                keys[index],
+                percentile=self.hedge_percentile,
+                factor=self.hedge_factor,
+                min_samples=self.hedge_min_samples,
+            )
+
+        while not all(resolved):
+            now = time.perf_counter()
+            if deadline_s is not None and now - t0 >= deadline_s:
+                for future in outstanding:
+                    future.cancel()
+                with self._tally_lock:
+                    self._straggler_timeouts += 1
+                completed = tuple(i for i in range(n) if resolved[i])
+                pending = tuple(i for i in range(n) if not resolved[i])
+                raise StragglerTimeout(
+                    deadline_s,
+                    completed,
+                    pending,
+                    {i: results[i] for i in completed},
+                )
+            # sleep until the deadline or the earliest hedge trigger
+            timeout: float | None = None
+            if deadline_s is not None:
+                timeout = max(0.0, deadline_s - (now - t0))
+            if hedging:
+                soonest: float | None = None
+                for i in range(n):
+                    if resolved[i] or i in hedges:
+                        continue
+                    trigger = trigger_for(i)
+                    if trigger is None:
+                        continue
+                    wait_left = max(0.0, (starts[i] + trigger) - now)
+                    if soonest is None or wait_left < soonest:
+                        soonest = wait_left
+                if soonest is not None:
+                    timeout = soonest if timeout is None else min(timeout, soonest)
+            done, _ = wait(outstanding, timeout=timeout, return_when=FIRST_COMPLETED)
+            for future in done:
+                outstanding.discard(future)
+                index, was_hedge = owner[future]
+                if resolved[index] or future.cancelled():
+                    continue  # hedge-race loser (or abandoned): discard
+                if future.exception() is not None:
+                    for other in outstanding:
+                        other.cancel()
+                    future.result()  # re-raises
+                results[index] = future.result()
+                resolved[index] = True
+                self.latency.observe(keys[index], results[index][1])
+                if was_hedge:
+                    with self._tally_lock:
+                        self._hedge_wins += 1
+                twin = primaries[index] if was_hedge else hedges.get(index)
+                if twin is not None and twin in outstanding:
+                    twin.cancel()  # best effort; a running twin is abandoned
+            if hedging:
+                now = time.perf_counter()
+                for i in range(n):
+                    if resolved[i] or i in hedges:
+                        continue
+                    trigger = trigger_for(i)
+                    if trigger is not None and now - starts[i] >= trigger:
+                        hedge_future = submit(i, True)
+                        hedges[i] = hedge_future
+                        owner[hedge_future] = (i, True)
+                        outstanding.add(hedge_future)
+                        with self._tally_lock:
+                            self._hedges += 1
+        return results  # type: ignore[return-value]
 
     # -- observability / lifecycle -------------------------------------------
 
@@ -547,6 +845,10 @@ class DecodePipeline:
             program_cache_evictions=(
                 self.programs.stats.evictions if self.programs is not None else 0
             ),
+            hedges=self._hedges,
+            hedge_wins=self._hedge_wins,
+            verify_rejects=self._verify_rejects,
+            straggler_timeouts=self._straggler_timeouts,
         )
 
     def executor_stats(self) -> dict[str, object]:

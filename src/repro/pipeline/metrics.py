@@ -10,7 +10,92 @@ fraction, queue depth).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+
+
+class LatencyTracker:
+    """Per-key latency EWMA + sliding percentile, thread-safe.
+
+    The hedging engine keys observations by *bucket shape* (task count
+    and cost band), so the trigger compares a worker against the history
+    of similar work, not against unrelated tiny buckets.  Each key keeps
+    an exponentially-weighted moving average (``alpha`` weighting the
+    newest sample) and a bounded ring of recent samples for percentile
+    queries; both update under one lock because observations arrive from
+    whatever threads run the gather loop.
+    """
+
+    def __init__(self, alpha: float = 0.2, window: int = 64):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.alpha = alpha
+        self.window = window
+        self._lock = threading.Lock()
+        self._ewma: dict[object, float] = {}
+        self._samples: dict[object, list[float]] = {}
+        self._count = 0
+
+    def observe(self, key: object, seconds: float) -> None:
+        """Record one completed-work latency under ``key``."""
+        with self._lock:
+            previous = self._ewma.get(key)
+            if previous is None:
+                self._ewma[key] = seconds
+            else:
+                self._ewma[key] = self.alpha * seconds + (1.0 - self.alpha) * previous
+            ring = self._samples.setdefault(key, [])
+            ring.append(seconds)
+            if len(ring) > self.window:
+                del ring[0]
+            self._count += 1
+
+    def ewma(self, key: object) -> float | None:
+        """Current moving average for ``key`` (None before any sample)."""
+        with self._lock:
+            return self._ewma.get(key)
+
+    def percentile(self, key: object, q: float) -> float | None:
+        """The ``q``-quantile (0..1) of the recent window for ``key``."""
+        with self._lock:
+            ring = self._samples.get(key)
+            if not ring:
+                return None
+            ordered = sorted(ring)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def samples(self, key: object) -> int:
+        """How many observations ``key`` has received (lifetime)."""
+        with self._lock:
+            ring = self._samples.get(key)
+            return len(ring) if ring else 0
+
+    def hedge_after(
+        self,
+        key: object,
+        *,
+        percentile: float = 0.95,
+        factor: float = 2.0,
+        min_samples: int = 8,
+    ) -> float | None:
+        """Seconds after which an in-flight ``key`` task should be hedged.
+
+        ``None`` until ``min_samples`` observations exist — hedging
+        needs a latency baseline before "slow" means anything.  The
+        trigger is ``max(pX, ewma) * factor`` so one fast outlier in
+        the window cannot arm a hair-trigger hedge.
+        """
+        with self._lock:
+            ring = self._samples.get(key)
+            if ring is None or len(ring) < min_samples:
+                return None
+            ordered = sorted(ring)
+            average = self._ewma.get(key, ordered[-1])
+        rank = min(len(ordered) - 1, max(0, round(percentile * (len(ordered) - 1))))
+        return max(ordered[rank], average) * factor
 
 
 @dataclass(frozen=True)
@@ -24,6 +109,13 @@ class PipelineMetrics:
     ``priority="background"`` submissions (scrub/repair traffic);
     ``batches_deferred`` / ``deferred_seconds`` tally how often and how
     long admission held background work for in-flight foreground reads.
+
+    Straggler tolerance: ``hedges`` counts speculative resubmissions of
+    slow buckets, ``hedge_wins`` how many of those finished before
+    their straggling primary; ``verify_rejects`` counts worker results
+    whose syndrome check failed and were recomputed on the trusted
+    serial path; ``straggler_timeouts`` counts gathers abandoned at the
+    batch deadline.
     """
 
     stripes: int = 0
@@ -47,6 +139,10 @@ class PipelineMetrics:
     program_cache_hits: int = 0
     program_cache_misses: int = 0
     program_cache_evictions: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    verify_rejects: int = 0
+    straggler_timeouts: int = 0
 
     @property
     def stripes_per_sec(self) -> float:
@@ -115,6 +211,10 @@ class PipelineMetrics:
             "worker_busy_fraction": list(self.worker_busy_fraction),
             "queue_depth_peak": self.queue_depth_peak,
             "compiled": self.compiled,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "verify_rejects": self.verify_rejects,
+            "straggler_timeouts": self.straggler_timeouts,
             "program_cache": {
                 "hits": self.program_cache_hits,
                 "misses": self.program_cache_misses,
@@ -143,6 +243,9 @@ class PipelineMetrics:
             f"({self.pool_spawns} spawn(s))",
             f"worker busy fraction {busy}",
             f"queue depth (peak)   {self.queue_depth_peak}",
+            f"hedges               {self.hedges} ({self.hedge_wins} won)",
+            f"verify rejects       {self.verify_rejects}",
+            f"straggler timeouts   {self.straggler_timeouts}",
             f"kernels              "
             + (
                 f"compiled ({self.program_cache_hit_rate:.1%} program-cache hits)"

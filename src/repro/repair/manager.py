@@ -32,6 +32,7 @@ from __future__ import annotations
 import asyncio
 import logging
 
+from ..pipeline.pool import StragglerTimeout
 from ..stripes.scrub import scrub_stripe
 from .config import RepairConfig
 from .queue import RepairQueue, RepairTask
@@ -250,10 +251,11 @@ class RepairManager:
                 patterns,
                 priority="background",
             )
-        except ValueError:
+        except (ValueError, StragglerTimeout):
             # decode-shaped failure (singular pattern, verification
-            # refusal): split the batch so one bad stripe cannot poison
-            # its batchmates
+            # refusal) or an expired/straggling gather: split the batch
+            # so one bad stripe or hung worker cannot poison its
+            # batchmates — each single retry gets a fresh deadline
             results = await self._drain_singly(snapshots, patterns, tasks)
         for task, recovered in zip(tasks, results):
             if recovered is None:
@@ -273,6 +275,18 @@ class RepairManager:
                     priority="background",
                 )
                 results.append(single[0])
+            except StragglerTimeout as exc:
+                # transient (a hung worker, not a bad stripe): count the
+                # failure but do NOT mark the stripe unrepairable — the
+                # next scrub pass re-finds and retries it
+                self.metrics.repair_failures += 1
+                logger.warning(
+                    "stripe %d: repair decode timed out (%s); will retry "
+                    "next scrub pass",
+                    task.stripe_id,
+                    exc,
+                )
+                results.append(None)
             except ValueError as exc:
                 self.metrics.repair_failures += 1
                 self.unrepairable[task.stripe_id] = f"decode failed: {exc}"

@@ -40,6 +40,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..pipeline.pool import StragglerTimeout
 from .config import ServiceConfig
 from .errors import (
     BatchDecodeError,
@@ -82,6 +83,11 @@ def _is_decode_error(exc: BaseException) -> bool:
         # from a snapshot) keep their own type; they are not batch-path
         # infrastructure failures
         return False
+    if isinstance(exc, StragglerTimeout):
+        # a straggling/expired batch gather is recoverable per rider:
+        # the single-stripe fallback redoes the work on the caller's
+        # thread, free of whichever worker hung
+        return True
     return isinstance(exc, (ValueError, LookupError, TypeError, ArithmeticError))
 
 

@@ -64,6 +64,11 @@ class BlobService:
         given.  Decode work always runs off-loop, so a serial pool
         inside the worker thread is the low-overhead default on small
         hosts.
+    own_pipeline:
+        Whether :meth:`close` shuts the pipeline down.  Defaults to
+        "built it ourselves" (``pipeline is None``); pass ``True`` when
+        handing over a pipeline constructed just for this service (as
+        :func:`repro.config.build_service` does) so it cannot leak.
     """
 
     def __init__(
@@ -72,10 +77,13 @@ class BlobService:
         *,
         config: ServiceConfig | None = None,
         pipeline: DecodePipeline | None = None,
+        own_pipeline: bool | None = None,
     ):
         self.store = store
         self.config = config if config is not None else ServiceConfig()
-        self._owns_pipeline = pipeline is None
+        self._owns_pipeline = (
+            (pipeline is None) if own_pipeline is None else own_pipeline
+        )
         self.pipeline = (
             pipeline if pipeline is not None else DecodePipeline(pool="serial")
         )
@@ -138,6 +146,29 @@ class BlobService:
 
     # -- request API ---------------------------------------------------------
 
+    async def _backoff_within(
+        self, attempt: int, t0: float, budget: float, what: str
+    ) -> None:
+        """Sleep the attempt's backoff, clamped to the remaining budget.
+
+        The unclamped ``asyncio.sleep(config.backoff(attempt))`` could
+        overshoot the caller's deadline — the request then failed *after*
+        its budget instead of within it.  No budget left means no point
+        retrying: raise :class:`DeadlineExceeded` immediately (counted
+        as a timeout and a failure).
+        """
+        loop = asyncio.get_running_loop()
+        remaining = budget - (loop.time() - t0)
+        if remaining <= 0:
+            self.metrics.timeouts += 1
+            self.metrics.failures += 1
+            raise DeadlineExceeded(
+                f"{what}: deadline of {budget:.3f}s exhausted before retry "
+                f"{attempt + 1}"
+            )
+        self.metrics.retries += 1
+        await asyncio.sleep(min(self.config.backoff(attempt), remaining))
+
     async def get(
         self, stripe_id: int, block: int, *, deadline_s: float | None = None
     ) -> np.ndarray:
@@ -158,8 +189,9 @@ class BlobService:
                 if attempt >= self.config.max_retries:
                     self.metrics.failures += 1
                     raise
-                self.metrics.retries += 1
-                await asyncio.sleep(self.config.backoff(attempt))
+                await self._backoff_within(
+                    attempt, t0, budget, f"get stripe {stripe_id} block {block}"
+                )
             except BlockUnavailableError:
                 break  # erased: decode it
         remaining = budget - (loop.time() - t0)
@@ -167,10 +199,26 @@ class BlobService:
         self.metrics.gets += 1
         return region
 
-    async def put(self, stripe_id: int, block: int, region: np.ndarray) -> None:
-        """Write one block through to the store (and its ground truth)."""
+    async def put(
+        self,
+        stripe_id: int,
+        block: int,
+        region: np.ndarray,
+        *,
+        deadline_s: float | None = None,
+    ) -> None:
+        """Write one block through to the store (and its ground truth).
+
+        Retries with backoff on transient faults like :meth:`get`, and
+        like it is bounded by ``deadline_s`` (default
+        ``config.default_deadline_s``) — a write can no longer back off
+        past its caller's budget.
+        """
         self._check_open()
         await self._simulate_io()
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        budget = deadline_s if deadline_s is not None else self.config.default_deadline_s
         for attempt in range(self.config.max_retries + 1):
             try:
                 self.store.write(stripe_id, block, region)
@@ -181,8 +229,9 @@ class BlobService:
                 if attempt >= self.config.max_retries:
                     self.metrics.failures += 1
                     raise
-                self.metrics.retries += 1
-                await asyncio.sleep(self.config.backoff(attempt))
+                await self._backoff_within(
+                    attempt, t0, budget, f"put stripe {stripe_id} block {block}"
+                )
 
     async def degraded_get(
         self, stripe_id: int, block: int, *, deadline_s: float | None = None
@@ -209,7 +258,7 @@ class BlobService:
             )
         try:
             region = await asyncio.wait_for(
-                self._degraded_ladder(stripe_id, block), timeout=budget
+                self._degraded_ladder(stripe_id, block, t0, budget), timeout=budget
             )
         except asyncio.TimeoutError:
             self.metrics.timeouts += 1
@@ -231,7 +280,10 @@ class BlobService:
         self.metrics.request.observe(loop.time() - t0)
         return region
 
-    async def _degraded_ladder(self, stripe_id: int, block: int) -> np.ndarray:
+    async def _degraded_ladder(
+        self, stripe_id: int, block: int, t0: float, budget: float
+    ) -> np.ndarray:
+        loop = asyncio.get_running_loop()
         for attempt in range(self.config.max_retries + 1):
             try:
                 if self.config.coalesce:
@@ -246,8 +298,15 @@ class BlobService:
                 self.metrics.faults_seen += 1
                 if attempt >= self.config.max_retries:
                     raise
+                # clamp the backoff to the remaining budget: the outer
+                # wait_for is the hard cap, but sleeping past it would
+                # burn the whole budget to end in a timeout instead of
+                # giving the next retry its chance within the deadline
+                remaining = budget - (loop.time() - t0)
+                if remaining <= 0:
+                    raise asyncio.TimeoutError  # degraded_get: DeadlineExceeded
                 self.metrics.retries += 1
-                await asyncio.sleep(self.config.backoff(attempt))
+                await asyncio.sleep(min(self.config.backoff(attempt), remaining))
         raise AssertionError("unreachable: retry loop always returns or raises")
 
     # -- backend protocol ----------------------------------------------------

@@ -45,6 +45,18 @@ class FaultInjector:
 
     Thread-safe: the single-stripe fallback path checks faults from
     worker threads while the scheduler checks from the event loop.
+
+    Beyond read faults, the injector models two *worker* failure modes
+    for the straggler/verification machinery (PR-10), drawn from the
+    same seeded stream: with probability ``slow_worker_rate`` a decode
+    worker sleeps ``slow_worker_s`` before computing (a straggler — the
+    hedging trigger), and with probability ``corrupt_worker_rate`` a
+    worker's recovered regions are bit-flipped after computing (a
+    silently-wrong result — what syndrome verification must catch).
+    Wire an injector into :class:`~repro.pipeline.DecodePipeline` via
+    its ``faults=`` parameter; injection applies on the thread/serial
+    execution path only (process-pool children hold no reference to the
+    parent's injector).
     """
 
     def __init__(
@@ -52,17 +64,35 @@ class FaultInjector:
         rate: float = 0.0,
         rng: np.random.Generator | int | None = None,
         max_consecutive: int = 2,
+        slow_worker_rate: float = 0.0,
+        slow_worker_s: float = 0.0,
+        corrupt_worker_rate: float = 0.0,
     ):
         if not 0.0 <= rate < 1.0:
             raise ValueError(f"fault rate must be in [0, 1), got {rate}")
         if max_consecutive < 1:
             raise ValueError(f"max_consecutive must be >= 1, got {max_consecutive}")
+        if not 0.0 <= slow_worker_rate < 1.0:
+            raise ValueError(
+                f"slow_worker_rate must be in [0, 1), got {slow_worker_rate}"
+            )
+        if slow_worker_s < 0:
+            raise ValueError(f"slow_worker_s must be >= 0, got {slow_worker_s}")
+        if not 0.0 <= corrupt_worker_rate < 1.0:
+            raise ValueError(
+                f"corrupt_worker_rate must be in [0, 1), got {corrupt_worker_rate}"
+            )
         self.rate = rate
         self.max_consecutive = max_consecutive
+        self.slow_worker_rate = slow_worker_rate
+        self.slow_worker_s = slow_worker_s
+        self.corrupt_worker_rate = corrupt_worker_rate
         self._rng = np.random.default_rng(rng)
         self._streak: dict[int, int] = {}
         self._lock = threading.Lock()
         self.injected = 0
+        self.slow_injected = 0
+        self.corrupt_injected = 0
 
     def check(self, stripe_id: int) -> None:
         """Raise :class:`NodeFault` for this read, or record a success."""
@@ -78,6 +108,42 @@ class FaultInjector:
                     f"(streak {streak + 1}/{self.max_consecutive})"
                 )
             self._streak[stripe_id] = 0
+
+    def worker_delay(self) -> float:
+        """Seconds this worker execution should stall (0.0 = healthy).
+
+        The caller (the pipeline's local execution path) performs the
+        actual sleep, so the injector stays side-effect-free and
+        testable.
+        """
+        if self.slow_worker_rate <= 0.0 or self.slow_worker_s <= 0.0:
+            return 0.0
+        with self._lock:
+            if self._rng.random() < self.slow_worker_rate:
+                self.slow_injected += 1
+                return self.slow_worker_s
+        return 0.0
+
+    def corrupt_worker_output(self, regions: "dict[int, np.ndarray]") -> bool:
+        """Maybe bit-flip one recovered region in place (silent corruption).
+
+        Returns True when corruption was injected.  The flip hits the
+        first symbol of the first region — a minimal corruption, so any
+        check that passes it would pass larger ones.
+        """
+        if self.corrupt_worker_rate <= 0.0 or not regions:
+            return False
+        with self._lock:
+            if self._rng.random() >= self.corrupt_worker_rate:
+                return False
+            self.corrupt_injected += 1
+        region = next(iter(regions.values()))
+        if region.size:
+            region = region.copy()
+            region[..., 0] ^= 1
+            first = next(iter(regions))
+            regions[first] = region
+        return True
 
 
 class BlobStore:

@@ -26,9 +26,11 @@ from .scrub import (
     locate_corruptions,
     locate_single_corruption,
     repair_corruption,
+    partial_syndromes,
     scrub_array,
     scrub_stripe,
     syndromes,
+    verify_rows,
 )
 from .rotation import RotatedDiskArray, logical_disk, parity_load, physical_disk
 from .store import Stripe
@@ -59,9 +61,11 @@ __all__ = [
     "locate_corruptions",
     "locate_single_corruption",
     "repair_corruption",
+    "partial_syndromes",
     "scrub_array",
     "scrub_stripe",
     "syndromes",
+    "verify_rows",
     "RotatedDiskArray",
     "logical_disk",
     "parity_load",

@@ -55,6 +55,54 @@ def syndromes(code: ErasureCode, stripe: Stripe) -> list[np.ndarray]:
     return ops.matrix_apply(code.H.array, regions)
 
 
+def partial_syndromes(
+    code: ErasureCode,
+    row_ids: Sequence[int],
+    blocks,
+    *,
+    ops: RegionOps | None = None,
+) -> list[np.ndarray]:
+    """``H[row_ids] @ B`` using only the blocks those rows touch.
+
+    The whole-stripe :func:`syndromes` needs every block present; a
+    decode-plan sub-matrix (``GroupPlan`` / ``TraditionalPlan`` /
+    ``RestPlan`` ``row_ids``) touches only its own survivor and faulty
+    columns, so this variant reads just those from the ``blocks``
+    mapping (``{block_id: region}``) and skips the zero columns.  This
+    is the cheap per-worker check of the parity-checked-multiplication
+    style: a worker's recovered regions are valid iff the rows that
+    produced them still vanish over survivors + recovered.  Regions may
+    be fused multi-stripe concatenations — the identity holds per
+    symbol.  Ops default to a fresh uncounted :class:`RegionOps` so
+    verification never perturbs the paper's operation accounting.
+    """
+    rows = code.H.array[np.asarray(row_ids, dtype=np.intp)]
+    cols = np.nonzero(rows.any(axis=0))[0]
+    if ops is None:
+        ops = RegionOps(code.field)
+    regions = [blocks[int(j)] for j in cols]
+    return ops.matrix_apply(rows[:, cols], regions)
+
+
+def verify_rows(
+    code: ErasureCode,
+    row_ids: Sequence[int],
+    blocks,
+    *,
+    ops: RegionOps | None = None,
+) -> bool:
+    """True iff the partial syndromes of ``row_ids`` over ``blocks`` vanish.
+
+    This is sound as a worker-output check: with ``F = H[row_ids,
+    faulty]`` invertible (guaranteed by plan construction), any error
+    ``e != 0`` in the recovered regions shifts the syndrome by ``F @ e
+    != 0`` — a corrupt worker result cannot pass.
+    """
+    return all(
+        not s.any() for s in partial_syndromes(code, row_ids, blocks, ops=ops)
+    )
+
+
 def locate_single_corruption(code: ErasureCode, stripe: Stripe) -> ScrubResult:
     """Scrub and, when exactly one block is corrupt, identify which.
 

@@ -21,7 +21,12 @@ whole source tree in three passes:
    call edges — ``self.method()`` precisely, ``self.attr.method()``
    through the attribute-type table, and otherwise through a
    unique-method-name fallback (suppressed for ubiquitous names like
-   ``get``/``close``).
+   ``get``/``close``).  Callables reach a pool through locals too —
+   ``fn = a if hedged else b`` and ``worker = make_worker(...)`` — so
+   resolution follows simple local aliases (both conditional branches)
+   and treats a factory's nested closures as the callable it returned;
+   that keeps speculative/hedged execution paths inside the analyzed
+   thread context.
 3. **Judge** — emit findings:
 
    - **PPM010** an instance attribute is mutated outside ``__init__``,
@@ -228,6 +233,13 @@ class _Func:
     async_touches: list[tuple[str, ast.AST]] = field(default_factory=list)
     awaits_under_lock: list[tuple[str, ast.AST]] = field(default_factory=list)
     nested: dict[str, "_Func"] = field(default_factory=dict)
+    parent: "_Func | None" = None
+    #: local name -> possible bindings: ("alias", callee) for plain
+    #: rebinds, ("factory", callee) for call results — the hedging
+    #: engine's `primary = run_local_with(...)` / `fn = a if h else b`
+    #: idiom, so callables handed to a pool through a variable still
+    #: resolve to the closures that actually run on the workers
+    aliases: dict[str, list[tuple[str, _Callee]]] = field(default_factory=dict)
 
 
 @dataclass
@@ -406,6 +418,7 @@ class _FuncVisitor(ast.NodeVisitor):
             cls=self.func.cls,
             module=self.func.module,
             is_async=isinstance(node, ast.AsyncFunctionDef),
+            parent=self.func,
         )
         self.func.nested[node.name] = nested
         _FuncVisitor(nested).scan(node)
@@ -459,7 +472,25 @@ class _FuncVisitor(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._record_store(target, node)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self._record_alias(node.targets[0].id, node.value)
         self.generic_visit(node)
+
+    def _record_alias(self, name: str, value: ast.expr) -> None:
+        """Track what callable a local may be bound to (for thread roots)."""
+        if isinstance(value, ast.IfExp):
+            self._record_alias(name, value.body)
+            self._record_alias(name, value.orelse)
+            return
+        if isinstance(value, (ast.Name, ast.Attribute)):
+            callee = _callee_of(value)
+            if callee is not None:
+                self.func.aliases.setdefault(name, []).append(("alias", callee))
+            return
+        if isinstance(value, ast.Call):
+            callee = _callee_of(value.func)
+            if callee is not None:
+                self.func.aliases.setdefault(name, []).append(("factory", callee))
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._record_store(node.target, node)
@@ -650,13 +681,36 @@ class _Program:
             return targets
         return []
 
-    def resolve(self, caller: _Func, callee: _Callee) -> list[_Func]:
+    def resolve(
+        self,
+        caller: _Func,
+        callee: _Callee,
+        _seen: frozenset[tuple[int, str]] = frozenset(),
+    ) -> list[_Func]:
         if callee.kind == "name":
+            # walk the full lexical chain: nested defs first, then local
+            # aliases — `fn = a if h else b` resolves to both branches,
+            # `primary = make_worker(...)` resolves to the closures the
+            # factory defines (they run wherever the result is invoked)
             scope: _Func | None = caller
             while scope is not None:
                 if callee.name in scope.nested:
                     return [scope.nested[callee.name]]
-                scope = None  # nested funcs only resolve one level up here
+                bindings = scope.aliases.get(callee.name)
+                key = (id(scope), callee.name)
+                if bindings and key not in _seen:
+                    seen = _seen | {key}
+                    out: list[_Func] = []
+                    for kind, inner in bindings:
+                        targets = self.resolve(scope, inner, seen)
+                        if kind == "alias":
+                            out.extend(targets)
+                        else:  # factory: its closures are the callable
+                            for target in targets:
+                                out.extend(target.nested.values())
+                    if out:
+                        return out
+                scope = scope.parent
             mod_fn = caller.module.functions.get(callee.name)
             if mod_fn is not None:
                 return [mod_fn]

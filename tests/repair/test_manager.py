@@ -253,3 +253,41 @@ def test_scrub_racing_inflight_degraded_read(code):
 
     run(main())
     assert store_matches_truth(store)
+
+
+def test_straggler_timeout_is_transient_not_unrepairable(code):
+    """A timed-out repair decode is a hung worker, not a bad stripe: it
+    counts as a failure but the stripe stays eligible for the next pass
+    (and heals once the pipeline recovers)."""
+    from repro.pipeline import StragglerTimeout
+
+    store = make_store(code, num_stripes=2, damaged=0.0)
+    store.erase(0, [1])
+    manager, pipeline = make_manager(store)
+
+    real_decode_batch = pipeline.decode_batch
+    strikes = {"left": 2}  # batch attempt + single retry both time out
+
+    def flaky_decode_batch(*args, **kwargs):
+        if strikes["left"] > 0:
+            strikes["left"] -= 1
+            raise StragglerTimeout(0.1, (), (0,))
+        return real_decode_batch(*args, **kwargs)
+
+    pipeline.decode_batch = flaky_decode_batch
+
+    async def main():
+        with pipeline:
+            await manager.tick()
+            while len(manager.queue):
+                await manager.tick()
+            assert manager.metrics.repair_failures >= 1
+            assert manager.unrepairable == {}
+            # the next scrub pass re-finds the erasure and heals it
+            await manager.tick()
+            while len(manager.queue):
+                await manager.tick()
+
+    run(main())
+    assert not store.stripe(0).erased_ids
+    assert store_matches_truth(store)

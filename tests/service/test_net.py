@@ -8,7 +8,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.service import BlobService, ServiceClient, ServiceConfig, serve
+from repro.service import BlobService, ServiceConfig, connect, serve
 from repro.service.errors import BlockUnavailableError, DeadlineExceeded, ServiceError
 
 from .conftest import SYMBOLS, make_store
@@ -22,7 +22,7 @@ def run_with_server(code, store, body, config=None):
         async with BlobService(store, config=config) as service:
             server = await serve(service, host="127.0.0.1", port=0)
             port = server.sockets[0].getsockname()[1]
-            client = await ServiceClient.connect("127.0.0.1", port)
+            client = await connect(("127.0.0.1", port))
             try:
                 return await body(client, service)
             finally:
@@ -117,7 +117,7 @@ def test_concurrent_clients_coalesce_on_the_server(code):
             server = await serve(service, host="127.0.0.1", port=0)
             port = server.sockets[0].getsockname()[1]
             clients = [
-                await ServiceClient.connect("127.0.0.1", port) for _ in range(4)
+                await connect(("127.0.0.1", port)) for _ in range(4)
             ]
             try:
                 results = await asyncio.gather(

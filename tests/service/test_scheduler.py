@@ -310,3 +310,13 @@ def test_scheduler_rejects_raw_node_fault_leak(code):
             await scheduler.submit(0, block)
 
     asyncio.run(main())
+
+
+def test_straggler_timeout_classified_as_decode_error():
+    """A straggling batch gather must route riders through the
+    single-stripe fallback, not surface as infrastructure failure."""
+    from repro.pipeline import StragglerTimeout
+    from repro.service.scheduler import _is_decode_error
+
+    assert _is_decode_error(StragglerTimeout(0.5, (0,), (1,)))
+    assert not _is_decode_error(RuntimeError("pool closed"))

@@ -281,3 +281,63 @@ def test_external_pipeline_is_not_closed_by_the_service(code):
             assert pipeline.metrics().stripes == 1
 
     run(main())
+
+
+def test_get_backoff_is_clamped_to_the_deadline_budget(code):
+    """A retry backoff larger than the remaining budget must not sleep
+    through the caller's deadline: the request fails *within* it, as
+    DeadlineExceeded, instead of surfacing NodeFault seconds late."""
+    store = make_store(code, num_stripes=1, damaged=0.0)
+    store.faults = FaultInjector(0.999999, rng=0, max_consecutive=100)
+    config = fast_config(max_retries=3, backoff_base_s=30.0, backoff_cap_s=30.0)
+
+    async def main():
+        async with BlobService(store, config=config) as service:
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            with pytest.raises(DeadlineExceeded):
+                await service.get(0, 0, deadline_s=0.2)
+            elapsed = loop.time() - t0
+            assert elapsed < 2.0  # nowhere near the 30 s backoff
+            assert service.metrics.timeouts >= 1
+            assert service.metrics.failures >= 1
+
+    asyncio.run(main())
+
+
+def test_put_backoff_is_clamped_to_the_deadline_budget(code):
+    store = make_store(code, num_stripes=1, damaged=0.0)
+    store.faults = FaultInjector(0.999999, rng=0, max_consecutive=100)
+    config = fast_config(max_retries=3, backoff_base_s=30.0, backoff_cap_s=30.0)
+    region = np.arange(SYMBOLS, dtype=code.field.dtype)
+
+    async def main():
+        async with BlobService(store, config=config) as service:
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            with pytest.raises(DeadlineExceeded):
+                await service.put(0, 0, region, deadline_s=0.2)
+            assert loop.time() - t0 < 2.0
+
+    asyncio.run(main())
+
+
+def test_degraded_ladder_fails_within_tight_deadline(code):
+    """The ladder's retry backoff is clamped too: a tight deadline with a
+    huge configured backoff still resolves (as DeadlineExceeded) within
+    the budget plus scheduling slack."""
+    store = make_store(code, num_stripes=1)
+    store.faults = FaultInjector(0.999999, rng=0, max_consecutive=100)
+    block = store.pattern(0)[0]
+    config = fast_config(max_retries=3, backoff_base_s=30.0, backoff_cap_s=30.0)
+
+    async def main():
+        async with BlobService(store, config=config) as service:
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            with pytest.raises(DeadlineExceeded):
+                await service.degraded_get(0, block, deadline_s=0.2)
+            assert loop.time() - t0 < 2.0
+            assert service.metrics.timeouts >= 1
+
+    asyncio.run(main())

@@ -249,3 +249,76 @@ def test_kernels_apply_sets_process_default():
         assert default_backend() == "bitsliced"
     finally:
         set_default_backend(previous)
+
+
+def test_pipeline_section_round_trip_and_overrides():
+    from repro.config import PipelineConfig
+
+    config = from_dict(
+        {"pipeline": {"pool": "thread", "hedge": True, "deadline_s": 1.5}}
+    )
+    assert config.pipeline == PipelineConfig(pool="thread", hedge=True, deadline_s=1.5)
+    assert from_dict(to_dict(config)) == config
+    layered = apply_overrides(
+        config,
+        {"pipeline.verify_workers": "true", "pipeline.hedge_factor": "1.5"},
+    )
+    assert layered.pipeline.verify_workers is True
+    assert layered.pipeline.hedge_factor == 1.5
+    assert config.pipeline.verify_workers is False  # input untouched
+
+
+def test_pipeline_section_validates():
+    from repro.config import PipelineConfig
+
+    with pytest.raises(ValueError, match="pool"):
+        PipelineConfig(pool="gpu")
+    with pytest.raises(ValueError, match="deadline_s"):
+        PipelineConfig(deadline_s=-1.0)
+    with pytest.raises(ValueError, match="hedge_factor"):
+        PipelineConfig(hedge_factor=0.9)
+
+
+def test_pipeline_section_builds_a_live_pipeline():
+    from repro.config import PipelineConfig
+
+    section = PipelineConfig(
+        pool="serial", hedge=True, verify_workers=True, deadline_s=2.0
+    )
+    pipe = section.build()
+    try:
+        assert pipe.hedge is True
+        assert pipe.verify_workers is True
+        assert pipe.deadline_s == 2.0
+        assert pipe.pool.kind == "serial"
+    finally:
+        pipe.close()
+    # deadline_s=0 means unbounded, not "deadline of zero"
+    pipe = PipelineConfig().build()
+    try:
+        assert pipe.deadline_s is None
+    finally:
+        pipe.close()
+
+
+def test_build_service_wires_pipeline_section_and_faults():
+    config = from_dict(
+        {
+            "store": {"n": 6, "r": 4, "stripes": 1, "symbols": 16, "damaged": 0.0},
+            "pipeline": {"verify_workers": True},
+        }
+    )
+    service = build_service(config)
+    try:
+        assert service.pipeline.verify_workers is True
+        # worker fault injection shares the store's injector, so one
+        # --set store.* knob drives both read faults and worker faults
+        assert service.pipeline.faults is service.store.faults
+    finally:
+        asyncio_run_close(service)
+
+
+def asyncio_run_close(service):
+    import asyncio
+
+    asyncio.run(service.close())

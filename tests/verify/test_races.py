@@ -360,3 +360,93 @@ class TestRepoIsClean:
         root = Path(__file__).resolve().parents[2]
         findings = run_races([str(root / "src")])
         assert findings == [], "\n".join(f.format() for f in findings)
+
+
+class TestAliasResolution:
+    """Callables reaching a pool through locals: `fn = a if h else b`
+    and factory-built closures must stay inside thread context."""
+
+    def test_conditional_alias_roots_both_branches(self):
+        findings = analyze(
+            """
+class Engine:
+    def __init__(self, pool):
+        self.pool = pool
+        self.fast_hits = 0
+        self.slow_hits = 0
+
+    def decode(self, hedged):
+        fn = self.slow_path_xx if hedged else self.fast_path_xx
+        self.pool.submit(fn)
+
+    def fast_path_xx(self):
+        self.fast_hits += 1
+
+    def slow_path_xx(self):
+        self.slow_hits += 1
+"""
+        )
+        assert codes_of(findings) == ["PPM010", "PPM010"]
+        messages = " ".join(f.message for f in findings)
+        assert "Engine.fast_hits" in messages
+        assert "Engine.slow_hits" in messages
+
+    def test_factory_closure_is_a_thread_root(self):
+        findings = analyze(
+            """
+class Engine:
+    def __init__(self, pool):
+        self.pool = pool
+        self.tally = 0
+
+    def decode(self):
+        def make_worker_xx(scale):
+            def worker(item):
+                self.tally += scale * item
+            return worker
+
+        primary = make_worker_xx(2)
+        self.pool.submit(primary, 1)
+"""
+        )
+        assert codes_of(findings) == ["PPM010"]
+        assert "Engine.tally" in findings[0].message
+
+    def test_guarded_factory_closure_is_clean(self):
+        findings = analyze(
+            """
+import threading
+
+class Engine:
+    def __init__(self, pool):
+        self.pool = pool
+        self._lock = threading.Lock()
+        self.tally = 0
+
+    def decode(self):
+        def make_worker_xx():
+            def worker(item):
+                with self._lock:
+                    self.tally += item
+            return worker
+
+        primary = make_worker_xx()
+        self.pool.submit(primary, 1)
+"""
+        )
+        assert findings == []
+
+    def test_alias_cycle_terminates(self):
+        findings = analyze(
+            """
+class Engine:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def decode(self):
+        fn = gn
+        gn = fn
+        self.pool.submit(fn)
+"""
+        )
+        assert findings == []
